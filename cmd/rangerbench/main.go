@@ -1,0 +1,107 @@
+// Command rangerbench regenerates the Ranger paper's tables and figures.
+//
+// Usage:
+//
+//	rangerbench -exp all
+//	rangerbench -exp fig6,fig7 -trials 500 -inputs 8
+//
+// Experiment ids: fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 tab2 tab3
+// tab4 tab5 tab6 alt. Models are trained on first use and cached under
+// $RANGER_CACHE (or the user cache dir), so the first run is slower.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ranger/internal/experiments"
+)
+
+// renderer is any experiment result.
+type renderer interface{ Render() string }
+
+// experimentFns maps experiment ids to their entry points.
+var experimentFns = map[string]func(*experiments.Runner) (renderer, error){
+	"fig4":  wrap(experiments.Fig4),
+	"fig6":  wrap(experiments.Fig6),
+	"fig7":  wrap(experiments.Fig7),
+	"fig8":  wrap(experiments.Fig8),
+	"fig9":  wrap(experiments.Fig9),
+	"fig10": wrap(experiments.Fig10),
+	"fig11": wrap(experiments.Fig11),
+	"fig12": wrap(experiments.Fig12),
+	"tab2":  wrap(experiments.Table2),
+	"tab3":  wrap(experiments.Table3),
+	"tab4":  wrap(experiments.Table4),
+	"tab5":  wrap(experiments.Table5),
+	"tab6":  wrap(experiments.Table6),
+	"alt":   wrap(experiments.Alternatives),
+}
+
+// order fixes the paper's presentation order for -exp all.
+var order = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt"}
+
+func wrap[T renderer](f func(*experiments.Runner) (T, error)) func(*experiments.Runner) (renderer, error) {
+	return func(r *experiments.Runner) (renderer, error) { return f(r) }
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rangerbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rangerbench", flag.ContinueOnError)
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	trials := fs.Int("trials", 0, "fault injections per input (default from RANGER_TRIALS or 150)")
+	inputs := fs.Int("inputs", 0, "inputs per model (default from RANGER_INPUTS or 4)")
+	seed := fs.Int64("seed", 1234, "campaign seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultConfig()
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *inputs > 0 {
+		cfg.Inputs = *inputs
+	}
+	cfg.Seed = *seed
+	runner := experiments.NewRunner(cfg)
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := experimentFns[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(order, " "))
+			}
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+	fmt.Printf("rangerbench: %d experiments, %d trials x %d inputs per campaign\n\n",
+		len(ids), cfg.Trials, cfg.Inputs)
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experimentFns[id](runner)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

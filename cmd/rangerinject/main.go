@@ -1,0 +1,116 @@
+// Command rangerinject runs a custom fault-injection campaign against
+// any benchmark model, with or without Ranger protection — the
+// TensorFI-equivalent tool of this reproduction.
+//
+// Usage:
+//
+//	rangerinject -model lenet -trials 1000
+//	rangerinject -model dave -trials 500 -bits 3 -ranger=false
+//	rangerinject -model vgg16 -format q16 -consecutive -bits 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ranger/internal/core"
+	"ranger/internal/data"
+	"ranger/internal/experiments"
+	"ranger/internal/fixpoint"
+	"ranger/internal/graph"
+	"ranger/internal/inject"
+	"ranger/internal/models"
+	"ranger/internal/stats"
+	"ranger/internal/train"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rangerinject:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rangerinject", flag.ContinueOnError)
+	model := fs.String("model", "lenet", "model name")
+	trials := fs.Int("trials", 500, "injections per input")
+	inputs := fs.Int("inputs", 4, "number of correctly-predicted inputs")
+	bits := fs.Int("bits", 1, "bit flips per execution")
+	consecutive := fs.Bool("consecutive", false, "multi-bit flips hit consecutive bits of one value")
+	format := fs.String("format", "q32", "fixed-point datatype: q32 or q16")
+	withRanger := fs.Bool("ranger", true, "also evaluate the Ranger-protected model")
+	profileSamples := fs.Int("profile", 120, "training samples for bound profiling")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var fmtFixed fixpoint.Format
+	switch *format {
+	case "q32":
+		fmtFixed = fixpoint.Q32
+	case "q16":
+		fmtFixed = fixpoint.Q16
+	default:
+		return fmt.Errorf("unknown format %q (want q32 or q16)", *format)
+	}
+	fault := inject.FaultModel{Format: fmtFixed, BitFlips: *bits, Consecutive: *consecutive}
+
+	zoo := train.Default()
+	zoo.Quiet = false
+	m, err := zoo.Get(*model)
+	if err != nil {
+		return err
+	}
+	ds, err := train.DatasetByName(m.Dataset)
+	if err != nil {
+		return err
+	}
+	feeds, err := experiments.SelectInputs(m, ds, *inputs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %s, %d trials x %d inputs, %d-bit flips (%s, consecutive=%v)\n",
+		m.Name, *trials, *inputs, *bits, fmtFixed, *consecutive)
+
+	report := func(label string, target *models.Model) error {
+		c := &inject.Campaign{Model: target, Fault: fault, Trials: *trials, Seed: *seed}
+		out, err := c.Run(feeds)
+		if err != nil {
+			return err
+		}
+		switch target.Kind {
+		case models.Classifier:
+			fmt.Printf("%-10s top-1 SDC %s   top-5 SDC %s\n", label,
+				stats.NewProportion(out.Top1SDC, out.Trials).Percent(),
+				stats.NewProportion(out.Top5SDC, out.Trials).Percent())
+		case models.Regressor:
+			fmt.Printf("%-10s", label)
+			for _, th := range experiments.SteeringThresholds {
+				fmt.Printf("  thr=%g: %.2f%%", th, out.RateAbove(th)*100)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	if err := report("original", m); err != nil {
+		return err
+	}
+	if !*withRanger {
+		return nil
+	}
+	bounds, err := core.ProfileModel(m, core.ProfileOptions{}, *profileSamples, func(i int) (graph.Feeds, error) {
+		return graph.Feeds{m.Input: ds.Sample(data.Train, i%ds.Len(data.Train)).X}, nil
+	})
+	if err != nil {
+		return err
+	}
+	pm, res, err := core.ProtectModel(m, bounds, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ranger: %d nodes protected (inserted in %s)\n", len(res.Protected), res.InsertionTime)
+	return report("ranger", pm)
+}

@@ -1,0 +1,94 @@
+// Command rangerprofile derives and prints the Ranger restriction bounds
+// for a model (§III-C step 1): per activation layer, the profiled value
+// range over training data, plus the downstream operators Algorithm 1
+// would extend each bound to.
+//
+// Usage:
+//
+//	rangerprofile -model vgg16 -samples 64
+//	rangerprofile -model dave -percentile 99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ranger/internal/core"
+	"ranger/internal/data"
+	"ranger/internal/graph"
+	"ranger/internal/train"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rangerprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rangerprofile", flag.ContinueOnError)
+	model := fs.String("model", "lenet", "model name (see rangertrain)")
+	samples := fs.Int("samples", 48, "training samples to profile")
+	percentile := fs.Float64("percentile", 100, "restriction bound percentile (100 = max)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	zoo := train.Default()
+	zoo.Quiet = false
+	m, err := zoo.Get(*model)
+	if err != nil {
+		return err
+	}
+	ds, err := train.DatasetByName(m.Dataset)
+	if err != nil {
+		return err
+	}
+	reservoir := 0
+	if *percentile < 100 {
+		reservoir = 200000
+	}
+	p := core.NewProfiler(m.Graph, core.ProfileOptions{
+		ReservoirSize:     reservoir,
+		Seed:              1,
+		UseInherentBounds: true,
+	})
+	n := *samples
+	if n > ds.Len(data.Train) {
+		n = ds.Len(data.Train)
+	}
+	for i := 0; i < n; i++ {
+		s := ds.Sample(data.Train, i)
+		if err := p.Observe(graph.Feeds{m.Input: s.X}, m.Output); err != nil {
+			return err
+		}
+	}
+	bounds := p.PercentileBounds(*percentile)
+	fmt.Printf("restriction bounds for %s (%d samples, %g%% percentile):\n", m.Name, n, *percentile)
+	names := make([]string, 0, len(bounds))
+	for name := range bounds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := bounds[name]
+		fmt.Printf("  %-10s low=%-12.4f high=%-12.4f\n", name, b.Low, b.High)
+	}
+	res, err := core.Protect(m.Graph, bounds, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Algorithm 1 would protect %d nodes (insertion time %s):\n", len(res.Protected), res.InsertionTime)
+	protected := make([]string, 0, len(res.Protected))
+	for node := range res.Protected {
+		protected = append(protected, node)
+	}
+	sort.Strings(protected)
+	for _, node := range protected {
+		n, _ := m.Graph.Node(node)
+		fmt.Printf("  %-10s (%s)\n", node, n.OpType())
+	}
+	return nil
+}

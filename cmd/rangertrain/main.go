@@ -1,0 +1,71 @@
+// Command rangertrain trains the benchmark model zoo and reports each
+// model's validation quality. Weights are cached under $RANGER_CACHE (or
+// the user cache dir), so later rangerbench/rangerprofile runs skip
+// training.
+//
+// Usage:
+//
+//	rangertrain              # train the 8 paper models
+//	rangertrain -variants    # also train the Tanh/degree variants
+//	rangertrain lenet dave   # train specific models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ranger/internal/data"
+	"ranger/internal/models"
+	"ranger/internal/train"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rangertrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rangertrain", flag.ContinueOnError)
+	variants := fs.Bool("variants", false, "also train the -tanh and dave-degrees variants")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		names = models.Names()
+		if *variants {
+			names = append(names, "lenet-tanh", "alexnet-tanh", "vgg11-tanh", "dave-tanh", "comma-tanh", "dave-degrees")
+		}
+	}
+	zoo := train.Default()
+	zoo.Quiet = false
+	for _, name := range names {
+		start := time.Now()
+		m, err := zoo.Get(name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		ds, err := train.DatasetByName(m.Dataset)
+		if err != nil {
+			return err
+		}
+		if m.Kind == models.Classifier {
+			acc, err := train.TopKAccuracy(m, ds, data.Val, 200, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-14s dataset=%-12s top1=%.3f  (%s)\n", name, m.Dataset, acc, time.Since(start).Round(time.Second))
+			continue
+		}
+		rmse, dev, err := train.SteeringMetrics(m, ds, data.Val, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s dataset=%-12s rmse=%.3f avg-dev=%.3f  (%s)\n", name, m.Dataset, rmse, dev, time.Since(start).Round(time.Second))
+	}
+	return nil
+}

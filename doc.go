@@ -1,0 +1,31 @@
+// Package ranger is a from-scratch Go reproduction of "A Low-cost Fault
+// Corrector for Deep Neural Networks through Range Restriction"
+// (Chen, Li, Pattabiraman — DSN 2021).
+//
+// Ranger protects DNNs from hardware transient faults (soft errors) by
+// inserting range-restriction operators after activation layers and the
+// downstream operators that inherit their bounds. Out-of-range values —
+// the signature of SDC-causing bit flips — are truncated back into the
+// profiled range, turning critical faults into benign ones that the
+// DNN's inherent resilience absorbs, with no re-execution and negligible
+// overhead.
+//
+// The repository contains the full substrate stack the paper depends on,
+// implemented with the standard library only:
+//
+//   - internal/tensor, internal/ops, internal/graph: a TensorFlow-1.x-style
+//     static dataflow graph with forward and backward operator kernels
+//   - internal/fixpoint: the 32-bit and 16-bit fixed-point fault encodings
+//   - internal/data: deterministic synthetic stand-ins for MNIST, CIFAR-10,
+//     GTSRB, ImageNet and the driving dataset
+//   - internal/models, internal/train: the eight DNN benchmarks and the
+//     training substrate (SGD/Adam) with a cached model zoo
+//   - internal/core: Ranger itself — bound profiling and the Algorithm 1
+//     graph transform
+//   - internal/inject: the TensorFI-style fault-injection campaign engine
+//   - internal/baselines: the Table VI comparator techniques
+//   - internal/experiments: one entry point per paper table and figure
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for measured-vs-paper results.
+package ranger

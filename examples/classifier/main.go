@@ -1,0 +1,77 @@
+// Classifier runs a miniature version of the paper's Fig. 6 experiment
+// on one classifier: it measures the SDC rate of an image classifier
+// under random single-bit transient faults, with and without Ranger, and
+// also demonstrates the accuracy-preservation property of Table II.
+//
+// Run with: go run ./examples/classifier [model]
+// (model defaults to alexnet; try vgg11, squeezenet, ...)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ranger/internal/core"
+	"ranger/internal/data"
+	"ranger/internal/experiments"
+	"ranger/internal/graph"
+	"ranger/internal/inject"
+	"ranger/internal/train"
+)
+
+func main() {
+	name := "alexnet"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	zoo := train.Default()
+	zoo.Quiet = false
+	model, err := zoo.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := train.DatasetByName(model.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bounds, err := core.ProfileModel(model, core.ProfileOptions{}, 32, func(i int) (graph.Feeds, error) {
+		return graph.Feeds{model.Input: ds.Sample(data.Train, i).X}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	protected, _, err := core.ProtectModel(model, bounds, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Accuracy check (Table II): Ranger must not hurt fault-free quality.
+	accO, err := train.TopKAccuracy(model, ds, data.Val, 200, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accP, err := train.TopKAccuracy(protected, ds, data.Val, 200, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: fault-free top-1 accuracy  original=%.3f  ranger=%.3f\n", name, accO, accP)
+
+	// SDC campaign (Fig. 6) on correctly predicted validation inputs.
+	inputs, err := experiments.SelectInputs(model, ds, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const trials = 400
+	orig, err := (&inject.Campaign{Model: model, Fault: inject.DefaultFaultModel(), Trials: trials, Seed: 9}).Run(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prot, err := (&inject.Campaign{Model: protected, Fault: inject.DefaultFaultModel(), Trials: trials, Seed: 9}).Run(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: SDC rate over %d injections  original=%.2f%%  ranger=%.2f%%\n",
+		name, orig.Trials, orig.Top1Rate()*100, prot.Top1Rate()*100)
+}

@@ -1,0 +1,67 @@
+// Multibit explores the §VI-B fault model: several independent bit flips
+// per inference (a more aggressive transient-fault scenario). It sweeps
+// 1-5 simultaneous flips on one classifier and prints SDC rates with and
+// without Ranger, plus the same sweep under the 16-bit datatype (RQ4).
+//
+// Run with: go run ./examples/multibit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ranger/internal/core"
+	"ranger/internal/data"
+	"ranger/internal/experiments"
+	"ranger/internal/fixpoint"
+	"ranger/internal/graph"
+	"ranger/internal/inject"
+	"ranger/internal/train"
+)
+
+func main() {
+	zoo := train.Default()
+	zoo.Quiet = false
+	model, err := zoo.Get("lenet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := train.DatasetByName(model.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounds, err := core.ProfileModel(model, core.ProfileOptions{}, 32, func(i int) (graph.Feeds, error) {
+		return graph.Feeds{model.Input: ds.Sample(data.Train, i).X}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	protected, _, err := core.ProtectModel(model, bounds, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inputs, err := experiments.SelectInputs(model, ds, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const trials = 250
+	for _, format := range []fixpoint.Format{fixpoint.Q32, fixpoint.Q16} {
+		fmt.Printf("\nfault model: %v\n", format)
+		fmt.Printf("%-6s %-12s %-12s\n", "bits", "original", "ranger")
+		for bits := 1; bits <= 5; bits++ {
+			fault := inject.FaultModel{Format: format, BitFlips: bits}
+			orig, err := (&inject.Campaign{Model: model, Fault: fault, Trials: trials, Seed: int64(bits)}).Run(inputs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			prot, err := (&inject.Campaign{Model: protected, Fault: fault, Trials: trials, Seed: int64(bits)}).Run(inputs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6d %-12s %-12s\n", bits,
+				fmt.Sprintf("%.2f%%", orig.Top1Rate()*100),
+				fmt.Sprintf("%.2f%%", prot.Top1Rate()*100))
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Steering reproduces the paper's Fig. 1 narrative numerically: a DNN
+// steering an autonomous vehicle suffers a transient fault that swings
+// its steering-angle prediction wildly; the same model protected with
+// Ranger restores the faulty value to (approximately) the correct angle
+// without recomputation.
+//
+// Run with: go run ./examples/steering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ranger/internal/core"
+	"ranger/internal/data"
+	"ranger/internal/fixpoint"
+	"ranger/internal/graph"
+	"ranger/internal/tensor"
+	"ranger/internal/train"
+)
+
+func main() {
+	zoo := train.Default()
+	zoo.Quiet = false
+	model, err := zoo.Get("comma")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := train.DatasetByName(model.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounds, err := core.ProfileModel(model, core.ProfileOptions{}, 32, func(i int) (graph.Feeds, error) {
+		return graph.Feeds{model.Input: ds.Sample(data.Train, i).X}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	protected, _, err := core.ProtectModel(model, bounds, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find a sharp-turn validation frame so the effect is vivid.
+	var frame data.Sample
+	for i := 0; i < ds.Len(data.Val); i++ {
+		s := ds.Sample(data.Val, i)
+		if math.Abs(float64(s.Target)) > 100 {
+			frame = s
+			break
+		}
+	}
+	feeds := graph.Feeds{model.Input: frame.X}
+
+	var e graph.Executor
+	cleanOuts, err := e.Run(model.Graph, feeds, model.Output)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean := cleanOuts[0].Data()[0]
+
+	// Inject a high-order bit flip into a mid-network activation output
+	// (the paper's Fig. 1 fault), then run both models under it.
+	inject := func(g *graph.Graph, output string) float32 {
+		fe := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+			if n.Name() != "act2" {
+				return nil
+			}
+			repl := out.Clone()
+			v, err := fixpoint.Q32.FlipBit(repl.Data()[7], 29) // high-order magnitude bit
+			if err == nil {
+				repl.Data()[7] = v
+			}
+			return repl
+		}}
+		outs, err := fe.Run(g, feeds, output)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return outs[0].Data()[0]
+	}
+	faulty := inject(model.Graph, model.Output)
+	corrected := inject(protected.Graph, protected.Output)
+
+	fmt.Println("Fig. 1 scenario (steering angles in degrees):")
+	fmt.Printf("  ground-truth steering:        %8.2f\n", frame.Target)
+	fmt.Printf("  prediction (fault-free):      %8.2f\n", clean)
+	fmt.Printf("  prediction (with fault):      %8.2f   <- SDC: would steer the AV off course\n", faulty)
+	fmt.Printf("  prediction (fault + Ranger):  %8.2f   <- corrected without re-computation\n", corrected)
+}

@@ -1,0 +1,321 @@
+// Package baselines implements the comparator protection techniques of
+// the paper's Table VI, so the coverage-vs-overhead comparison can be
+// regenerated with measured numbers:
+//
+//   - Triple Modular Redundancy (majority voting over three executions)
+//   - Selective duplication of vulnerable computations (Mahmoud et al.)
+//   - Symptom-based detection of activation value spikes (Li et al.)
+//   - ML-based fault detection from activation statistics (Schorn et al.)
+//   - Activation replacement, ReLU -> Tanh (Hong et al.; built as the
+//     "-tanh" retrained model variants)
+//   - Algorithm-based fault tolerance checksums for Conv layers
+//     (Zhao et al. / Hari et al.)
+//
+// The detection techniques implement inject.Detector; detected faults are
+// credited as corrected by re-execution, which is exactly the recovery
+// cost Ranger's in-place correction avoids.
+package baselines
+
+import (
+	"math"
+
+	"ranger/internal/graph"
+	"ranger/internal/inject"
+	"ranger/internal/ops"
+	"ranger/internal/tensor"
+)
+
+// compile-time interface checks.
+var (
+	_ inject.Detector = (*SymptomDetector)(nil)
+	_ inject.Detector = (*DuplicationDetector)(nil)
+	_ inject.Detector = (*ABFTDetector)(nil)
+	_ inject.Detector = (*MLDetector)(nil)
+)
+
+// SymptomDetector flags executions in which any monitored activation
+// output exceeds its profiled value range by Slack (Li et al.'s
+// "unusual values as symptoms" detector). With Slack=1 the thresholds
+// equal Ranger's restriction bounds; larger slack trades coverage for
+// fewer false positives.
+type SymptomDetector struct {
+	// Thresholds maps activation node names to the symptom threshold
+	// (typically the profiled max).
+	Thresholds map[string]float64
+	// Slack multiplies thresholds before comparison (>= 1).
+	Slack float64
+
+	flagged bool
+}
+
+// NewSymptomDetector builds the detector from profiled activation maxima.
+func NewSymptomDetector(maxima map[string]float64, slack float64) *SymptomDetector {
+	if slack <= 0 {
+		slack = 1
+	}
+	return &SymptomDetector{Thresholds: maxima, Slack: slack}
+}
+
+// Name implements inject.Detector.
+func (d *SymptomDetector) Name() string { return "symptom-based detector (Li et al.)" }
+
+// Reset implements inject.Detector.
+func (d *SymptomDetector) Reset() { d.flagged = false }
+
+// Detected implements inject.Detector.
+func (d *SymptomDetector) Detected() bool { return d.flagged }
+
+// Observe implements inject.Detector.
+func (d *SymptomDetector) Observe(n *graph.Node, out *tensor.Tensor) {
+	if d.flagged {
+		return
+	}
+	th, ok := d.Thresholds[n.Name()]
+	if !ok {
+		return
+	}
+	limit := float32(th * d.Slack)
+	for _, v := range out.Data() {
+		if v > limit || math.IsNaN(float64(v)) {
+			d.flagged = true
+			return
+		}
+	}
+}
+
+// DuplicationDetector recomputes the outputs of a selected set of nodes
+// from their (observed) inputs and flags mismatches — selective
+// duplication in the style of Mahmoud et al.'s HarDNN, where the
+// duplicated set is chosen by estimated vulnerability under a FLOP budget.
+type DuplicationDetector struct {
+	// Duplicated is the set of node names recomputed and compared.
+	Duplicated map[string]bool
+
+	outputs map[string]*tensor.Tensor
+	flagged bool
+}
+
+// NewDuplicationDetector duplicates the given node names.
+func NewDuplicationDetector(duplicated []string) *DuplicationDetector {
+	set := make(map[string]bool, len(duplicated))
+	for _, n := range duplicated {
+		set[n] = true
+	}
+	return &DuplicationDetector{Duplicated: set, outputs: make(map[string]*tensor.Tensor)}
+}
+
+// Name implements inject.Detector.
+func (d *DuplicationDetector) Name() string { return "selective duplication (Mahmoud et al.)" }
+
+// Reset implements inject.Detector.
+func (d *DuplicationDetector) Reset() {
+	d.outputs = make(map[string]*tensor.Tensor)
+	d.flagged = false
+}
+
+// Detected implements inject.Detector.
+func (d *DuplicationDetector) Detected() bool { return d.flagged }
+
+// Observe implements inject.Detector. It caches every node output so a
+// duplicated node can be recomputed from the same inputs the original saw;
+// a mismatch means the original's output was corrupted after computation
+// (the transient-fault signature).
+func (d *DuplicationDetector) Observe(n *graph.Node, out *tensor.Tensor) {
+	d.outputs[n.Name()] = out
+	if d.flagged || !d.Duplicated[n.Name()] {
+		return
+	}
+	switch n.Op().(type) {
+	case *graph.Placeholder, *graph.Variable:
+		return
+	}
+	ins := make([]*tensor.Tensor, len(n.Inputs()))
+	for i, in := range n.Inputs() {
+		cached, ok := d.outputs[in.Name()]
+		if !ok {
+			return
+		}
+		ins[i] = cached
+	}
+	redo, err := n.Op().Eval(ins)
+	if err != nil {
+		d.flagged = true
+		return
+	}
+	for i := range redo.Data() {
+		if redo.Data()[i] != out.Data()[i] {
+			d.flagged = true
+			return
+		}
+	}
+}
+
+// ABFTDetector validates convolution outputs with channel checksums
+// (Zhao et al. / Hari et al.): for every Conv2D node it computes the
+// expected per-position channel sum by convolving the input with the
+// kernel's channel-summed filter and compares against the sum of the
+// observed output channels. Only faults striking Conv outputs are
+// detectable — the coverage limitation Table VI reports.
+type ABFTDetector struct {
+	// Tolerance is the relative checksum mismatch treated as a fault.
+	Tolerance float64
+
+	outputs map[string]*tensor.Tensor
+	flagged bool
+}
+
+// NewABFTDetector returns a checksum detector with the given relative
+// tolerance (e.g. 1e-3 absorbs float re-association noise).
+func NewABFTDetector(tolerance float64) *ABFTDetector {
+	if tolerance <= 0 {
+		tolerance = 1e-3
+	}
+	return &ABFTDetector{Tolerance: tolerance, outputs: make(map[string]*tensor.Tensor)}
+}
+
+// Name implements inject.Detector.
+func (d *ABFTDetector) Name() string { return "ABFT conv checksums (Zhao et al.)" }
+
+// Reset implements inject.Detector.
+func (d *ABFTDetector) Reset() {
+	d.outputs = make(map[string]*tensor.Tensor)
+	d.flagged = false
+}
+
+// Detected implements inject.Detector.
+func (d *ABFTDetector) Detected() bool { return d.flagged }
+
+// Observe implements inject.Detector.
+func (d *ABFTDetector) Observe(n *graph.Node, out *tensor.Tensor) {
+	d.outputs[n.Name()] = out
+	if d.flagged {
+		return
+	}
+	convOp, ok := n.Op().(*ops.Conv2DOp)
+	if !ok {
+		return
+	}
+	x := d.outputs[n.Inputs()[0].Name()]
+	w := d.outputs[n.Inputs()[1].Name()]
+	if x == nil || w == nil {
+		return
+	}
+	// Summed kernel: (KH,KW,inC,1) with each tap summed over outC.
+	kh, kw, inC, outC := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	sumK := tensor.New(kh, kw, inC, 1)
+	wd, sd := w.Data(), sumK.Data()
+	for i := 0; i < kh*kw*inC; i++ {
+		var s float32
+		for oc := 0; oc < outC; oc++ {
+			s += wd[i*outC+oc]
+		}
+		sd[i] = s
+	}
+	check, err := (&ops.Conv2DOp{Geom: convOp.Geom}).Eval([]*tensor.Tensor{x, sumK})
+	if err != nil {
+		d.flagged = true
+		return
+	}
+	// Compare per spatial position: sum over channels of the observed
+	// output vs the checksum channel.
+	od, cd := out.Data(), check.Data()
+	for pos := 0; pos < check.Size(); pos++ {
+		var s float64
+		for oc := 0; oc < outC; oc++ {
+			s += float64(od[pos*outC+oc])
+		}
+		want := float64(cd[pos])
+		if relDiff(s, want) > d.Tolerance {
+			d.flagged = true
+			return
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d / scale
+}
+
+// MLDetector is a learned fault classifier over per-layer activation
+// statistics (Schorn et al.): a logistic regression on, per monitored
+// layer, the ratio of the observed max to the profiled max. It must be
+// trained on fault-injection data — the expensive prerequisite the paper
+// criticizes — via TrainMLDetector in this package.
+type MLDetector struct {
+	// Layers lists the monitored activation nodes, fixing feature order.
+	Layers []string
+	// ProfiledMax normalizes each layer's observed maximum.
+	ProfiledMax map[string]float64
+	// Weights and Bias parameterize the logistic regression.
+	Weights []float64
+	Bias    float64
+	// Threshold on the sigmoid output; above it the run is flagged.
+	Threshold float64
+
+	feats map[string]float64
+}
+
+// Name implements inject.Detector.
+func (d *MLDetector) Name() string { return "ML-based error detector (Schorn et al.)" }
+
+// Reset implements inject.Detector.
+func (d *MLDetector) Reset() { d.feats = make(map[string]float64, len(d.Layers)) }
+
+// Observe implements inject.Detector.
+func (d *MLDetector) Observe(n *graph.Node, out *tensor.Tensor) {
+	max, ok := d.ProfiledMax[n.Name()]
+	if !ok {
+		return
+	}
+	var m float64
+	for _, v := range out.Data() {
+		f := float64(v)
+		if math.IsNaN(f) {
+			f = math.Inf(1)
+		}
+		if f > m {
+			m = f
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	ratio := m / max
+	if math.IsInf(ratio, 1) {
+		ratio = 1e6
+	}
+	if d.feats == nil {
+		d.feats = make(map[string]float64, len(d.Layers))
+	}
+	if ratio > d.feats[n.Name()] {
+		d.feats[n.Name()] = ratio
+	}
+}
+
+// Detected implements inject.Detector.
+func (d *MLDetector) Detected() bool {
+	return d.score() > d.Threshold
+}
+
+func (d *MLDetector) score() float64 {
+	z := d.Bias
+	for i, layer := range d.Layers {
+		z += d.Weights[i] * d.features()[i]
+		_ = layer
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// features assembles the feature vector in Layers order.
+func (d *MLDetector) features() []float64 {
+	f := make([]float64, len(d.Layers))
+	for i, layer := range d.Layers {
+		f[i] = d.feats[layer]
+	}
+	return f
+}

@@ -1,0 +1,106 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"ranger/internal/flops"
+	"ranger/internal/graph"
+	"ranger/internal/inject"
+	"ranger/internal/models"
+)
+
+// SelectDuplicationSet chooses the nodes to duplicate for the Mahmoud et
+// al. baseline: it estimates each candidate node's vulnerability with a
+// small targeted fault-injection campaign (SDC fraction when that node is
+// struck, weighted by the node's share of the fault space), then greedily
+// packs the most vulnerability-per-FLOP nodes until the duplication budget
+// (relative to total model FLOPs, e.g. 0.3 for the ~30% overhead the
+// technique reports) is exhausted. It returns the chosen node names and
+// the achieved relative overhead.
+func SelectDuplicationSet(
+	m *models.Model,
+	input graph.Feeds,
+	fault inject.FaultModel,
+	trialsPerNode int,
+	seed int64,
+	budget float64,
+) ([]string, float64, error) {
+	if budget <= 0 {
+		return nil, 0, fmt.Errorf("baselines: duplication budget %v", budget)
+	}
+	count, err := flops.CountGraph(m.Graph, input, m.Output)
+	if err != nil {
+		return nil, 0, err
+	}
+	type candidate struct {
+		name    string
+		vuln    float64
+		cost    int64
+		density float64
+	}
+	excluded := make(map[string]bool, len(m.ExcludeFI))
+	for _, n := range m.ExcludeFI {
+		excluded[n] = true
+	}
+	var cands []candidate
+	inputs := []graph.Feeds{input}
+	for _, n := range m.Graph.Nodes() {
+		switch n.Op().(type) {
+		case *graph.Placeholder, *graph.Variable:
+			continue
+		}
+		if excluded[n.Name()] {
+			continue
+		}
+		if count.ByNode[n.Name()] == 0 {
+			continue // free ops (reshape) gain nothing from duplication
+		}
+		c := &inject.Campaign{
+			Model:       m,
+			Fault:       fault,
+			Trials:      trialsPerNode,
+			Seed:        seed + int64(n.ID()),
+			TargetNodes: []string{n.Name()},
+		}
+		out, err := c.Run(inputs)
+		if err != nil {
+			return nil, 0, fmt.Errorf("baselines: vulnerability of %q: %w", n.Name(), err)
+		}
+		var sdcFrac float64
+		if m.Kind == models.Classifier {
+			sdcFrac = out.Top1Rate()
+		} else {
+			sdcFrac = out.RateAbove(15)
+		}
+		if sdcFrac == 0 {
+			continue
+		}
+		cost := count.ByNode[n.Name()]
+		cands = append(cands, candidate{
+			name:    n.Name(),
+			vuln:    sdcFrac,
+			cost:    cost,
+			density: sdcFrac / float64(cost),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].density > cands[j].density })
+	budgetFLOPs := int64(budget * float64(count.Total))
+	var chosen []string
+	var spent int64
+	for _, c := range cands {
+		if spent+c.cost > budgetFLOPs {
+			continue
+		}
+		chosen = append(chosen, c.name)
+		spent += c.cost
+	}
+	if len(chosen) == 0 && len(cands) > 0 {
+		// Budget too small for even the densest candidate: take it anyway
+		// so the baseline protects something.
+		chosen = append(chosen, cands[0].name)
+		spent = cands[0].cost
+	}
+	overhead := float64(spent) / float64(count.Total)
+	return chosen, overhead, nil
+}

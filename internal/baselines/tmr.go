@@ -1,0 +1,42 @@
+package baselines
+
+import (
+	"fmt"
+
+	"ranger/internal/tensor"
+)
+
+// TMRVote returns the elementwise majority of three redundant outputs: if
+// at least two replicas agree on an element, that value wins; with three
+// distinct values the median is taken (the standard voter for numeric
+// TMR). Under the paper's single-fault-per-execution model at most one
+// replica is corrupted, so the vote always restores the fault-free value —
+// 100% SDC coverage at 200% compute overhead (Table VI row 1).
+func TMRVote(a, b, c *tensor.Tensor) (*tensor.Tensor, error) {
+	if !a.SameShape(b) || !a.SameShape(c) {
+		return nil, fmt.Errorf("baselines: tmr shapes %v %v %v", a.Shape(), b.Shape(), c.Shape())
+	}
+	out := tensor.New(a.Shape()...)
+	ad, bd, cd, od := a.Data(), b.Data(), c.Data(), out.Data()
+	for i := range od {
+		od[i] = median3(ad[i], bd[i], cd[i])
+	}
+	return out, nil
+}
+
+func median3(a, b, c float32) float32 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// TMROverhead is the compute overhead of triple modular redundancy
+// relative to a single execution.
+const TMROverhead = 2.0

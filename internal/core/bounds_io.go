@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Bounds serialization: profiling is a one-time, pre-deployment step
+// (§III-C, Table III), so deployments persist the derived bounds and load
+// them when instrumenting the production graph. The format is JSON keyed
+// by activation node name.
+
+// Save writes the bounds to w as JSON.
+func (b Bounds) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return fmt.Errorf("core: save bounds: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the bounds to a JSON file.
+func (b Bounds) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save bounds: %w", err)
+	}
+	if err := b.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBounds reads bounds from JSON.
+func LoadBounds(r io.Reader) (Bounds, error) {
+	var b Bounds
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("core: load bounds: %w", err)
+	}
+	for name, bound := range b {
+		if bound.Low > bound.High {
+			return nil, fmt.Errorf("core: bound %q has low %v > high %v", name, bound.Low, bound.High)
+		}
+	}
+	return b, nil
+}
+
+// LoadBoundsFile reads bounds from a JSON file.
+func LoadBoundsFile(path string) (Bounds, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load bounds: %w", err)
+	}
+	defer f.Close()
+	return LoadBounds(f)
+}
+
+// Names returns the bounded node names in sorted order.
+func (b Bounds) Names() []string {
+	names := make([]string, 0, len(b))
+	for name := range b {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBoundsSaveLoadRoundTrip(t *testing.T) {
+	b := Bounds{
+		"act1": {Low: 0, High: 12.5},
+		"act2": {Low: -1, High: 1},
+	}
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBounds(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["act1"] != b["act1"] || got["act2"] != b["act2"] {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestBoundsFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bounds.json")
+	b := Bounds{"relu": {Low: 0, High: 7}}
+	if err := b.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBoundsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["relu"].High != 7 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestLoadBoundsRejectsInverted(t *testing.T) {
+	r := strings.NewReader(`{"a": {"Low": 5, "High": 1}}`)
+	if _, err := LoadBounds(r); err == nil {
+		t.Fatal("want inverted-bound error")
+	}
+}
+
+func TestLoadBoundsRejectsGarbage(t *testing.T) {
+	if _, err := LoadBounds(strings.NewReader("not json")); err == nil {
+		t.Fatal("want decode error")
+	}
+	if _, err := LoadBoundsFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("want open error")
+	}
+}
+
+func TestBoundsNamesSorted(t *testing.T) {
+	b := Bounds{"z": {}, "a": {}, "m": {}}
+	names := b.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "z" {
+		t.Fatalf("names = %v", names)
+	}
+}

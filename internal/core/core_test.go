@@ -1,0 +1,342 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ranger/internal/graph"
+	"ranger/internal/models"
+	"ranger/internal/ops"
+	"ranger/internal/tensor"
+)
+
+// buildTinyNet constructs input -> conv -> relu -> maxpool -> flatten ->
+// dense, the §III-C running-example structure.
+func buildTinyNet(t *testing.T) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := graph.New()
+	in := g.MustAdd("input", &graph.Placeholder{})
+	w := g.MustAdd("conv_w", &graph.Variable{Value: tensor.New(3, 3, 1, 2).Randn(rng, 0.5)})
+	conv := g.MustAdd("conv", &ops.Conv2DOp{Geom: tensor.ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PadH: 1, PadW: 1}}, in, w)
+	relu := g.MustAdd("relu", ops.Relu(), conv)
+	pool := g.MustAdd("pool", &ops.MaxPoolOp{Geom: tensor.ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}}, relu)
+	flat := g.MustAdd("flatten", ops.Flatten(), pool)
+	fw := g.MustAdd("fc_w", &graph.Variable{Value: tensor.New(8, 3).Randn(rng, 0.5)})
+	g.MustAdd("fc", ops.DenseOp{}, flat, fw)
+	return g
+}
+
+func tinyInput(seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return tensor.New(1, 4, 4, 1).RandUniform(rng, 0, 1)
+}
+
+func TestProfilerCollectsBounds(t *testing.T) {
+	g := buildTinyNet(t)
+	p := NewProfiler(g, ProfileOptions{})
+	for i := int64(0); i < 10; i++ {
+		if err := p.Observe(graph.Feeds{"input": tinyInput(i)}, "fc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := p.Bounds()
+	rb, ok := b["relu"]
+	if !ok {
+		t.Fatalf("no bound for relu; got %v", b)
+	}
+	if rb.Low != 0 {
+		t.Fatalf("relu low = %v, want 0", rb.Low)
+	}
+	if rb.High <= 0 {
+		t.Fatalf("relu high = %v, want > 0", rb.High)
+	}
+	if len(p.ActNames()) != 1 || p.ActNames()[0] != "relu" {
+		t.Fatalf("act names = %v", p.ActNames())
+	}
+}
+
+func TestProfilerTrace(t *testing.T) {
+	g := buildTinyNet(t)
+	p := NewProfiler(g, ProfileOptions{})
+	p.EnableTrace()
+	for i := int64(0); i < 5; i++ {
+		if err := p.Observe(graph.Feeds{"input": tinyInput(i)}, "fc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := p.Trace()
+	if len(tr) != 5 {
+		t.Fatalf("trace length = %d", len(tr))
+	}
+	// Running max is monotone non-decreasing.
+	for i := 1; i < len(tr); i++ {
+		if tr[i][0] < tr[i-1][0] {
+			t.Fatalf("running max decreased: %v", tr)
+		}
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	g := buildTinyNet(t)
+	p := NewProfiler(g, ProfileOptions{ReservoirSize: 100000, Seed: 1})
+	for i := int64(0); i < 30; i++ {
+		if err := p.Observe(graph.Feeds{"input": tinyInput(i)}, "fc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := p.PercentileBounds(100)
+	p99 := p.PercentileBounds(99)
+	p90 := p.PercentileBounds(90)
+	if p99["relu"].High > full["relu"].High {
+		t.Fatalf("p99 high %v above max %v", p99["relu"].High, full["relu"].High)
+	}
+	if p90["relu"].High > p99["relu"].High {
+		t.Fatalf("p90 high %v above p99 high %v", p90["relu"].High, p99["relu"].High)
+	}
+	if p90["relu"].High <= 0 {
+		t.Fatalf("p90 high = %v", p90["relu"].High)
+	}
+}
+
+func TestProtectInsertsClips(t *testing.T) {
+	g := buildTinyNet(t)
+	bounds := Bounds{"relu": {Low: 0, High: 10}}
+	res, err := Protect(g, bounds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// relu, pool (downstream MaxPool), flatten (downstream Reshape of
+	// pool? no — flatten's input is pool, not the ACT; Algorithm 1 only
+	// extends one hop from the ACT).
+	if _, ok := res.Protected["relu"]; !ok {
+		t.Fatal("relu not protected")
+	}
+	if _, ok := res.Protected["pool"]; !ok {
+		t.Fatal("pool (direct ACT consumer) not protected")
+	}
+	if _, ok := res.Protected["flatten"]; ok {
+		t.Fatal("flatten consumes pool, not the ACT; must not be bounded")
+	}
+	clips := res.Graph.NamesByType(ops.TypeClip)
+	if len(clips) != 2 {
+		t.Fatalf("clip count = %d, want 2 (%v)", len(clips), clips)
+	}
+	if res.InsertionTime <= 0 {
+		t.Fatal("insertion time not measured")
+	}
+	// Original graph untouched.
+	if len(g.NamesByType(ops.TypeClip)) != 0 {
+		t.Fatal("Protect mutated the input graph")
+	}
+}
+
+func TestProtectACTOnly(t *testing.T) {
+	g := buildTinyNet(t)
+	bounds := Bounds{"relu": {Low: 0, High: 10}}
+	res, err := Protect(g, bounds, Options{ACTOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Protected) != 1 {
+		t.Fatalf("ACTOnly protected %v", res.Protected)
+	}
+}
+
+func TestProtectNoMatchingBounds(t *testing.T) {
+	g := buildTinyNet(t)
+	if _, err := Protect(g, Bounds{"nope": {}}, Options{}); err == nil {
+		t.Fatal("want error for unmatched bounds")
+	}
+}
+
+func TestProtectPreservesFaultFreeOutput(t *testing.T) {
+	g := buildTinyNet(t)
+	p := NewProfiler(g, ProfileOptions{})
+	for i := int64(0); i < 10; i++ {
+		if err := p.Observe(graph.Feeds{"input": tinyInput(i)}, "fc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Protect(g, p.Bounds(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e graph.Executor
+	for i := int64(0); i < 10; i++ {
+		feeds := graph.Feeds{"input": tinyInput(i)}
+		a, err := e.Run(g, feeds, "fc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run(res.Graph, feeds, "fc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a[0].Data() {
+			if a[0].Data()[j] != b[0].Data()[j] {
+				t.Fatalf("input %d: protected output differs without faults", i)
+			}
+		}
+	}
+}
+
+func TestProtectCorrectsInjectedFault(t *testing.T) {
+	// The §III-C example: a fault deviates the conv output to a huge
+	// value; the protected graph clamps the deviation at the bound.
+	g := buildTinyNet(t)
+	bounds := Bounds{"relu": {Low: 0, High: 5}}
+	res, err := Protect(g, bounds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject := func(target *graph.Graph) *tensor.Tensor {
+		e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+			if n.Name() == "conv" {
+				repl := out.Clone()
+				repl.Data()[0] = 1e9 // transient-fault-style huge deviation
+				return repl
+			}
+			return nil
+		}}
+		outs, err := e.Run(target, graph.Feeds{"input": tinyInput(1)}, "fc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs[0]
+	}
+	var e graph.Executor
+	clean, _ := e.Run(g, graph.Feeds{"input": tinyInput(1)}, "fc")
+	faultyOrig := inject(g)
+	faultyProt := inject(res.Graph)
+	devOrig, devProt := 0.0, 0.0
+	for j := range clean[0].Data() {
+		devOrig += absf(float64(faultyOrig.Data()[j] - clean[0].Data()[j]))
+		devProt += absf(float64(faultyProt.Data()[j] - clean[0].Data()[j]))
+	}
+	if devOrig < 1e6 {
+		t.Fatalf("unprotected deviation suspiciously small: %v", devOrig)
+	}
+	if devProt > 100 {
+		t.Fatalf("protected deviation not dampened: %v", devProt)
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestProtectConcatMergesBounds(t *testing.T) {
+	// Two ACT branches feeding a Concat (the SqueezeNet fire-module
+	// structure): the Concat's bound must be (min lows, max highs).
+	g := graph.New()
+	in := g.MustAdd("input", &graph.Placeholder{})
+	r1 := g.MustAdd("relu1", ops.Relu(), in)
+	r2 := g.MustAdd("relu2", ops.Relu(), in)
+	g.MustAdd("concat", ops.ConcatOp{}, r1, r2)
+	bounds := Bounds{
+		"relu1": {Low: 0, High: 3},
+		"relu2": {Low: -1, High: 7},
+	}
+	res, err := Protect(g, bounds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipName, ok := res.Protected["concat"]
+	if !ok {
+		t.Fatal("concat not protected")
+	}
+	node, _ := res.Graph.Node(clipName)
+	clip := node.Op().(*ops.ClipOp)
+	if clip.Low != -1 || clip.High != 7 {
+		t.Fatalf("concat bound = [%v, %v], want [-1, 7]", clip.Low, clip.High)
+	}
+}
+
+func TestProtectConcatSkipsNonACTInputs(t *testing.T) {
+	g := graph.New()
+	in := g.MustAdd("input", &graph.Placeholder{})
+	r1 := g.MustAdd("relu1", ops.Relu(), in)
+	other := g.MustAdd("scale", &ops.ScaleOp{Factor: 2}, in)
+	g.MustAdd("concat", ops.ConcatOp{}, r1, other)
+	res, err := Protect(g, Bounds{"relu1": {Low: 0, High: 3}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Protected["concat"]; ok {
+		t.Fatal("concat with unbounded input must not inherit a bound")
+	}
+}
+
+func TestProtectPolicyPropagates(t *testing.T) {
+	g := buildTinyNet(t)
+	res, err := Protect(g, Bounds{"relu": {Low: 0, High: 5}}, Options{Policy: ops.PolicyZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, clipName := range res.Protected {
+		n, _ := res.Graph.Node(clipName)
+		if n.Op().(*ops.ClipOp).Policy != ops.PolicyZero {
+			t.Fatalf("clip %s policy not propagated", clipName)
+		}
+	}
+}
+
+func TestProtectModelLeNet(t *testing.T) {
+	m, err := models.Build("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick synthetic profile: random inputs are fine for structure tests.
+	bounds, err := ProfileModel(m, ProfileOptions{}, 3, func(i int) (graph.Feeds, error) {
+		rng := rand.New(rand.NewSource(int64(i)))
+		return graph.Feeds{m.Input: tensor.New(1, 28, 28, 1).RandUniform(rng, 0, 1)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 4 { // 2 conv ACTs + 2 fc ACTs
+		t.Fatalf("lenet bounds = %d, want 4", len(bounds))
+	}
+	pm, res, err := ProtectModel(m, bounds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(pm.Name, "+ranger") {
+		t.Fatalf("name = %q", pm.Name)
+	}
+	// 4 ACTs + 2 MaxPools (direct consumers of conv ACTs) + flatten?
+	// flatten consumes pool2, not an ACT, so: 4 + 2 = 6.
+	if len(res.Protected) != 6 {
+		t.Fatalf("lenet protected = %d (%v), want 6", len(res.Protected), res.Protected)
+	}
+	// The protected model still runs.
+	var e graph.Executor
+	rng := rand.New(rand.NewSource(1))
+	outs, err := e.Run(pm.Graph, graph.Feeds{pm.Input: tensor.New(1, 28, 28, 1).RandUniform(rng, 0, 1)}, pm.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Dim(1) != 10 {
+		t.Fatalf("protected lenet logits %v", outs[0].Shape())
+	}
+}
+
+func TestInherentBoundUsedForTanh(t *testing.T) {
+	g := graph.New()
+	in := g.MustAdd("input", &graph.Placeholder{})
+	g.MustAdd("tanh1", ops.Tanh(), in)
+	p := NewProfiler(g, ProfileOptions{UseInherentBounds: true})
+	rng := rand.New(rand.NewSource(2))
+	if err := p.Observe(graph.Feeds{"input": tensor.New(1, 4).Randn(rng, 0.01)}, "tanh1"); err != nil {
+		t.Fatal(err)
+	}
+	b := p.Bounds()["tanh1"]
+	if b.Low != -1 || b.High != 1 {
+		t.Fatalf("tanh bound = %+v, want mathematical (-1, 1)", b)
+	}
+}

@@ -1,0 +1,196 @@
+// Package core implements Ranger, the paper's contribution: deriving
+// restriction bounds for a DNN's activation layers by profiling training
+// data (§III-C step 1), and transforming the graph to insert
+// range-restriction operators after the ACT layers and the downstream
+// operators that inherit their bounds (§III-C step 2, Algorithm 1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ranger/internal/graph"
+	"ranger/internal/ops"
+	"ranger/internal/tensor"
+)
+
+// Bound is the restriction range derived for one activation layer.
+type Bound struct {
+	Low, High float64
+}
+
+// Bounds maps activation node names to their restriction bounds.
+type Bounds map[string]Bound
+
+// ProfileOptions controls bound derivation.
+type ProfileOptions struct {
+	// ActTypes lists the op types treated as activation layers; nil uses
+	// ops.ActivationTypes().
+	ActTypes []string
+	// ReservoirSize bounds the per-layer value sample kept for percentile
+	// bounds (§VI-A). 0 keeps only running min/max (the paper's default,
+	// 100th-percentile configuration).
+	ReservoirSize int
+	// Seed drives reservoir sampling.
+	Seed int64
+	// UseInherentBounds applies the mathematical range of inherently
+	// bounded activations (Tanh, Sigmoid) instead of profiled values, as
+	// §III-C step 1 describes. Default true via NewProfiler.
+	UseInherentBounds bool
+}
+
+// Profiler observes activation-layer outputs over a stream of inputs and
+// derives restriction bounds. Feed it batches with Observe, then call
+// Bounds or PercentileBounds.
+type Profiler struct {
+	opts    ProfileOptions
+	g       *graph.Graph
+	actSet  map[string]bool
+	mins    map[string]float64
+	maxs    map[string]float64
+	samples map[string][]float64 // reservoir per ACT node
+	seen    map[string]int64
+	rng     *rand.Rand
+	// Trace records, per Observe call, the running per-layer max — the
+	// data behind the paper's Fig. 4 convergence plot. Enabled by
+	// EnableTrace.
+	trace      [][]float64
+	traceOrder []string
+	traceOn    bool
+}
+
+// NewProfiler prepares a profiler for the graph's activation layers.
+func NewProfiler(g *graph.Graph, opts ProfileOptions) *Profiler {
+	if opts.ActTypes == nil {
+		opts.ActTypes = ops.ActivationTypes()
+	}
+	p := &Profiler{
+		opts:    opts,
+		g:       g,
+		actSet:  make(map[string]bool),
+		mins:    make(map[string]float64),
+		maxs:    make(map[string]float64),
+		samples: make(map[string][]float64),
+		seen:    make(map[string]int64),
+		rng:     rand.New(rand.NewSource(opts.Seed + 1)),
+	}
+	for _, name := range g.NamesByType(opts.ActTypes...) {
+		p.actSet[name] = true
+		p.mins[name] = math.Inf(1)
+		p.maxs[name] = math.Inf(-1)
+		p.traceOrder = append(p.traceOrder, name)
+	}
+	return p
+}
+
+// ActNames returns the profiled activation node names in topological order.
+func (p *Profiler) ActNames() []string {
+	return append([]string{}, p.traceOrder...)
+}
+
+// EnableTrace records a per-layer running-max snapshot after every
+// Observe call (for the Fig. 4 reproduction).
+func (p *Profiler) EnableTrace() { p.traceOn = true }
+
+// Trace returns the recorded snapshots: trace[i][j] is the running max of
+// layer j (in ActNames order) after the i'th Observe call.
+func (p *Profiler) Trace() [][]float64 { return p.trace }
+
+// Observe runs the graph on feeds and accumulates activation statistics.
+// output names the node whose evaluation forces the full forward pass
+// (typically the model output).
+func (p *Profiler) Observe(feeds graph.Feeds, output string) error {
+	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+		if !p.actSet[n.Name()] {
+			return nil
+		}
+		p.record(n.Name(), out)
+		return nil
+	}}
+	if _, err := e.Run(p.g, feeds, output); err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	if p.traceOn {
+		snap := make([]float64, len(p.traceOrder))
+		for i, name := range p.traceOrder {
+			snap[i] = p.maxs[name]
+		}
+		p.trace = append(p.trace, snap)
+	}
+	return nil
+}
+
+func (p *Profiler) record(name string, out *tensor.Tensor) {
+	lo, hi := p.mins[name], p.maxs[name]
+	for _, v := range out.Data() {
+		f := float64(v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+		if p.opts.ReservoirSize > 0 {
+			p.seen[name]++
+			res := p.samples[name]
+			if len(res) < p.opts.ReservoirSize {
+				p.samples[name] = append(res, f)
+			} else if j := p.rng.Int63n(p.seen[name]); j < int64(p.opts.ReservoirSize) {
+				res[j] = f
+			}
+		}
+	}
+	p.mins[name], p.maxs[name] = lo, hi
+}
+
+// Bounds returns the conservative (observed min/max, i.e. 100th
+// percentile) restriction bounds, the paper's default configuration.
+// Inherently bounded activations use their mathematical range.
+func (p *Profiler) Bounds() Bounds {
+	return p.PercentileBounds(100)
+}
+
+// PercentileBounds returns bounds that cover the given percentile of
+// observed values (§VI-A's accuracy/resilience trade-off: 99.9, 99, 98).
+// Percentile 100 uses exact running min/max; anything lower requires a
+// reservoir (ReservoirSize > 0).
+func (p *Profiler) PercentileBounds(pct float64) Bounds {
+	b := make(Bounds, len(p.actSet))
+	for name := range p.actSet {
+		node, _ := p.g.Node(name)
+		if p.opts.UseInherentBounds {
+			if lo, hi, ok := ops.InherentBound(node.OpType()); ok {
+				b[name] = Bound{Low: lo, High: hi}
+				continue
+			}
+		}
+		if pct >= 100 || p.opts.ReservoirSize == 0 {
+			b[name] = Bound{Low: p.mins[name], High: p.maxs[name]}
+			continue
+		}
+		res := append([]float64{}, p.samples[name]...)
+		sort.Float64s(res)
+		if len(res) == 0 {
+			b[name] = Bound{Low: p.mins[name], High: p.maxs[name]}
+			continue
+		}
+		// Two-sided trim: keep the central pct% of the distribution's
+		// tail mass on the high side, and symmetrically on the low side.
+		q := pct / 100
+		hiIdx := int(math.Ceil(q*float64(len(res)))) - 1
+		loIdx := len(res) - 1 - hiIdx
+		if hiIdx < 0 {
+			hiIdx = 0
+		}
+		if loIdx < 0 {
+			loIdx = 0
+		}
+		if loIdx > hiIdx {
+			loIdx = hiIdx
+		}
+		b[name] = Bound{Low: res[loIdx], High: res[hiIdx]}
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ranger/internal/graph"
+	"ranger/internal/models"
+	"ranger/internal/ops"
+)
+
+// DownstreamTypes are the operator types that inherit an activation's
+// restriction bound in Algorithm 1 (lines 5-8): the operators between ACT
+// layers through which a fault would otherwise amplify (the MaxPool
+// example of §III-C).
+var DownstreamTypes = []string{ops.TypeMaxPool, ops.TypeAvgPool, ops.TypeReshape, ops.TypeConcat}
+
+// Options configures the Ranger transform.
+type Options struct {
+	// Policy selects the out-of-bound handling (§VI-C design
+	// alternatives); zero value means ops.PolicyClip.
+	Policy ops.Policy
+	// ACTOnly restricts protection to activation layers, skipping
+	// Algorithm 1's downstream extension — the ablation that motivates
+	// the paper's MaxPool fault-amplification example.
+	ACTOnly bool
+}
+
+// Result reports what a Protect call did.
+type Result struct {
+	// Graph is the protected duplicate of the input graph.
+	Graph *graph.Graph
+	// Protected maps each bounded node to the name of its Clip.
+	Protected map[string]string
+	// InsertionTime is the wall-clock duration of the transform
+	// (Table III's instrumentation overhead).
+	InsertionTime time.Duration
+}
+
+// Protect implements Algorithm 1: it duplicates the graph and inserts a
+// range-restriction operator after every activation node that has a bound
+// and after the direct downstream {MaxPool, AvgPool, Reshape, Concat}
+// consumers of those activations. Consumers are rewired through the Clip
+// via input remapping, mirroring the import_graph_def/input_map mechanism
+// of the paper's TensorFlow implementation (§IV). The input graph is not
+// modified.
+func Protect(g *graph.Graph, bounds Bounds, opts Options) (*Result, error) {
+	start := time.Now()
+	policy := opts.Policy
+	if policy == 0 {
+		policy = ops.PolicyClip
+	}
+	downstream := make(map[string]bool, len(DownstreamTypes))
+	for _, t := range DownstreamTypes {
+		downstream[t] = true
+	}
+
+	// Pass 1 (Algorithm 1 lines 2-8): decide the bound for every node to
+	// protect, walking ops in topological order.
+	toBound := make(map[string]Bound)
+	actBound := make(map[string]Bound) // ACT nodes only, for Concat lookups
+	for _, n := range g.Nodes() {
+		if b, ok := bounds[n.Name()]; ok {
+			toBound[n.Name()] = b
+			actBound[n.Name()] = b
+		}
+	}
+	if len(toBound) == 0 {
+		return nil, fmt.Errorf("core: no graph node matches any bound (have %d bounds)", len(bounds))
+	}
+	if !opts.ACTOnly {
+		for _, n := range g.Nodes() {
+			if !downstream[n.OpType()] {
+				continue
+			}
+			switch n.OpType() {
+			case ops.TypeConcat:
+				// Bound = (min lows, max highs) of the preceding ACT
+				// operations (Algorithm 1 line 8). All inputs must be
+				// bounded ACTs for the rule to apply.
+				var merged Bound
+				ok := true
+				for i, in := range n.Inputs() {
+					b, has := actBound[in.Name()]
+					if !has {
+						ok = false
+						break
+					}
+					if i == 0 {
+						merged = b
+						continue
+					}
+					if b.Low < merged.Low {
+						merged.Low = b.Low
+					}
+					if b.High > merged.High {
+						merged.High = b.High
+					}
+				}
+				if ok && len(n.Inputs()) > 0 {
+					toBound[n.Name()] = merged
+				}
+			default: // MaxPool, AvgPool, Reshape: inherit the ACT input's bound
+				for _, in := range n.Inputs() {
+					if b, has := actBound[in.Name()]; has {
+						toBound[n.Name()] = b
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: duplicate with remaps that append a Clip after each bounded
+	// node and reroute its consumers through it.
+	remap := make(map[string]func(*graph.Graph, *graph.Node) (*graph.Node, error), len(toBound))
+	protected := make(map[string]string, len(toBound))
+	for name, b := range toBound {
+		name, b := name, b
+		clipName := name + "_ranger"
+		protected[name] = clipName
+		remap[name] = func(ng *graph.Graph, clone *graph.Node) (*graph.Node, error) {
+			op := &ops.ClipOp{Low: float32(b.Low), High: float32(b.High), Policy: policy}
+			return ng.Add(clipName, op, clone)
+		}
+	}
+	ng, err := g.Duplicate(remap, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: duplicate: %w", err)
+	}
+	return &Result{Graph: ng, Protected: protected, InsertionTime: time.Since(start)}, nil
+}
+
+// ProtectModel applies Protect to a model's graph and returns a new model
+// sharing the original's metadata (node names are preserved by the
+// transform, so input/output/loss references remain valid). The returned
+// model shares variable tensors with the original; it is a protected view
+// for inference, not an independently trainable copy.
+func ProtectModel(m *models.Model, bounds Bounds, opts Options) (*models.Model, *Result, error) {
+	res, err := Protect(m.Graph, bounds, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: protect %s: %w", m.Name, err)
+	}
+	pm := *m
+	pm.Name = m.Name + "+ranger"
+	pm.Graph = res.Graph
+	return &pm, res, nil
+}
+
+// ProfileModel derives restriction bounds for a trained model by running
+// nSamples of its training split through a Profiler (the paper profiles a
+// randomly sampled ~20% of the training set; bounds converge long before
+// that, Fig. 4). feedsFn must return the feeds for sample batch i.
+func ProfileModel(m *models.Model, opts ProfileOptions, nBatches int, feedsFn func(i int) (graph.Feeds, error)) (Bounds, error) {
+	opts.UseInherentBounds = true
+	p := NewProfiler(m.Graph, opts)
+	for i := 0; i < nBatches; i++ {
+		feeds, err := feedsFn(i)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Observe(feeds, m.Output); err != nil {
+			return nil, err
+		}
+	}
+	return p.Bounds(), nil
+}

@@ -1,0 +1,292 @@
+package data
+
+import (
+	"math"
+)
+
+// Digits is the MNIST stand-in: 28x28 grayscale seven-segment-style digit
+// glyphs with random position jitter, stroke thickness, and pixel noise.
+type Digits struct {
+	Seed             int64
+	TrainLen, ValLen int
+}
+
+// NewDigits returns the default digits dataset.
+func NewDigits() *Digits { return &Digits{Seed: 1001, TrainLen: 4000, ValLen: 800} }
+
+// Name implements Dataset.
+func (d *Digits) Name() string { return "digits" }
+
+// InputShape implements Dataset.
+func (d *Digits) InputShape() []int { return []int{28, 28, 1} }
+
+// NumClasses implements Dataset.
+func (d *Digits) NumClasses() int { return 10 }
+
+// Len implements Dataset.
+func (d *Digits) Len(split Split) int {
+	if split == Train {
+		return d.TrainLen
+	}
+	return d.ValLen
+}
+
+// segMask gives, per digit, the lit segments (top, top-left, top-right,
+// middle, bottom-left, bottom-right, bottom) of a seven-segment display.
+var segMask = [10][7]bool{
+	{true, true, true, false, true, true, true},     // 0
+	{false, false, true, false, false, true, false}, // 1
+	{true, false, true, true, true, false, true},    // 2
+	{true, false, true, true, false, true, true},    // 3
+	{false, true, true, true, false, true, false},   // 4
+	{true, true, false, true, false, true, true},    // 5
+	{true, true, false, true, true, true, true},     // 6
+	{true, false, true, false, false, true, false},  // 7
+	{true, true, true, true, true, true, true},      // 8
+	{true, true, true, true, false, true, true},     // 9
+}
+
+// Sample implements Dataset.
+func (d *Digits) Sample(split Split, i int) Sample {
+	rng := sampleRNG(d.Seed, split, i)
+	label := i % 10
+	cv := newCanvas(28, 28, 1)
+	ink := []float32{float32(0.75 + rng.Float64()*0.25)}
+	oy := 4 + rng.Intn(5) // glyph occupies ~18 rows, jittered
+	ox := 8 + rng.Intn(7)
+	th := 1 + rng.Intn(2)
+	hgt, wid := 16, 10
+	mid := oy + hgt/2
+	segs := segMask[label]
+	if segs[0] {
+		cv.line(oy, ox, oy, ox+wid, th, ink)
+	}
+	if segs[1] {
+		cv.line(oy, ox, mid, ox, th, ink)
+	}
+	if segs[2] {
+		cv.line(oy, ox+wid, mid, ox+wid, th, ink)
+	}
+	if segs[3] {
+		cv.line(mid, ox, mid, ox+wid, th, ink)
+	}
+	if segs[4] {
+		cv.line(mid, ox, oy+hgt, ox, th, ink)
+	}
+	if segs[5] {
+		cv.line(mid, ox+wid, oy+hgt, ox+wid, th, ink)
+	}
+	if segs[6] {
+		cv.line(oy+hgt, ox, oy+hgt, ox+wid, th, ink)
+	}
+	cv.addNoise(rng, 0.08)
+	return Sample{X: cv.tensor(), Label: label}
+}
+
+// Objects10 is the CIFAR-10 stand-in: 32x32 RGB images where each class
+// pairs a distinctive shape with a base hue and texture frequency.
+type Objects10 struct {
+	Seed             int64
+	TrainLen, ValLen int
+}
+
+// NewObjects10 returns the default objects dataset.
+func NewObjects10() *Objects10 { return &Objects10{Seed: 2002, TrainLen: 4000, ValLen: 800} }
+
+// Name implements Dataset.
+func (d *Objects10) Name() string { return "objects10" }
+
+// InputShape implements Dataset.
+func (d *Objects10) InputShape() []int { return []int{32, 32, 3} }
+
+// NumClasses implements Dataset.
+func (d *Objects10) NumClasses() int { return 10 }
+
+// Len implements Dataset.
+func (d *Objects10) Len(split Split) int {
+	if split == Train {
+		return d.TrainLen
+	}
+	return d.ValLen
+}
+
+// Sample implements Dataset.
+func (d *Objects10) Sample(split Split, i int) Sample {
+	rng := sampleRNG(d.Seed, split, i)
+	label := i % 10
+	cv := newCanvas(32, 32, 3)
+	// Class hue from a fixed palette, shape from label%5, texture from label/5.
+	hue := float64(label) / 10 * 2 * math.Pi
+	col := []float32{
+		float32(0.5 + 0.45*math.Cos(hue)),
+		float32(0.5 + 0.45*math.Cos(hue+2.1)),
+		float32(0.5 + 0.45*math.Cos(hue+4.2)),
+	}
+	bg := []float32{float32(0.15 + rng.Float64()*0.1), float32(0.15 + rng.Float64()*0.1), float32(0.2 + rng.Float64()*0.1)}
+	cv.fill(bg)
+	cy, cx := 12+rng.Intn(8), 12+rng.Intn(8)
+	size := 7 + rng.Intn(4)
+	switch label % 5 {
+	case 0:
+		cv.disk(cy, cx, size, col)
+	case 1:
+		cv.rect(cy-size, cx-size, cy+size, cx+size, col)
+	case 2:
+		cv.triangle(cy, cx, size, col)
+	case 3:
+		cv.line(cy-size, cx-size, cy+size, cx+size, 3, col)
+		cv.line(cy-size, cx+size, cy+size, cx-size, 3, col)
+	default:
+		cv.disk(cy, cx, size, col)
+		cv.disk(cy, cx, size/2, bg)
+	}
+	// Texture band whose frequency is class-dependent.
+	freq := 0.4 + 0.25*float64(label/5)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			base := (y*32 + x) * 3
+			cv.px[base] += float32(0.08 * math.Sin(freq*float64(x)))
+			cv.px[base+1] += float32(0.08 * math.Sin(freq*float64(y)))
+		}
+	}
+	cv.addNoise(rng, 0.06)
+	return Sample{X: cv.tensor(), Label: label}
+}
+
+// Signs is the GTSRB stand-in: 32x32 RGB traffic-sign-like images; each
+// class is a (shape, rim color, glyph) combination.
+type Signs struct {
+	Seed             int64
+	TrainLen, ValLen int
+}
+
+// NewSigns returns the default signs dataset.
+func NewSigns() *Signs { return &Signs{Seed: 3003, TrainLen: 3200, ValLen: 640} }
+
+// Name implements Dataset.
+func (d *Signs) Name() string { return "signs" }
+
+// InputShape implements Dataset.
+func (d *Signs) InputShape() []int { return []int{32, 32, 3} }
+
+// NumClasses implements Dataset.
+func (d *Signs) NumClasses() int { return 8 }
+
+// Len implements Dataset.
+func (d *Signs) Len(split Split) int {
+	if split == Train {
+		return d.TrainLen
+	}
+	return d.ValLen
+}
+
+// Sample implements Dataset.
+func (d *Signs) Sample(split Split, i int) Sample {
+	rng := sampleRNG(d.Seed, split, i)
+	label := i % 8
+	cv := newCanvas(32, 32, 3)
+	// Road-scene-ish background.
+	cv.fill([]float32{0.35, 0.45, 0.55})
+	cv.rect(20, 0, 31, 31, []float32{0.3, 0.3, 0.3})
+	red := []float32{0.85, 0.1, 0.1}
+	blue := []float32{0.1, 0.2, 0.85}
+	white := []float32{0.92, 0.92, 0.92}
+	dark := []float32{0.1, 0.1, 0.1}
+	rim := red
+	if label >= 4 {
+		rim = blue
+	}
+	cy, cx := 13+rng.Intn(5), 13+rng.Intn(5)
+	switch label % 4 {
+	case 0: // circle sign
+		cv.disk(cy, cx, 10, rim)
+		cv.disk(cy, cx, 7, white)
+	case 1: // triangle sign
+		cv.triangle(cy, cx, 10, rim)
+		cv.triangle(cy+2, cx, 6, white)
+	case 2: // octagon-ish (disk + square)
+		cv.disk(cy, cx, 10, rim)
+		cv.rect(cy-7, cx-7, cy+7, cx+7, rim)
+		cv.disk(cy, cx, 6, white)
+	default: // square sign
+		cv.rect(cy-9, cx-9, cy+9, cx+9, rim)
+		cv.rect(cy-6, cx-6, cy+6, cx+6, white)
+	}
+	// Class glyph: vertical or horizontal bar.
+	if label%2 == 0 {
+		cv.rect(cy-4, cx-1, cy+4, cx+1, dark)
+	} else {
+		cv.rect(cy-1, cx-4, cy+1, cx+4, dark)
+	}
+	cv.addNoise(rng, 0.05)
+	return Sample{X: cv.tensor(), Label: label}
+}
+
+// ImNet is the ImageNet stand-in: 64x64 RGB parametric textures with 20
+// classes; each class has characteristic sinusoid orientations/frequencies
+// plus a class-positioned blob, giving deep models hierarchical structure
+// to learn.
+type ImNet struct {
+	Seed             int64
+	TrainLen, ValLen int
+}
+
+// NewImNet returns the default imagenet-like dataset.
+func NewImNet() *ImNet { return &ImNet{Seed: 4004, TrainLen: 4000, ValLen: 800} }
+
+// Name implements Dataset.
+func (d *ImNet) Name() string { return "imnet" }
+
+// InputShape implements Dataset.
+func (d *ImNet) InputShape() []int { return []int{64, 64, 3} }
+
+// NumClasses implements Dataset.
+func (d *ImNet) NumClasses() int { return 20 }
+
+// Len implements Dataset.
+func (d *ImNet) Len(split Split) int {
+	if split == Train {
+		return d.TrainLen
+	}
+	return d.ValLen
+}
+
+// Sample implements Dataset. The class signal is deliberately strong and
+// redundant (global color cast + oriented texture + positioned blob) so
+// that the deep scaled-down models reach the paper-like 60-85% top-1
+// range with seconds of training.
+func (d *ImNet) Sample(split Split, i int) Sample {
+	rng := sampleRNG(d.Seed, split, i)
+	label := i % 20
+	cv := newCanvas(64, 64, 3)
+	// Global class color cast: 20 well-separated points on the hue circle.
+	hue := float64(label) / 20 * 2 * math.Pi
+	castR := 0.45 + 0.3*math.Cos(hue)
+	castG := 0.45 + 0.3*math.Cos(hue+2.094)
+	castB := 0.45 + 0.3*math.Cos(hue+4.189)
+	theta := float64(label%10) * math.Pi / 10
+	freq := 0.35 + 0.15*float64(label/10)
+	phase := rng.Float64() * 2 * math.Pi
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			u := float64(x)*math.Cos(theta) + float64(y)*math.Sin(theta)
+			wave := 0.22 * math.Sin(freq*u+phase)
+			base := (y*64 + x) * 3
+			cv.px[base] = float32(castR + wave)
+			cv.px[base+1] = float32(castG + wave*0.7)
+			cv.px[base+2] = float32(castB - wave*0.5)
+		}
+	}
+	// Class blob: position and color keyed to label, large enough to
+	// survive five rounds of pooling.
+	by := 16 + (label*7)%32
+	bx := 16 + (label*13)%32
+	col := []float32{
+		float32(0.5 + 0.5*math.Sin(float64(label))),
+		float32(0.5 + 0.5*math.Sin(float64(label)+2)),
+		float32(0.5 + 0.5*math.Sin(float64(label)+4)),
+	}
+	cv.disk(by+rng.Intn(5)-2, bx+rng.Intn(5)-2, 9+label%3, col)
+	cv.addNoise(rng, 0.05)
+	return Sample{X: cv.tensor(), Label: label}
+}

@@ -1,0 +1,193 @@
+// Package data provides deterministic, procedurally generated datasets
+// that stand in for the five datasets of the Ranger paper (MNIST,
+// CIFAR-10, GTSRB, ImageNet, and the SullyChen real-world driving set).
+// The real datasets cannot be shipped; what the paper's experiments need
+// from them is (a) a distribution a model can learn well, (b) realistic
+// activation-value ranges for bound profiling, and (c) disjoint
+// training/validation splits — all of which these generators provide.
+// Every sample is a pure function of (dataset seed, split, index), so all
+// experiments are reproducible.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ranger/internal/tensor"
+)
+
+// Split selects the training or validation partition. The paper derives
+// Ranger's restriction bounds from (a sample of) the training split and
+// evaluates accuracy on the validation split (§V-B RQ2).
+type Split int
+
+// Dataset splits.
+const (
+	Train Split = iota + 1
+	Val
+)
+
+func (s Split) String() string {
+	switch s {
+	case Train:
+		return "train"
+	case Val:
+		return "val"
+	default:
+		return fmt.Sprintf("Split(%d)", int(s))
+	}
+}
+
+// Sample is a single input with its supervision signal: Label for
+// classification tasks, Target for regression (steering angle).
+type Sample struct {
+	X      *tensor.Tensor // shape (1, H, W, C)
+	Label  int
+	Target float32
+}
+
+// Dataset generates samples deterministically by index.
+type Dataset interface {
+	// Name identifies the dataset in reports.
+	Name() string
+	// InputShape returns (H, W, C).
+	InputShape() []int
+	// NumClasses returns the label arity, or 0 for regression datasets.
+	NumClasses() int
+	// Len returns the number of samples in a split.
+	Len(split Split) int
+	// Sample generates the i'th sample of a split.
+	Sample(split Split, i int) Sample
+}
+
+// sampleRNG derives the per-sample random stream. Indices in different
+// splits never collide because the split is mixed into the seed.
+func sampleRNG(seed int64, split Split, i int) *rand.Rand {
+	h := uint64(seed)*0x9E3779B97F4A7C15 + uint64(split)*0xBF58476D1CE4E5B9 + uint64(i)*0x94D049BB133111EB
+	h ^= h >> 31
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 27
+	return rand.New(rand.NewSource(int64(h & 0x7FFFFFFFFFFFFFFF)))
+}
+
+// Batch assembles samples ds[indices] into a single (N,H,W,C) tensor plus
+// per-sample labels and targets.
+func Batch(ds Dataset, split Split, indices []int) (*tensor.Tensor, []int, []float32) {
+	shape := ds.InputShape()
+	n := len(indices)
+	out := tensor.New(n, shape[0], shape[1], shape[2])
+	labels := make([]int, n)
+	targets := make([]float32, n)
+	stride := shape[0] * shape[1] * shape[2]
+	for bi, idx := range indices {
+		s := ds.Sample(split, idx)
+		copy(out.Data()[bi*stride:(bi+1)*stride], s.X.Data())
+		labels[bi] = s.Label
+		targets[bi] = s.Target
+	}
+	return out, labels, targets
+}
+
+// OneHot encodes labels as an (N, classes) tensor.
+func OneHot(labels []int, classes int) *tensor.Tensor {
+	out := tensor.New(len(labels), classes)
+	for i, l := range labels {
+		if l >= 0 && l < classes {
+			out.Set(1, i, l)
+		}
+	}
+	return out
+}
+
+// TargetTensor packs regression targets as an (N, 1) tensor.
+func TargetTensor(targets []float32) *tensor.Tensor {
+	out := tensor.New(len(targets), 1)
+	copy(out.Data(), targets)
+	return out
+}
+
+// canvas is a small HWC float32 image painter shared by the generators.
+type canvas struct {
+	h, w, c int
+	px      []float32
+}
+
+func newCanvas(h, w, c int) *canvas {
+	return &canvas{h: h, w: w, c: c, px: make([]float32, h*w*c)}
+}
+
+func (cv *canvas) set(y, x int, col []float32) {
+	if y < 0 || y >= cv.h || x < 0 || x >= cv.w {
+		return
+	}
+	base := (y*cv.w + x) * cv.c
+	for i := 0; i < cv.c; i++ {
+		cv.px[base+i] = col[i%len(col)]
+	}
+}
+
+func (cv *canvas) fill(col []float32) {
+	for y := 0; y < cv.h; y++ {
+		for x := 0; x < cv.w; x++ {
+			cv.set(y, x, col)
+		}
+	}
+}
+
+func (cv *canvas) rect(y0, x0, y1, x1 int, col []float32) {
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			cv.set(y, x, col)
+		}
+	}
+}
+
+func (cv *canvas) disk(cy, cx, r int, col []float32) {
+	for y := cy - r; y <= cy+r; y++ {
+		for x := cx - r; x <= cx+r; x++ {
+			dy, dx := y-cy, x-cx
+			if dy*dy+dx*dx <= r*r {
+				cv.set(y, x, col)
+			}
+		}
+	}
+}
+
+func (cv *canvas) triangle(cy, cx, r int, col []float32) {
+	for y := 0; y <= 2*r; y++ {
+		half := int(float64(y) * 0.6)
+		for x := cx - half; x <= cx+half; x++ {
+			cv.set(cy-r+y, x, col)
+		}
+	}
+}
+
+// line draws a thick Bresenham-ish line.
+func (cv *canvas) line(y0, x0, y1, x1, thick int, col []float32) {
+	steps := int(math.Max(math.Abs(float64(y1-y0)), math.Abs(float64(x1-x0)))) + 1
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		y := int(math.Round(float64(y0) + t*float64(y1-y0)))
+		x := int(math.Round(float64(x0) + t*float64(x1-x0)))
+		for dy := -thick / 2; dy <= thick/2; dy++ {
+			for dx := -thick / 2; dx <= thick/2; dx++ {
+				cv.set(y+dy, x+dx, col)
+			}
+		}
+	}
+}
+
+// addNoise perturbs every channel value with N(0, std).
+func (cv *canvas) addNoise(rng *rand.Rand, std float64) {
+	for i := range cv.px {
+		cv.px[i] += float32(rng.NormFloat64() * std)
+	}
+}
+
+// tensor converts the canvas into a (1,H,W,C) tensor.
+func (cv *canvas) tensor() *tensor.Tensor {
+	t := tensor.New(1, cv.h, cv.w, cv.c)
+	copy(t.Data(), cv.px)
+	return t
+}

@@ -1,0 +1,199 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func allDatasets() []Dataset {
+	return []Dataset{NewDigits(), NewObjects10(), NewSigns(), NewImNet(), NewDriving(), NewDrivingRadians()}
+}
+
+func TestShapesAndLens(t *testing.T) {
+	for _, ds := range allDatasets() {
+		shape := ds.InputShape()
+		if len(shape) != 3 {
+			t.Fatalf("%s: shape %v", ds.Name(), shape)
+		}
+		if ds.Len(Train) <= 0 || ds.Len(Val) <= 0 {
+			t.Fatalf("%s: empty split", ds.Name())
+		}
+		s := ds.Sample(Train, 0)
+		want := []int{1, shape[0], shape[1], shape[2]}
+		got := s.X.Shape()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: sample shape %v, want %v", ds.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, ds := range allDatasets() {
+		a := ds.Sample(Train, 7)
+		b := ds.Sample(Train, 7)
+		if a.Label != b.Label || a.Target != b.Target {
+			t.Fatalf("%s: labels differ", ds.Name())
+		}
+		for i := range a.X.Data() {
+			if a.X.Data()[i] != b.X.Data()[i] {
+				t.Fatalf("%s: pixels differ at %d", ds.Name(), i)
+			}
+		}
+	}
+}
+
+func TestSplitsDiffer(t *testing.T) {
+	for _, ds := range allDatasets() {
+		a := ds.Sample(Train, 3)
+		b := ds.Sample(Val, 3)
+		same := true
+		for i := range a.X.Data() {
+			if a.X.Data()[i] != b.X.Data()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: train and val sample 3 identical", ds.Name())
+		}
+	}
+}
+
+func TestLabelsCoverAllClasses(t *testing.T) {
+	for _, ds := range allDatasets() {
+		if ds.NumClasses() == 0 {
+			continue
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < ds.NumClasses()*2; i++ {
+			s := ds.Sample(Train, i)
+			if s.Label < 0 || s.Label >= ds.NumClasses() {
+				t.Fatalf("%s: label %d out of range", ds.Name(), s.Label)
+			}
+			seen[s.Label] = true
+		}
+		if len(seen) != ds.NumClasses() {
+			t.Fatalf("%s: saw %d/%d classes", ds.Name(), len(seen), ds.NumClasses())
+		}
+	}
+}
+
+func TestPixelValuesBounded(t *testing.T) {
+	for _, ds := range allDatasets() {
+		for i := 0; i < 5; i++ {
+			s := ds.Sample(Train, i)
+			for _, v := range s.X.Data() {
+				if math.IsNaN(float64(v)) || v < -2 || v > 3 {
+					t.Fatalf("%s: wild pixel %v", ds.Name(), v)
+				}
+			}
+		}
+	}
+}
+
+func TestDrivingTargetsInRange(t *testing.T) {
+	deg := NewDriving()
+	rad := NewDrivingRadians()
+	var maxAbs float64
+	for i := 0; i < 200; i++ {
+		d := deg.Sample(Train, i).Target
+		if math.Abs(float64(d)) > MaxAngleDeg {
+			t.Fatalf("deg target %v out of range", d)
+		}
+		if a := math.Abs(float64(d)); a > maxAbs {
+			maxAbs = a
+		}
+		r := rad.Sample(Train, i).Target
+		if math.Abs(float64(r)) > math.Pi {
+			t.Fatalf("rad target %v out of range", r)
+		}
+	}
+	if maxAbs < 30 {
+		t.Fatalf("driving targets suspiciously small; max |angle| = %v", maxAbs)
+	}
+}
+
+func TestBatchAssembly(t *testing.T) {
+	ds := NewDigits()
+	x, labels, _ := Batch(ds, Train, []int{0, 1, 2})
+	if x.Dim(0) != 3 || x.Dim(1) != 28 {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	if labels[1] != ds.Sample(Train, 1).Label {
+		t.Fatal("labels misaligned")
+	}
+	// Batch row 2 must equal sample 2's pixels.
+	s2 := ds.Sample(Train, 2)
+	stride := 28 * 28
+	for i := 0; i < stride; i++ {
+		if x.Data()[2*stride+i] != s2.X.Data()[i] {
+			t.Fatal("batch pixels misaligned")
+		}
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	oh := OneHot([]int{2, 0}, 3)
+	want := []float32{0, 0, 1, 1, 0, 0}
+	for i, w := range want {
+		if oh.Data()[i] != w {
+			t.Fatalf("onehot = %v", oh.Data())
+		}
+	}
+}
+
+func TestTargetTensor(t *testing.T) {
+	tt := TargetTensor([]float32{1.5, -2})
+	if tt.Dim(0) != 2 || tt.Dim(1) != 1 || tt.At(1, 0) != -2 {
+		t.Fatalf("targets = %v %v", tt.Shape(), tt.Data())
+	}
+}
+
+func TestSplitString(t *testing.T) {
+	if Train.String() != "train" || Val.String() != "val" {
+		t.Fatal("split strings")
+	}
+}
+
+// Classes must be visually distinguishable: mean per-class images should
+// differ pairwise by a margin, otherwise the models cannot learn and every
+// downstream experiment degenerates.
+func TestClassSeparation(t *testing.T) {
+	for _, ds := range []Dataset{NewDigits(), NewObjects10(), NewSigns(), NewImNet()} {
+		classes := ds.NumClasses()
+		shape := ds.InputShape()
+		size := shape[0] * shape[1] * shape[2]
+		means := make([][]float64, classes)
+		const perClass = 8
+		for c := 0; c < classes; c++ {
+			means[c] = make([]float64, size)
+		}
+		counts := make([]int, classes)
+		for i := 0; i < classes*perClass; i++ {
+			s := ds.Sample(Train, i)
+			for j, v := range s.X.Data() {
+				means[s.Label][j] += float64(v)
+			}
+			counts[s.Label]++
+		}
+		for c := range means {
+			for j := range means[c] {
+				means[c][j] /= float64(counts[c])
+			}
+		}
+		for a := 0; a < classes; a++ {
+			for b := a + 1; b < classes; b++ {
+				var d2 float64
+				for j := range means[a] {
+					d := means[a][j] - means[b][j]
+					d2 += d * d
+				}
+				if rms := math.Sqrt(d2 / float64(size)); rms < 0.01 {
+					t.Fatalf("%s: classes %d and %d nearly identical (rms %v)", ds.Name(), a, b, rms)
+				}
+			}
+		}
+	}
+}

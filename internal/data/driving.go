@@ -1,0 +1,111 @@
+package data
+
+import (
+	"math"
+)
+
+// Driving is the stand-in for the real-world driving dataset used by the
+// Nvidia Dave and Comma.ai steering models. Each sample renders a 66x200
+// RGB road scene with a given curvature; the supervision target is the
+// steering angle that follows the curve. Angles span a wide range
+// (roughly ±160°), matching the paper's Fig. 1 example where a fault
+// corrupts a 156.58° prediction, and the SDC thresholds of 15/30/60/120°.
+type Driving struct {
+	Seed             int64
+	TrainLen, ValLen int
+	// Radians selects the supervision unit: the original Dave model is
+	// trained on radians (its 2·atan head emits (−π, π)); the Comma model
+	// and the paper's retrained "Dave in degrees" variant use degrees.
+	Radians bool
+}
+
+// NewDriving returns the default degree-labelled driving dataset.
+func NewDriving() *Driving { return &Driving{Seed: 5005, TrainLen: 3000, ValLen: 600} }
+
+// NewDrivingRadians returns the radian-labelled variant for the original
+// Dave model.
+func NewDrivingRadians() *Driving {
+	d := NewDriving()
+	d.Seed = 5006
+	d.Radians = true
+	return d
+}
+
+// Name implements Dataset.
+func (d *Driving) Name() string {
+	if d.Radians {
+		return "driving-rad"
+	}
+	return "driving-deg"
+}
+
+// InputShape implements Dataset.
+func (d *Driving) InputShape() []int { return []int{66, 200, 3} }
+
+// NumClasses implements Dataset; driving is a regression task.
+func (d *Driving) NumClasses() int { return 0 }
+
+// Len implements Dataset.
+func (d *Driving) Len(split Split) int {
+	if split == Train {
+		return d.TrainLen
+	}
+	return d.ValLen
+}
+
+// MaxAngleDeg is the magnitude of the largest steering angle generated.
+const MaxAngleDeg = 160.0
+
+// Sample implements Dataset. The scene is a road whose centerline bends
+// with curvature proportional to the steering target; lane markings and a
+// horizon give the convnet localizable features.
+func (d *Driving) Sample(split Split, i int) Sample {
+	rng := sampleRNG(d.Seed, split, i)
+	// Steering angle in degrees, biased toward small angles like real
+	// driving but covering the full range.
+	u := rng.Float64()*2 - 1 // (-1, 1)
+	angleDeg := u * u * u * MaxAngleDeg
+	if rng.Float64() < 0.15 { // occasional sharp turns
+		angleDeg = (rng.Float64()*2 - 1) * MaxAngleDeg
+	}
+
+	const h, w = 66, 200
+	cv := newCanvas(h, w, 3)
+	// Sky and ground.
+	horizon := 20 + rng.Intn(6)
+	cv.rect(0, 0, horizon-1, w-1, []float32{0.5, 0.7, 0.9})
+	cv.rect(horizon, 0, h-1, w-1, []float32{0.25, 0.5, 0.2})
+
+	// Road: for each scanline below the horizon, the road center shifts
+	// with the curvature; width grows toward the viewer (perspective).
+	curv := angleDeg / MaxAngleDeg // (-1, 1)
+	roadCol := []float32{0.35, 0.35, 0.38}
+	laneCol := []float32{0.95, 0.95, 0.85}
+	edgeCol := []float32{0.9, 0.9, 0.9}
+	for y := horizon; y < h; y++ {
+		depth := float64(y-horizon) / float64(h-horizon) // 0 at horizon, 1 near
+		center := float64(w)/2 + curv*(1-depth)*(1-depth)*float64(w)*0.45
+		width := 8 + depth*70
+		x0, x1 := int(center-width), int(center+width)
+		cv.rect(y, x0, y, x1, roadCol)
+		cv.set(y, x0, edgeCol)
+		cv.set(y, x1, edgeCol)
+		if (y/4)%2 == 0 { // dashed center lane
+			cv.set(y, int(center), laneCol)
+			cv.set(y, int(center)+1, laneCol)
+		}
+	}
+	cv.addNoise(rng, 0.04)
+
+	target := float32(angleDeg)
+	if d.Radians {
+		target = float32(angleDeg * math.Pi / 180)
+	}
+	return Sample{X: cv.tensor(), Target: target}
+}
+
+// DegreesToRadians converts a steering angle.
+func DegreesToRadians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// RadiansToDegrees converts a steering angle.
+func RadiansToDegrees(rad float64) float64 { return rad * 180 / math.Pi }

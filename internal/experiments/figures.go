@@ -1,0 +1,544 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ranger/internal/core"
+	"ranger/internal/data"
+	"ranger/internal/fixpoint"
+	"ranger/internal/graph"
+	"ranger/internal/inject"
+	"ranger/internal/models"
+	"ranger/internal/stats"
+)
+
+// imagenetModels lists the models whose results the paper reports at both
+// top-1 and top-5 (those trained on the ImageNet stand-in).
+var imagenetModels = map[string]bool{"vgg16": true, "resnet18": true, "squeezenet": true}
+
+// Fig4Result reproduces Fig. 4: per-ACT-layer value ranges observed on
+// VGG16 while sampling increasing fractions of the training data,
+// normalized to the global maximum per layer.
+type Fig4Result struct {
+	Layers    []string
+	Fractions []float64   // fraction of the profiling budget consumed
+	Series    [][]float64 // Series[i][j]: normalized running max of layer j at Fractions[i]
+}
+
+// Fig4 profiles VGG16 with tracing enabled and reports bound convergence.
+func Fig4(r *Runner) (*Fig4Result, error) {
+	m, err := r.Model("vgg16")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := r.Dataset(m)
+	if err != nil {
+		return nil, err
+	}
+	p := core.NewProfiler(m.Graph, core.ProfileOptions{Seed: r.cfg.Seed})
+	p.EnableTrace()
+	n := r.cfg.ProfileSamples
+	for i := 0; i < n; i++ {
+		s := ds.Sample(data.Train, i)
+		if err := p.Observe(graph.Feeds{m.Input: s.X}, m.Output); err != nil {
+			return nil, err
+		}
+	}
+	trace := p.Trace()
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("fig4: empty trace")
+	}
+	res := &Fig4Result{Layers: p.ActNames()}
+	final := trace[len(trace)-1]
+	// Sample the trace at ~10 checkpoints.
+	step := len(trace) / 10
+	if step == 0 {
+		step = 1
+	}
+	for i := step - 1; i < len(trace); i += step {
+		res.Fractions = append(res.Fractions, float64(i+1)/float64(len(trace)))
+		row := make([]float64, len(final))
+		for j := range final {
+			if final[j] != 0 {
+				row[j] = trace[i][j] / final[j]
+			} else {
+				row[j] = 1
+			}
+		}
+		res.Series = append(res.Series, row)
+	}
+	return res, nil
+}
+
+// Render formats the result as a text table.
+func (f *Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 4: VGG16 activation-range convergence (normalized running max, %d ACT layers)\n", len(f.Layers))
+	fmt.Fprintf(&b, "%-10s %-10s %-10s %-10s\n", "fraction", "min-layer", "mean", "max-layer")
+	for i, frac := range f.Fractions {
+		lo, hi, sum := 1.0, 0.0, 0.0
+		for _, v := range f.Series[i] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			sum += v
+		}
+		fmt.Fprintf(&b, "%-10.2f %-10.4f %-10.4f %-10.4f\n", frac, lo, sum/float64(len(f.Series[i])), hi)
+	}
+	return b.String()
+}
+
+// SDCRow is one model's SDC rates with and without Ranger.
+type SDCRow struct {
+	Model      string
+	Metric     string // "top-1", "top-5", or "thr=15".."thr=120"
+	Original   stats.Proportion
+	WithRanger stats.Proportion
+}
+
+// Fig6Result reproduces Fig. 6: SDC rates of the six classifier models,
+// original vs protected, at top-1 (and top-5 for the ImageNet models).
+type Fig6Result struct {
+	Rows []SDCRow
+}
+
+// Fig6 runs the classifier campaigns.
+func Fig6(r *Runner) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	for _, name := range models.ClassifierNames() {
+		rows, err := classifierSDC(r, name, inject.DefaultFaultModel())
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res, nil
+}
+
+// classifierSDC measures original-vs-protected SDC rates for one model.
+func classifierSDC(r *Runner, name string, fault inject.FaultModel) ([]SDCRow, error) {
+	m, err := r.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := r.Protected(name)
+	if err != nil {
+		return nil, err
+	}
+	feeds, err := r.Inputs(name)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := r.campaign(m, fault, 0).Run(feeds)
+	if err != nil {
+		return nil, err
+	}
+	prot, err := r.campaign(pm, fault, 0).Run(rekey(feeds))
+	if err != nil {
+		return nil, err
+	}
+	rows := []SDCRow{{
+		Model:      name,
+		Metric:     "top-1",
+		Original:   stats.NewProportion(orig.Top1SDC, orig.Trials),
+		WithRanger: stats.NewProportion(prot.Top1SDC, prot.Trials),
+	}}
+	if imagenetModels[name] {
+		rows = append(rows, SDCRow{
+			Model:      name,
+			Metric:     "top-5",
+			Original:   stats.NewProportion(orig.Top5SDC, orig.Trials),
+			WithRanger: stats.NewProportion(prot.Top5SDC, prot.Trials),
+		})
+	}
+	return rows, nil
+}
+
+// Render formats Fig. 6.
+func (f *Fig6Result) Render() string {
+	return renderSDCRows("Fig 6: classifier SDC rates, original vs Ranger", f.Rows)
+}
+
+func renderSDCRows(title string, rows []SDCRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-22s %-8s %-20s %-20s %-8s\n", "model", "metric", "original", "ranger", "factor")
+	var sumO, sumR float64
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-22s %-8s %-20s %-20s %.1fx\n",
+			row.Model, row.Metric, row.Original.Percent(), row.WithRanger.Percent(),
+			stats.ReductionFactor(row.Original.Rate, row.WithRanger.Rate))
+		sumO += row.Original.Rate
+		sumR += row.WithRanger.Rate
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&b, "%-22s %-8s %-20s %-20s %.1fx\n", "average", "",
+		fmt.Sprintf("%.2f%%", sumO/n*100), fmt.Sprintf("%.2f%%", sumR/n*100),
+		stats.ReductionFactor(sumO, sumR))
+	return b.String()
+}
+
+// SteeringThresholds are the SDC deviation thresholds of §V-B (degrees).
+var SteeringThresholds = []float64{15, 30, 60, 120}
+
+// Fig7Result reproduces Fig. 7: steering-model SDC rates at the four
+// deviation thresholds, original vs Ranger.
+type Fig7Result struct {
+	Rows []SDCRow
+}
+
+// Fig7 runs the Dave and Comma campaigns.
+func Fig7(r *Runner) (*Fig7Result, error) {
+	res := &Fig7Result{}
+	for _, name := range []string{"dave", "comma"} {
+		rows, err := steeringSDC(r, name, inject.DefaultFaultModel())
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res, nil
+}
+
+// steeringSDC measures original-vs-protected threshold SDC rates for one
+// steering model.
+func steeringSDC(r *Runner, name string, fault inject.FaultModel) ([]SDCRow, error) {
+	m, err := r.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := r.Protected(name)
+	if err != nil {
+		return nil, err
+	}
+	feeds, err := r.Inputs(name)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := r.campaign(m, fault, 0).Run(feeds)
+	if err != nil {
+		return nil, err
+	}
+	prot, err := r.campaign(pm, fault, 0).Run(rekey(feeds))
+	if err != nil {
+		return nil, err
+	}
+	var rows []SDCRow
+	for _, th := range SteeringThresholds {
+		ko := int(orig.RateAbove(th)*float64(len(orig.Deviations)) + 0.5)
+		kp := int(prot.RateAbove(th)*float64(len(prot.Deviations)) + 0.5)
+		rows = append(rows, SDCRow{
+			Model:      name,
+			Metric:     fmt.Sprintf("thr=%g", th),
+			Original:   stats.NewProportion(ko, len(orig.Deviations)),
+			WithRanger: stats.NewProportion(kp, len(prot.Deviations)),
+		})
+	}
+	return rows, nil
+}
+
+// Render formats Fig. 7.
+func (f *Fig7Result) Render() string {
+	return renderSDCRows("Fig 7: steering-model SDC rates by deviation threshold, original vs Ranger", f.Rows)
+}
+
+// Fig8Row is one model's relative SDC reduction under each protection.
+type Fig8Row struct {
+	Model      string
+	TanhHong   float64 // Hong et al. applied to the Tanh model (0 by construction)
+	TanhRanger float64 // Ranger applied to the Tanh model
+	ReluHong   float64 // Hong et al. (Tanh swap + retrain) vs the ReLU model
+	ReluRanger float64 // Ranger applied to the ReLU model
+}
+
+// Fig8Result reproduces Fig. 8: relative SDC reduction of Hong et al.'s
+// activation replacement vs Ranger on five models.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Fig8 compares Ranger with the Tanh-swap defense.
+func Fig8(r *Runner) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	for _, base := range []string{"lenet", "alexnet", "vgg11", "dave", "comma"} {
+		reluSDC, reluRangerSDC, err := avgSDC(r, base)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", base, err)
+		}
+		tanhSDC, tanhRangerSDC, err := avgSDC(r, base+"-tanh")
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s-tanh: %w", base, err)
+		}
+		res.Rows = append(res.Rows, Fig8Row{
+			Model: base,
+			// Hong et al. on a model already using Tanh changes nothing.
+			TanhHong:   0,
+			TanhRanger: stats.RelativeReduction(tanhSDC, tanhRangerSDC),
+			ReluHong:   stats.RelativeReduction(reluSDC, tanhSDC),
+			ReluRanger: stats.RelativeReduction(reluSDC, reluRangerSDC),
+		})
+	}
+	return res, nil
+}
+
+// avgSDC returns a model's SDC rate without and with Ranger: top-1 rate
+// for classifiers, threshold-averaged rate for steering models (the
+// paper's Fig. 8 averages the steering thresholds).
+func avgSDC(r *Runner, name string) (orig, withRanger float64, err error) {
+	m, err := r.Model(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	if m.Kind == models.Classifier {
+		rows, err := classifierSDC(r, name, inject.DefaultFaultModel())
+		if err != nil {
+			return 0, 0, err
+		}
+		return rows[0].Original.Rate, rows[0].WithRanger.Rate, nil
+	}
+	rows, err := steeringSDC(r, name, inject.DefaultFaultModel())
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, row := range rows {
+		orig += row.Original.Rate
+		withRanger += row.WithRanger.Rate
+	}
+	n := float64(len(rows))
+	return orig / n, withRanger / n, nil
+}
+
+// Render formats Fig. 8.
+func (f *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 8: relative SDC reduction (%), Hong et al. vs Ranger\n")
+	fmt.Fprintf(&b, "%-10s %-12s %-12s %-12s %-12s\n", "model", "tanh-Hong", "tanh-Ranger", "relu-Hong", "relu-Ranger")
+	var sums [4]float64
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%-10s %-12.2f %-12.2f %-12.2f %-12.2f\n",
+			row.Model, row.TanhHong*100, row.TanhRanger*100, row.ReluHong*100, row.ReluRanger*100)
+		sums[0] += row.TanhHong
+		sums[1] += row.TanhRanger
+		sums[2] += row.ReluHong
+		sums[3] += row.ReluRanger
+	}
+	n := float64(len(f.Rows))
+	fmt.Fprintf(&b, "%-10s %-12.2f %-12.2f %-12.2f %-12.2f\n",
+		"average", sums[0]/n*100, sums[1]/n*100, sums[2]/n*100, sums[3]/n*100)
+	return b.String()
+}
+
+// Fig9Result reproduces Fig. 9: SDC rates of all eight DNNs under the
+// 16-bit fixed-point datatype (RQ4), original vs Ranger. Steering models
+// report the threshold-averaged rate, classifier models top-1 (and the
+// paper's per-model averages for the ImageNet models).
+type Fig9Result struct {
+	Rows []SDCRow
+}
+
+// Fig9 runs the reduced-precision campaigns.
+func Fig9(r *Runner) (*Fig9Result, error) {
+	fault := inject.FaultModel{Format: fixpoint.Q16, BitFlips: 1}
+	res := &Fig9Result{}
+	for _, name := range models.Names() {
+		m, err := r.Model(name)
+		if err != nil {
+			return nil, err
+		}
+		if m.Kind == models.Classifier {
+			rows, err := classifierSDC(r, name, fault)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s: %w", name, err)
+			}
+			res.Rows = append(res.Rows, rows[0])
+			continue
+		}
+		rows, err := steeringSDC(r, name, fault)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", name, err)
+		}
+		// Average across thresholds as the paper's Fig. 9 does.
+		var o, p float64
+		for _, row := range rows {
+			o += row.Original.Rate
+			p += row.WithRanger.Rate
+		}
+		n := len(rows)
+		trials := rows[0].Original.N
+		res.Rows = append(res.Rows, SDCRow{
+			Model:      name,
+			Metric:     "avg",
+			Original:   stats.NewProportion(int(o/float64(n)*float64(trials)+0.5), trials),
+			WithRanger: stats.NewProportion(int(p/float64(n)*float64(trials)+0.5), trials),
+		})
+	}
+	return res, nil
+}
+
+// Render formats Fig. 9.
+func (f *Fig9Result) Render() string {
+	return renderSDCRows("Fig 9: SDC rates under 16-bit fixed point (Q13.2), original vs Ranger", f.Rows)
+}
+
+// Fig10Result reproduces Fig. 10: Dave-degrees SDC rates under different
+// restriction-bound percentiles.
+type Fig10Result struct {
+	// Percentiles evaluated (100 = max bound).
+	Percentiles []float64
+	// Original[t] is the unprotected SDC rate at SteeringThresholds[t].
+	Original []stats.Proportion
+	// Protected[p][t] is the SDC rate with percentile p bounds.
+	Protected [][]stats.Proportion
+}
+
+// Fig10Percentiles are the §VI-A bound settings.
+var Fig10Percentiles = []float64{100, 99.9, 99, 98}
+
+// Fig10 sweeps restriction-bound percentiles on the retrained
+// degrees-output Dave model.
+func Fig10(r *Runner) (*Fig10Result, error) {
+	const name = "dave-degrees"
+	m, err := r.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	feeds, err := r.Inputs(name)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := r.newProfiler(m, 200000)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := r.campaign(m, inject.DefaultFaultModel(), 0).Run(feeds)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{Percentiles: Fig10Percentiles}
+	for _, th := range SteeringThresholds {
+		k := int(orig.RateAbove(th)*float64(len(orig.Deviations)) + 0.5)
+		res.Original = append(res.Original, stats.NewProportion(k, len(orig.Deviations)))
+	}
+	for _, pct := range Fig10Percentiles {
+		bounds := prof.PercentileBounds(pct)
+		pm, _, err := core.ProtectModel(m, bounds, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out, err := r.campaign(pm, inject.DefaultFaultModel(), 0).Run(rekey(feeds))
+		if err != nil {
+			return nil, err
+		}
+		var row []stats.Proportion
+		for _, th := range SteeringThresholds {
+			k := int(out.RateAbove(th)*float64(len(out.Deviations)) + 0.5)
+			row = append(row, stats.NewProportion(k, len(out.Deviations)))
+		}
+		res.Protected = append(res.Protected, row)
+	}
+	return res, nil
+}
+
+// Render formats Fig. 10.
+func (f *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 10: Dave-degrees SDC rates by restriction-bound percentile\n")
+	fmt.Fprintf(&b, "%-14s", "config")
+	for _, th := range SteeringThresholds {
+		fmt.Fprintf(&b, " thr=%-10g", th)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-14s", "original")
+	for _, p := range f.Original {
+		fmt.Fprintf(&b, " %-14s", fmt.Sprintf("%.2f%%", p.Rate*100))
+	}
+	b.WriteString("\n")
+	for i, pct := range f.Percentiles {
+		fmt.Fprintf(&b, "%-14s", fmt.Sprintf("bound-%g%%", pct))
+		for _, p := range f.Protected[i] {
+			fmt.Fprintf(&b, " %-14s", fmt.Sprintf("%.2f%%", p.Rate*100))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// MultiBitResult reproduces Figs. 11 and 12: SDC rates under 2-5
+// independent bit flips, original vs Ranger.
+type MultiBitResult struct {
+	Title string
+	// Rows are keyed by model and bit count.
+	Rows []MultiBitRow
+}
+
+// MultiBitRow is one (model, bits) SDC measurement.
+type MultiBitRow struct {
+	Model      string
+	Bits       int
+	Metric     string
+	Original   stats.Proportion
+	WithRanger stats.Proportion
+}
+
+// Fig11 runs multi-bit campaigns on the LeNet and ResNet classifiers.
+func Fig11(r *Runner) (*MultiBitResult, error) {
+	res := &MultiBitResult{Title: "Fig 11: classifier SDC rates under multi-bit flips"}
+	for _, name := range []string{"lenet", "resnet18"} {
+		for bits := 2; bits <= 5; bits++ {
+			fault := inject.FaultModel{Format: fixpoint.Q32, BitFlips: bits}
+			rows, err := classifierSDC(r, name, fault)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s/%d: %w", name, bits, err)
+			}
+			res.Rows = append(res.Rows, MultiBitRow{
+				Model: name, Bits: bits, Metric: "top-1",
+				Original: rows[0].Original, WithRanger: rows[0].WithRanger,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Fig12 runs multi-bit campaigns on the steering models, reporting the
+// threshold-averaged SDC rate.
+func Fig12(r *Runner) (*MultiBitResult, error) {
+	res := &MultiBitResult{Title: "Fig 12: steering-model SDC rates under multi-bit flips"}
+	for _, name := range []string{"dave", "comma"} {
+		for bits := 2; bits <= 5; bits++ {
+			fault := inject.FaultModel{Format: fixpoint.Q32, BitFlips: bits}
+			rows, err := steeringSDC(r, name, fault)
+			if err != nil {
+				return nil, fmt.Errorf("fig12 %s/%d: %w", name, bits, err)
+			}
+			var o, p float64
+			for _, row := range rows {
+				o += row.Original.Rate
+				p += row.WithRanger.Rate
+			}
+			n := len(rows)
+			trials := rows[0].Original.N
+			res.Rows = append(res.Rows, MultiBitRow{
+				Model: name, Bits: bits, Metric: "avg",
+				Original:   stats.NewProportion(int(o/float64(n)*float64(trials)+0.5), trials),
+				WithRanger: stats.NewProportion(int(p/float64(n)*float64(trials)+0.5), trials),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render formats a multi-bit result.
+func (f *MultiBitResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%-12s %-5s %-8s %-20s %-20s\n", "model", "bits", "metric", "original", "ranger")
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%-12s %-5d %-8s %-20s %-20s\n",
+			row.Model, row.Bits, row.Metric, row.Original.Percent(), row.WithRanger.Percent())
+	}
+	return b.String()
+}

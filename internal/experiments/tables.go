@@ -1,0 +1,575 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ranger/internal/baselines"
+	"ranger/internal/core"
+	"ranger/internal/data"
+	"ranger/internal/flops"
+	"ranger/internal/graph"
+	"ranger/internal/inject"
+	"ranger/internal/models"
+	"ranger/internal/ops"
+	"ranger/internal/stats"
+	"ranger/internal/tensor"
+	"ranger/internal/train"
+)
+
+// Table2Row is one model's fault-free accuracy with and without Ranger.
+type Table2Row struct {
+	Model  string
+	Metric string // "top-1", "top-5", "RMSE", "avg-dev"
+	// Original and WithRanger are accuracies (fractions) for classifiers
+	// and error magnitudes (degrees) for steering models.
+	Original   float64
+	WithRanger float64
+}
+
+// Table2Result reproduces Table II: validation accuracy of the original
+// models vs the Ranger-protected models, in the absence of faults.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 evaluates every model on its validation split.
+func Table2(r *Runner) (*Table2Result, error) {
+	res := &Table2Result{}
+	n := r.cfg.EvalSamples
+	for _, name := range models.Names() {
+		m, err := r.Model(name)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := r.Protected(name)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := r.Dataset(m)
+		if err != nil {
+			return nil, err
+		}
+		if m.Kind == models.Classifier {
+			metrics := []struct {
+				name string
+				k    int
+			}{{"top-1", 1}}
+			if imagenetModels[name] {
+				metrics = append(metrics, struct {
+					name string
+					k    int
+				}{"top-5", 5})
+			}
+			for _, mt := range metrics {
+				a, err := train.TopKAccuracy(m, ds, data.Val, n, mt.k)
+				if err != nil {
+					return nil, err
+				}
+				b, err := train.TopKAccuracy(pm, ds, data.Val, n, mt.k)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, Table2Row{Model: name, Metric: mt.name, Original: a, WithRanger: b})
+			}
+			continue
+		}
+		rmseO, devO, err := train.SteeringMetrics(m, ds, data.Val, n)
+		if err != nil {
+			return nil, err
+		}
+		rmseP, devP, err := train.SteeringMetrics(pm, ds, data.Val, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows,
+			Table2Row{Model: name, Metric: "RMSE", Original: rmseO, WithRanger: rmseP},
+			Table2Row{Model: name, Metric: "avg-dev", Original: devO, WithRanger: devP},
+		)
+	}
+	return res, nil
+}
+
+// Render formats Table II.
+func (t *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table II: fault-free validation quality, original vs Ranger\n")
+	fmt.Fprintf(&b, "%-12s %-8s %-12s %-12s %-10s\n", "model", "metric", "original", "ranger", "diff")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %-8s %-12.4f %-12.4f %+.4f\n",
+			row.Model, row.Metric, row.Original, row.WithRanger, row.WithRanger-row.Original)
+	}
+	return b.String()
+}
+
+// Table3Row is one model's Ranger insertion time.
+type Table3Row struct {
+	Model     string
+	Nodes     int
+	Protected int
+	Time      time.Duration
+}
+
+// Table3Result reproduces Table III: time to automatically insert Ranger.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 times the Algorithm 1 transform on every model.
+func Table3(r *Runner) (*Table3Result, error) {
+	res := &Table3Result{}
+	for _, name := range models.Names() {
+		m, err := r.Model(name)
+		if err != nil {
+			return nil, err
+		}
+		bounds, err := r.Bounds(name)
+		if err != nil {
+			return nil, err
+		}
+		_, pres, err := core.ProtectModel(m, bounds, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table3Row{
+			Model:     name,
+			Nodes:     m.Graph.Len(),
+			Protected: len(pres.Protected),
+			Time:      pres.InsertionTime,
+		})
+	}
+	return res, nil
+}
+
+// Render formats Table III.
+func (t *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table III: Ranger insertion (instrumentation) time\n")
+	fmt.Fprintf(&b, "%-12s %-8s %-10s %-12s\n", "model", "nodes", "protected", "time")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %-8d %-10d %-12s\n", row.Model, row.Nodes, row.Protected, row.Time)
+	}
+	return b.String()
+}
+
+// Table4Row is one model's FLOP accounting.
+type Table4Row struct {
+	Model      string
+	Original   int64
+	WithRanger int64
+	Overhead   float64
+}
+
+// Table4Result reproduces Table IV: computation overhead in FLOPs.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// Table4 counts FLOPs for every model with and without Ranger.
+func Table4(r *Runner) (*Table4Result, error) {
+	res := &Table4Result{}
+	for _, name := range models.Names() {
+		m, err := r.Model(name)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := r.Protected(name)
+		if err != nil {
+			return nil, err
+		}
+		feeds, err := r.Inputs(name)
+		if err != nil {
+			return nil, err
+		}
+		orig, err := flops.CountGraph(m.Graph, feeds[0], m.Output)
+		if err != nil {
+			return nil, err
+		}
+		prot, err := flops.CountGraph(pm.Graph, feeds[0], pm.Output)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table4Row{
+			Model:      name,
+			Original:   orig.Total,
+			WithRanger: prot.Total,
+			Overhead:   flops.Overhead(orig, prot),
+		})
+	}
+	return res, nil
+}
+
+// Render formats Table IV.
+func (t *Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table IV: computation overhead of Ranger (FLOPs per inference)\n")
+	fmt.Fprintf(&b, "%-12s %-14s %-14s %-10s\n", "model", "original", "ranger", "overhead")
+	var sum float64
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %-14d %-14d %.3f%%\n", row.Model, row.Original, row.WithRanger, row.Overhead*100)
+		sum += row.Overhead
+	}
+	fmt.Fprintf(&b, "%-12s %-14s %-14s %.3f%%\n", "average", "", "", sum/float64(len(t.Rows))*100)
+	return b.String()
+}
+
+// Table5Result reproduces Table V: Dave-degrees accuracy under different
+// restriction-bound percentiles (no faults).
+type Table5Result struct {
+	Percentiles []float64
+	// RMSE[i] and AvgDev[i] correspond to Percentiles[i]; index 0 holds
+	// the original (unprotected) model.
+	Labels []string
+	RMSE   []float64
+	AvgDev []float64
+}
+
+// Table5 sweeps bound percentiles and measures fault-free accuracy.
+func Table5(r *Runner) (*Table5Result, error) {
+	const name = "dave-degrees"
+	m, err := r.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := r.Dataset(m)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := r.newProfiler(m, 200000)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table5Result{Percentiles: Fig10Percentiles}
+	rmse, dev, err := train.SteeringMetrics(m, ds, data.Val, r.cfg.EvalSamples)
+	if err != nil {
+		return nil, err
+	}
+	res.Labels = append(res.Labels, "original")
+	res.RMSE = append(res.RMSE, rmse)
+	res.AvgDev = append(res.AvgDev, dev)
+	for _, pct := range Fig10Percentiles {
+		bounds := prof.PercentileBounds(pct)
+		pm, _, err := core.ProtectModel(m, bounds, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rmse, dev, err := train.SteeringMetrics(pm, ds, data.Val, r.cfg.EvalSamples)
+		if err != nil {
+			return nil, err
+		}
+		res.Labels = append(res.Labels, fmt.Sprintf("bound-%g%%", pct))
+		res.RMSE = append(res.RMSE, rmse)
+		res.AvgDev = append(res.AvgDev, dev)
+	}
+	return res, nil
+}
+
+// Render formats Table V.
+func (t *Table5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table V: Dave-degrees fault-free accuracy by restriction bound\n")
+	fmt.Fprintf(&b, "%-14s %-10s %-10s\n", "config", "RMSE", "avg-dev")
+	for i, label := range t.Labels {
+		fmt.Fprintf(&b, "%-14s %-10.3f %-10.3f\n", label, t.RMSE[i], t.AvgDev[i])
+	}
+	return b.String()
+}
+
+// Table6Row is one protection technique's measured coverage and overhead.
+type Table6Row struct {
+	Technique string
+	// Coverage is the fraction of baseline SDCs eliminated.
+	Coverage float64
+	// Overhead is the relative compute overhead of the technique
+	// (detection checks or redundancy; re-execution costs excluded, as in
+	// the paper's Table VI).
+	Overhead float64
+	// FalsePositiveRate on clean executions (detectors only).
+	FalsePositiveRate float64
+	// NeedsRecompute records whether SDC elimination relies on
+	// re-executing the inference (Ranger's key advantage is "no").
+	NeedsRecompute bool
+}
+
+// Table6Result reproduces Table VI: comparison of protection techniques
+// on a representative classifier.
+type Table6Result struct {
+	Model string
+	// BaselineSDC is the unprotected SDC rate all coverages refer to.
+	BaselineSDC stats.Proportion
+	Rows        []Table6Row
+}
+
+// Table6 measures every technique on the AlexNet benchmark (a mid-size
+// classifier keeps the many-technique campaign tractable; the paper's
+// table likewise aggregates to one number per technique).
+func Table6(r *Runner) (*Table6Result, error) {
+	const name = "alexnet"
+	m, err := r.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	feeds, err := r.Inputs(name)
+	if err != nil {
+		return nil, err
+	}
+	maxima, err := r.ActMaxima(name)
+	if err != nil {
+		return nil, err
+	}
+	fault := inject.DefaultFaultModel()
+	orig, err := r.campaign(m, fault, 0).Run(feeds)
+	if err != nil {
+		return nil, err
+	}
+	base := stats.NewProportion(orig.Top1SDC, orig.Trials)
+	res := &Table6Result{Model: name, BaselineSDC: base}
+	modelFLOPs, err := flops.CountGraph(m.Graph, feeds[0], m.Output)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. TMR: full redundancy; under the single-fault model the majority
+	// vote always restores the fault-free output.
+	res.Rows = append(res.Rows, Table6Row{
+		Technique:      "TMR",
+		Coverage:       1,
+		Overhead:       baselines.TMROverhead,
+		NeedsRecompute: false,
+	})
+
+	// 2. Selective duplication (Mahmoud et al.) at a ~30% FLOP budget.
+	dupSet, dupOverhead, err := baselines.SelectDuplicationSet(m, feeds[0], fault, 10, r.cfg.Seed, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	dupOut, err := r.campaign(m, fault, 0).RunWithDetector(feeds, baselines.NewDuplicationDetector(dupSet))
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table6Row{
+		Technique:         "selective duplication",
+		Coverage:          dupOut.CoverageOfSDCs(),
+		Overhead:          dupOverhead,
+		FalsePositiveRate: fpRate(dupOut),
+		NeedsRecompute:    true,
+	})
+
+	// 3. Symptom-based detection (Li et al.): threshold checks on every
+	// activation; overhead is one comparison per monitored element.
+	symOut, err := r.campaign(m, fault, 0).RunWithDetector(feeds, baselines.NewSymptomDetector(maxima, 1))
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table6Row{
+		Technique:         "symptom-based detector",
+		Coverage:          symOut.CoverageOfSDCs(),
+		Overhead:          detectorCheckOverhead(m, maxima, feeds[0], modelFLOPs.Total),
+		FalsePositiveRate: fpRate(symOut),
+		NeedsRecompute:    true,
+	})
+
+	// 4. ML-based detection (Schorn et al.): logistic regression over
+	// activation statistics, trained on a separate FI campaign.
+	mlDet, err := baselines.TrainMLDetector(m, feeds, maxima, fault, r.cfg.Trials/2+10, r.cfg.Seed+77)
+	if err != nil {
+		return nil, err
+	}
+	mlOut, err := r.campaign(m, fault, 0).RunWithDetector(feeds, mlDet)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table6Row{
+		Technique:         "ML-based detector",
+		Coverage:          mlOut.CoverageOfSDCs(),
+		Overhead:          detectorCheckOverhead(m, maxima, feeds[0], modelFLOPs.Total),
+		FalsePositiveRate: fpRate(mlOut),
+		NeedsRecompute:    true,
+	})
+
+	// 5. Hong et al.: Tanh swap (retrained model); zero overhead.
+	tanhSDC, _, err := avgSDC(r, name+"-tanh")
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table6Row{
+		Technique:      "Hong et al. (Tanh swap)",
+		Coverage:       stats.RelativeReduction(base.Rate, tanhSDC),
+		Overhead:       0,
+		NeedsRecompute: false,
+	})
+
+	// 6. ABFT conv checksums (Zhao et al.): only conv-output faults are
+	// detectable; overhead is one extra output channel per conv.
+	abftOut, err := r.campaign(m, fault, 0).RunWithDetector(feeds, baselines.NewABFTDetector(2e-3))
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table6Row{
+		Technique:         "ABFT conv checksums",
+		Coverage:          abftOut.CoverageOfSDCs(),
+		Overhead:          abftOverhead(m, feeds[0]),
+		FalsePositiveRate: fpRate(abftOut),
+		NeedsRecompute:    true,
+	})
+
+	// 7. Ranger.
+	pm, err := r.Protected(name)
+	if err != nil {
+		return nil, err
+	}
+	prot, err := r.campaign(pm, fault, 0).Run(rekey(feeds))
+	if err != nil {
+		return nil, err
+	}
+	pmFLOPs, err := flops.CountGraph(pm.Graph, feeds[0], pm.Output)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table6Row{
+		Technique:      "Ranger",
+		Coverage:       stats.RelativeReduction(base.Rate, prot.Top1Rate()),
+		Overhead:       flops.Overhead(modelFLOPs, pmFLOPs),
+		NeedsRecompute: false,
+	})
+	return res, nil
+}
+
+func fpRate(out inject.DetectorOutcome) float64 {
+	if out.CleanRuns == 0 {
+		return 0
+	}
+	return float64(out.FalsePositives) / float64(out.CleanRuns)
+}
+
+// detectorCheckOverhead estimates the FLOP cost of comparing every
+// monitored activation element against a threshold (one comparison per
+// element) relative to the model.
+func detectorCheckOverhead(m *models.Model, maxima map[string]float64, feeds graph.Feeds, total int64) float64 {
+	var checks int64
+	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+		if _, ok := maxima[n.Name()]; ok {
+			checks += int64(out.Size())
+		}
+		return nil
+	}}
+	if _, err := e.Run(m.Graph, feeds, m.Output); err != nil || total == 0 {
+		return 0
+	}
+	return float64(checks) / float64(total)
+}
+
+// abftOverhead is the checksum cost: one extra output channel per conv,
+// i.e. convFLOPs/outC summed, relative to the model total.
+func abftOverhead(m *models.Model, feeds graph.Feeds) float64 {
+	count, err := flops.CountGraph(m.Graph, feeds, m.Output)
+	if err != nil {
+		return 0
+	}
+	var extra int64
+	for _, n := range m.Graph.Nodes() {
+		if _, ok := n.Op().(*ops.Conv2DOp); !ok {
+			continue
+		}
+		wVar, ok := n.Inputs()[1].Op().(*graph.Variable)
+		if !ok {
+			continue
+		}
+		outC := int64(wVar.Value.Dim(3))
+		if outC > 0 {
+			extra += count.ByNode[n.Name()] / outC
+		}
+	}
+	if count.Total == 0 {
+		return 0
+	}
+	return float64(extra) / float64(count.Total)
+}
+
+// Render formats Table VI.
+func (t *Table6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VI: protection techniques on %s (baseline SDC %s)\n", t.Model, t.BaselineSDC.Percent())
+	fmt.Fprintf(&b, "%-26s %-10s %-10s %-8s %-12s\n", "technique", "coverage", "overhead", "FP", "recompute?")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-26s %-10.2f %-10.3f %-8.3f %-12v\n",
+			row.Technique, row.Coverage*100, row.Overhead*100, row.FalsePositiveRate*100, row.NeedsRecompute)
+	}
+	b.WriteString("coverage/overhead/FP in %; overhead excludes re-execution on detection\n")
+	return b.String()
+}
+
+// AlternativesResult reproduces the §VI-C design-alternative study:
+// restriction policies clip-to-bound vs reset-to-zero vs random
+// replacement, measured on fault-free accuracy and SDC rate.
+type AlternativesResult struct {
+	Model    string
+	Policies []string
+	// Accuracy is the fault-free top-1 validation accuracy per policy;
+	// index 0 is the unprotected model.
+	Accuracy []float64
+	// SDC is the top-1 SDC rate per policy; index 0 is unprotected.
+	SDC []stats.Proportion
+}
+
+// Alternatives evaluates the three restriction policies on VGG16, the
+// model §VI-C uses.
+func Alternatives(r *Runner) (*AlternativesResult, error) {
+	const name = "vgg16"
+	m, err := r.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := r.Dataset(m)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := r.Bounds(name)
+	if err != nil {
+		return nil, err
+	}
+	feeds, err := r.Inputs(name)
+	if err != nil {
+		return nil, err
+	}
+	res := &AlternativesResult{Model: name, Policies: []string{"unprotected", "clip", "zero", "random"}}
+	acc, err := train.TopKAccuracy(m, ds, data.Val, r.cfg.EvalSamples, 1)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := r.campaign(m, inject.DefaultFaultModel(), 0).Run(feeds)
+	if err != nil {
+		return nil, err
+	}
+	res.Accuracy = append(res.Accuracy, acc)
+	res.SDC = append(res.SDC, stats.NewProportion(orig.Top1SDC, orig.Trials))
+	for _, policy := range []ops.Policy{ops.PolicyClip, ops.PolicyZero, ops.PolicyRandom} {
+		pm, _, err := core.ProtectModel(m, bounds, core.Options{Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		acc, err := train.TopKAccuracy(pm, ds, data.Val, r.cfg.EvalSamples, 1)
+		if err != nil {
+			return nil, err
+		}
+		out, err := r.campaign(pm, inject.DefaultFaultModel(), 0).Run(rekey(feeds))
+		if err != nil {
+			return nil, err
+		}
+		res.Accuracy = append(res.Accuracy, acc)
+		res.SDC = append(res.SDC, stats.NewProportion(out.Top1SDC, out.Trials))
+	}
+	return res, nil
+}
+
+// Render formats the design-alternatives study.
+func (a *AlternativesResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Design alternatives (§VI-C) on %s: restriction policies\n", a.Model)
+	fmt.Fprintf(&b, "%-14s %-12s %-16s\n", "policy", "accuracy", "top-1 SDC")
+	for i, p := range a.Policies {
+		fmt.Fprintf(&b, "%-14s %-12.4f %-16s\n", p, a.Accuracy[i], a.SDC[i].Percent())
+	}
+	return b.String()
+}

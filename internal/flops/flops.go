@@ -1,0 +1,90 @@
+// Package flops statically counts the floating-point operations of a
+// graph for a given input shape, the platform-independent overhead metric
+// the paper uses for Table IV (via TensorFlow's profiler). Ranger's Clip
+// operators cost two comparisons per element, which is how the paper's
+// ~0.5% average overhead arises against convolution-dominated models.
+package flops
+
+import (
+	"fmt"
+
+	"ranger/internal/graph"
+	"ranger/internal/ops"
+	"ranger/internal/tensor"
+)
+
+// Count is a per-node and total FLOP tally.
+type Count struct {
+	Total  int64
+	ByNode map[string]int64
+	ByType map[string]int64
+}
+
+// CountGraph evaluates the graph once with the given feeds (shapes only
+// matter, not values) and tallies FLOPs per node for the subgraph feeding
+// output.
+func CountGraph(g *graph.Graph, feeds graph.Feeds, output string) (*Count, error) {
+	c := &Count{ByNode: make(map[string]int64), ByType: make(map[string]int64)}
+	// Record each node's input shapes via the hook by caching outputs.
+	outShapes := make(map[string][]int)
+	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+		outShapes[n.Name()] = out.Shape()
+		f := nodeFLOPs(n, out, outShapes)
+		c.ByNode[n.Name()] = f
+		c.ByType[n.OpType()] += f
+		c.Total += f
+		return nil
+	}}
+	if _, err := e.Run(g, feeds, output); err != nil {
+		return nil, fmt.Errorf("flops: %w", err)
+	}
+	return c, nil
+}
+
+// nodeFLOPs estimates the FLOPs of one node given its output tensor and
+// the already-recorded output shapes of its inputs. Multiply-accumulate
+// counts as 2 FLOPs, matching common profiler conventions.
+func nodeFLOPs(n *graph.Node, out *tensor.Tensor, outShapes map[string][]int) int64 {
+	size := int64(out.Size())
+	switch op := n.Op().(type) {
+	case *graph.Placeholder, *graph.Variable:
+		return 0
+	case *ops.Conv2DOp:
+		// 2 * out_elements * KH*KW*inC.
+		inC := int64(1)
+		if w, ok := outShapes[n.Inputs()[1].Name()]; ok && len(w) == 4 {
+			inC = int64(w[2])
+		}
+		return 2 * size * int64(op.Geom.KH) * int64(op.Geom.KW) * inC
+	case ops.DenseOp:
+		inF := int64(1)
+		if x, ok := outShapes[n.Inputs()[0].Name()]; ok && len(x) == 2 {
+			inF = int64(x[1])
+		}
+		return 2 * size * inF
+	case *ops.MaxPoolOp:
+		return size * int64(op.Geom.KH) * int64(op.Geom.KW)
+	case *ops.AvgPoolOp:
+		return size * (int64(op.Geom.KH)*int64(op.Geom.KW) + 1)
+	case *ops.ClipOp:
+		return 2 * size // one min, one max comparison per element
+	case ops.BiasAddOp, ops.AddOp:
+		return size
+	case *ops.ReshapeOp, ops.ConcatOp:
+		return 0 // data movement only
+	case ops.SoftmaxOp:
+		return 3 * size // exp + sum + divide
+	default:
+		// Activations and other elementwise ops: one op per element.
+		return size
+	}
+}
+
+// Overhead returns the relative FLOP overhead of a protected graph over
+// the original: (protected - original) / original.
+func Overhead(original, protected *Count) float64 {
+	if original.Total == 0 {
+		return 0
+	}
+	return float64(protected.Total-original.Total) / float64(original.Total)
+}

@@ -1,0 +1,94 @@
+package flops
+
+import (
+	"math/rand"
+	"testing"
+
+	"ranger/internal/core"
+	"ranger/internal/graph"
+	"ranger/internal/models"
+	"ranger/internal/ops"
+	"ranger/internal/tensor"
+)
+
+func TestConvFLOPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New()
+	in := g.MustAdd("input", &graph.Placeholder{})
+	w := g.MustAdd("w", &graph.Variable{Value: tensor.New(3, 3, 2, 4).Randn(rng, 1)})
+	g.MustAdd("conv", &ops.Conv2DOp{Geom: tensor.ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PadH: 1, PadW: 1}}, in, w)
+	c, err := CountGraph(g, graph.Feeds{"input": tensor.New(1, 8, 8, 2)}, "conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out = 1*8*8*4 = 256 elements; 2*256*3*3*2 = 9216.
+	if c.ByNode["conv"] != 9216 {
+		t.Fatalf("conv flops = %d, want 9216", c.ByNode["conv"])
+	}
+	if c.ByNode["w"] != 0 || c.ByNode["input"] != 0 {
+		t.Fatal("variables/placeholders must be free")
+	}
+}
+
+func TestDenseAndClipFLOPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.New()
+	in := g.MustAdd("input", &graph.Placeholder{})
+	w := g.MustAdd("w", &graph.Variable{Value: tensor.New(10, 4).Randn(rng, 1)})
+	fc := g.MustAdd("fc", ops.DenseOp{}, in, w)
+	g.MustAdd("clip", ops.NewClip(0, 1), fc)
+	c, err := CountGraph(g, graph.Feeds{"input": tensor.New(2, 10)}, "clip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ByNode["fc"] != 2*8*10 { // 2*(2x4 out)*(10 in)
+		t.Fatalf("fc flops = %d", c.ByNode["fc"])
+	}
+	if c.ByNode["clip"] != 2*8 { // 2 comparisons per element
+		t.Fatalf("clip flops = %d", c.ByNode["clip"])
+	}
+}
+
+func TestOverheadOfProtectedLeNet(t *testing.T) {
+	m, err := models.Build("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := graph.Feeds{m.Input: tensor.New(1, 28, 28, 1)}
+	orig, err := CountGraph(m.Graph, feeds, m.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Total == 0 {
+		t.Fatal("zero total FLOPs")
+	}
+	bounds := core.Bounds{}
+	for _, name := range m.Graph.NamesByType(ops.TypeRelu) {
+		bounds[name] = core.Bound{Low: 0, High: 10}
+	}
+	pm, _, err := core.ProtectModel(m, bounds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := CountGraph(pm.Graph, graph.Feeds{pm.Input: tensor.New(1, 28, 28, 1)}, pm.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := Overhead(orig, prot)
+	if ov <= 0 {
+		t.Fatalf("overhead = %v, want > 0", ov)
+	}
+	// The paper's Table IV: Ranger costs well under a few percent.
+	if ov > 0.05 {
+		t.Fatalf("overhead = %v, want < 5%%", ov)
+	}
+	if prot.ByType[ops.TypeClip] == 0 {
+		t.Fatal("no clip FLOPs recorded")
+	}
+}
+
+func TestOverheadZeroBase(t *testing.T) {
+	if Overhead(&Count{}, &Count{Total: 5}) != 0 {
+		t.Fatal("zero base must not divide by zero")
+	}
+}

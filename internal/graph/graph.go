@@ -1,0 +1,240 @@
+// Package graph implements a static dataflow graph in the style of
+// TensorFlow 1.x, which is the substrate the Ranger paper's implementation
+// targets. A Graph is an append-only set of named nodes; execution walks
+// the nodes in topological order; and transformation (how Ranger inserts
+// its range-restriction operators) is performed by duplicating the graph
+// with an input-remapping table, mirroring TensorFlow's import_graph_def
+// input_map mechanism described in §IV of the paper.
+//
+// The executor exposes per-node hooks, which is how the fault injector
+// corrupts a single operator output (the paper's transient-fault model)
+// and how the bound profiler observes activation values.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ranger/internal/tensor"
+)
+
+// Op is an operator kernel attached to a node. Eval computes the node's
+// output from its input tensors.
+type Op interface {
+	// Type returns the operator type name (e.g. "Conv2D", "Relu").
+	Type() string
+	// Eval computes the output tensor for the given inputs.
+	Eval(inputs []*tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// GradOp is implemented by operators that support reverse-mode
+// differentiation, which the training substrate requires.
+type GradOp interface {
+	Op
+	// Grad returns the gradient of the loss with respect to each input,
+	// given the inputs, the op's output, and the gradient flowing into
+	// the output. Entries may be nil for non-differentiable inputs.
+	Grad(inputs []*tensor.Tensor, output, gradOut *tensor.Tensor) ([]*tensor.Tensor, error)
+}
+
+// Node is a single operator instance in a graph.
+type Node struct {
+	name   string
+	op     Op
+	inputs []*Node
+	id     int
+}
+
+// Name returns the node's unique name within its graph.
+func (n *Node) Name() string { return n.name }
+
+// Op returns the node's operator.
+func (n *Node) Op() Op { return n.op }
+
+// OpType returns the operator type name.
+func (n *Node) OpType() string { return n.op.Type() }
+
+// Inputs returns the node's input nodes (aliased, do not mutate).
+func (n *Node) Inputs() []*Node { return n.inputs }
+
+// ID returns the node's insertion index, which is also its topological
+// order (the graph is append-only, so inputs always precede consumers).
+func (n *Node) ID() int { return n.id }
+
+// Graph is an append-only dataflow graph.
+type Graph struct {
+	nodes  []*Node
+	byName map[string]*Node
+}
+
+// Errors returned by graph construction and execution.
+var (
+	ErrDuplicateName = errors.New("graph: duplicate node name")
+	ErrUnknownNode   = errors.New("graph: unknown node")
+	ErrMissingFeed   = errors.New("graph: missing feed for placeholder")
+)
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]*Node)}
+}
+
+// Add appends a node computing op over the given inputs. All inputs must
+// already belong to this graph, enforcing the append-only structure.
+func (g *Graph) Add(name string, op Op, inputs ...*Node) (*Node, error) {
+	if _, ok := g.byName[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	for _, in := range inputs {
+		if in == nil {
+			return nil, fmt.Errorf("graph: nil input to %q", name)
+		}
+		if got, ok := g.byName[in.name]; !ok || got != in {
+			return nil, fmt.Errorf("%w: input %q of %q not in graph", ErrUnknownNode, in.name, name)
+		}
+	}
+	ins := make([]*Node, len(inputs))
+	copy(ins, inputs)
+	n := &Node{name: name, op: op, inputs: ins, id: len(g.nodes)}
+	g.nodes = append(g.nodes, n)
+	g.byName[name] = n
+	return n, nil
+}
+
+// MustAdd is Add but panics on error; for model-construction code where a
+// failure is a programming bug.
+func (g *Graph) MustAdd(name string, op Op, inputs ...*Node) *Node {
+	n, err := g.Add(name, op, inputs...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Node returns the node with the given name.
+func (g *Graph) Node(name string) (*Node, bool) {
+	n, ok := g.byName[name]
+	return n, ok
+}
+
+// Nodes returns the nodes in insertion (topological) order. The returned
+// slice is a copy; the nodes themselves are shared.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Consumers returns, for each node name, the nodes that take it as input.
+func (g *Graph) Consumers() map[string][]*Node {
+	out := make(map[string][]*Node, len(g.nodes))
+	for _, n := range g.nodes {
+		for _, in := range n.inputs {
+			out[in.name] = append(out[in.name], n)
+		}
+	}
+	return out
+}
+
+// Duplicate clones the graph, applying two rewrite tables, and returns the
+// new graph plus a name-preserving mapping from old to new nodes:
+//
+//   - remap: after a source node named k is cloned, consumers of k are
+//     rewired to read from the node produced by remap[k](newGraph, clone)
+//     instead. This is how Ranger appends a Clip after an activation and
+//     routes the activation's consumers through it, exactly as the paper's
+//     import_graph_def/input_map duplication does.
+//   - replace: if replace[k] is non-nil, the clone of node k uses the
+//     returned op instead of the original (used by the Tanh-swap baseline).
+//
+// Either table may be nil.
+func (g *Graph) Duplicate(
+	remap map[string]func(*Graph, *Node) (*Node, error),
+	replace map[string]func(Op) (Op, error),
+) (*Graph, error) {
+	ng := New()
+	// alias maps an original node name to the node its consumers should
+	// read in the new graph.
+	alias := make(map[string]*Node, len(g.nodes))
+	for _, n := range g.nodes {
+		ins := make([]*Node, len(n.inputs))
+		for i, in := range n.inputs {
+			a, ok := alias[in.name]
+			if !ok {
+				return nil, fmt.Errorf("%w: %q while duplicating %q", ErrUnknownNode, in.name, n.name)
+			}
+			ins[i] = a
+		}
+		op := n.op
+		if replace != nil {
+			if f, ok := replace[n.name]; ok && f != nil {
+				var err error
+				op, err = f(op)
+				if err != nil {
+					return nil, fmt.Errorf("duplicate %q: %w", n.name, err)
+				}
+			}
+		}
+		clone, err := ng.Add(n.name, op, ins...)
+		if err != nil {
+			return nil, err
+		}
+		alias[n.name] = clone
+		if remap != nil {
+			if f, ok := remap[n.name]; ok && f != nil {
+				repl, err := f(ng, clone)
+				if err != nil {
+					return nil, fmt.Errorf("remap %q: %w", n.name, err)
+				}
+				if repl != nil {
+					alias[n.name] = repl
+				}
+			}
+		}
+	}
+	return ng, nil
+}
+
+// NamesByType returns the names of all nodes whose op type is in types,
+// in topological order.
+func (g *Graph) NamesByType(types ...string) []string {
+	want := make(map[string]bool, len(types))
+	for _, t := range types {
+		want[t] = true
+	}
+	var out []string
+	for _, n := range g.nodes {
+		if want[n.op.Type()] {
+			out = append(out, n.name)
+		}
+	}
+	return out
+}
+
+// Summary returns a per-op-type node count, useful in tests and tooling.
+func (g *Graph) Summary() map[string]int {
+	out := make(map[string]int)
+	for _, n := range g.nodes {
+		out[n.op.Type()]++
+	}
+	return out
+}
+
+// SortedSummary renders Summary deterministically.
+func (g *Graph) SortedSummary() string {
+	m := g.Summary()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%s:%d ", k, m[k])
+	}
+	return s
+}

@@ -1,0 +1,332 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ranger/internal/tensor"
+)
+
+// doubleOp is a trivial test op that doubles its single input.
+type doubleOp struct{}
+
+func (doubleOp) Type() string { return "Double" }
+func (doubleOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return in[0].Scale(2), nil
+}
+func (doubleOp) Grad(_ []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.Tensor, error) {
+	return []*tensor.Tensor{gout.Scale(2)}, nil
+}
+
+// sumOp reduces its input to a scalar sum.
+type sumOp struct{}
+
+func (sumOp) Type() string { return "Sum" }
+func (sumOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.Scalar(in[0].Sum()), nil
+}
+func (sumOp) Grad(in []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.Tensor, error) {
+	g := tensor.New(in[0].Shape()...)
+	g.Fill(gout.Data()[0])
+	return []*tensor.Tensor{g}, nil
+}
+
+// add2Op adds two tensors.
+type add2Op struct{}
+
+func (add2Op) Type() string { return "Add2" }
+func (add2Op) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return in[0].Add(in[1])
+}
+func (add2Op) Grad(_ []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.Tensor, error) {
+	return []*tensor.Tensor{gout.Clone(), gout.Clone()}, nil
+}
+
+func buildChain(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	in := g.MustAdd("x", &Placeholder{})
+	d1 := g.MustAdd("d1", doubleOp{}, in)
+	d2 := g.MustAdd("d2", doubleOp{}, d1)
+	g.MustAdd("out", sumOp{}, d2)
+	return g
+}
+
+func TestAddAndLookup(t *testing.T) {
+	g := buildChain(t)
+	if g.Len() != 4 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	n, ok := g.Node("d1")
+	if !ok || n.OpType() != "Double" {
+		t.Fatalf("node lookup failed: %v %v", n, ok)
+	}
+	if n.ID() != 1 {
+		t.Fatalf("id = %d", n.ID())
+	}
+	if len(n.Inputs()) != 1 || n.Inputs()[0].Name() != "x" {
+		t.Fatal("inputs wrong")
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	g := New()
+	g.MustAdd("x", &Placeholder{})
+	if _, err := g.Add("x", doubleOp{}); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForeignInputRejected(t *testing.T) {
+	g1, g2 := New(), New()
+	x := g1.MustAdd("x", &Placeholder{})
+	if _, err := g2.Add("y", doubleOp{}, x); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := g2.Add("z", doubleOp{}, nil); err == nil {
+		t.Fatal("want nil-input error")
+	}
+}
+
+func TestRunChain(t *testing.T) {
+	g := buildChain(t)
+	var e Executor
+	outs, err := e.Run(g, Feeds{"x": tensor.MustFromSlice([]float32{1, 2, 3}, 3)}, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outs[0].Data()[0]; got != 24 { // (1+2+3)*4
+		t.Fatalf("out = %v, want 24", got)
+	}
+}
+
+func TestRunMissingFeed(t *testing.T) {
+	g := buildChain(t)
+	var e Executor
+	if _, err := e.Run(g, Feeds{}, "out"); !errors.Is(err, ErrMissingFeed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunUnknownFetch(t *testing.T) {
+	g := buildChain(t)
+	var e Executor
+	if _, err := e.Run(g, nil, "nope"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunOnlyEvaluatesAncestors(t *testing.T) {
+	g := New()
+	x := g.MustAdd("x", &Placeholder{})
+	g.MustAdd("d1", doubleOp{}, x)
+	// A second placeholder that is NOT fed; fetching d1 must not touch it.
+	g.MustAdd("unfed", &Placeholder{})
+	var e Executor
+	if _, err := e.Run(g, Feeds{"x": tensor.Scalar(1)}, "d1"); err != nil {
+		t.Fatalf("lazy exec evaluated unneeded placeholder: %v", err)
+	}
+}
+
+func TestHookObservesAndReplaces(t *testing.T) {
+	g := buildChain(t)
+	seen := map[string]bool{}
+	e := Executor{Hook: func(n *Node, out *tensor.Tensor) *tensor.Tensor {
+		seen[n.Name()] = true
+		if n.Name() == "d1" {
+			repl := out.Clone()
+			repl.Fill(100)
+			return repl
+		}
+		return nil
+	}}
+	outs, err := e.Run(g, Feeds{"x": tensor.MustFromSlice([]float32{1, 2, 3}, 3)}, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outs[0].Data()[0]; got != 600 { // 100*3 doubled
+		t.Fatalf("hooked out = %v, want 600", got)
+	}
+	for _, name := range []string{"x", "d1", "d2", "out"} {
+		if !seen[name] {
+			t.Fatalf("hook missed %q", name)
+		}
+	}
+}
+
+func TestBackwardThroughChainAndFanOut(t *testing.T) {
+	g := New()
+	w := g.MustAdd("w", &Variable{Value: tensor.MustFromSlice([]float32{3}, 1)})
+	d := g.MustAdd("d", doubleOp{}, w)
+	// Fan-out: w feeds both d and the add; gradient must accumulate.
+	a := g.MustAdd("a", add2Op{}, d, w)
+	g.MustAdd("loss", sumOp{}, a)
+	var e Executor
+	cache, err := e.RunAll(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache[a.ID()].Data()[0] != 9 {
+		t.Fatalf("forward = %v", cache[a.ID()].Data())
+	}
+	grads, err := e.Backward(g, cache, "loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dloss/dw = 2 (through d) + 1 (direct) = 3.
+	if got := grads["w"].Data()[0]; got != 3 {
+		t.Fatalf("grad = %v, want 3", got)
+	}
+	_ = d
+}
+
+func TestBackwardErrors(t *testing.T) {
+	g := buildChain(t)
+	var e Executor
+	cache, err := e.RunAll(g, Feeds{"x": tensor.MustFromSlice([]float32{1, 2}, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Backward(g, cache, "missing"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.Backward(g, cache, "d1"); err == nil {
+		t.Fatal("want non-scalar loss error")
+	}
+}
+
+func TestVariablesListing(t *testing.T) {
+	g := New()
+	g.MustAdd("w1", &Variable{Value: tensor.Scalar(1)})
+	x := g.MustAdd("x", &Placeholder{})
+	g.MustAdd("d", doubleOp{}, x)
+	g.MustAdd("w2", &Variable{Value: tensor.Scalar(2)})
+	vars := g.Variables()
+	if len(vars) != 2 || vars[0].Name() != "w1" || vars[1].Name() != "w2" {
+		t.Fatalf("variables = %v", vars)
+	}
+}
+
+func TestDuplicateIdentity(t *testing.T) {
+	g := buildChain(t)
+	dup, err := g.Duplicate(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Len() != g.Len() {
+		t.Fatalf("dup len = %d", dup.Len())
+	}
+	var e Executor
+	feeds := Feeds{"x": tensor.MustFromSlice([]float32{1, 2, 3}, 3)}
+	a, _ := e.Run(g, feeds, "out")
+	b, err := e.Run(dup, feeds, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Data()[0] != b[0].Data()[0] {
+		t.Fatal("duplicate changed semantics")
+	}
+}
+
+func TestDuplicateWithRemapInsertsNode(t *testing.T) {
+	g := buildChain(t)
+	// After cloning d1, insert an extra Double and route consumers to it:
+	// the same mechanism Ranger uses to insert Clips.
+	remap := map[string]func(*Graph, *Node) (*Node, error){
+		"d1": func(ng *Graph, clone *Node) (*Node, error) {
+			return ng.Add("d1_extra", doubleOp{}, clone)
+		},
+	}
+	dup, err := g.Duplicate(remap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Len() != g.Len()+1 {
+		t.Fatalf("dup len = %d, want %d", dup.Len(), g.Len()+1)
+	}
+	var e Executor
+	outs, err := e.Run(dup, Feeds{"x": tensor.MustFromSlice([]float32{1}, 1)}, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outs[0].Data()[0]; got != 8 { // x*2*2(extra)*2
+		t.Fatalf("remapped out = %v, want 8", got)
+	}
+	// The original graph is untouched (append-only semantics).
+	outs, _ = e.Run(g, Feeds{"x": tensor.MustFromSlice([]float32{1}, 1)}, "out")
+	if outs[0].Data()[0] != 4 {
+		t.Fatal("original graph was mutated")
+	}
+}
+
+type tripleOp struct{}
+
+func (tripleOp) Type() string { return "Triple" }
+func (tripleOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return in[0].Scale(3), nil
+}
+
+func TestDuplicateWithReplaceSwapsOp(t *testing.T) {
+	g := buildChain(t)
+	replace := map[string]func(Op) (Op, error){
+		"d2": func(Op) (Op, error) { return tripleOp{}, nil },
+	}
+	dup, err := g.Duplicate(nil, replace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Executor
+	outs, err := e.Run(dup, Feeds{"x": tensor.MustFromSlice([]float32{1}, 1)}, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outs[0].Data()[0]; got != 6 { // 1*2*3
+		t.Fatalf("replaced out = %v, want 6", got)
+	}
+}
+
+func TestDuplicateReplaceError(t *testing.T) {
+	g := buildChain(t)
+	replace := map[string]func(Op) (Op, error){
+		"d2": func(Op) (Op, error) { return nil, fmt.Errorf("boom") },
+	}
+	if _, err := g.Duplicate(nil, replace); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConsumersAndNamesByType(t *testing.T) {
+	g := buildChain(t)
+	cons := g.Consumers()
+	if len(cons["d1"]) != 1 || cons["d1"][0].Name() != "d2" {
+		t.Fatalf("consumers(d1) = %v", cons["d1"])
+	}
+	names := g.NamesByType("Double")
+	if len(names) != 2 || names[0] != "d1" || names[1] != "d2" {
+		t.Fatalf("names = %v", names)
+	}
+	if s := g.Summary(); s["Double"] != 2 || s["Placeholder"] != 1 {
+		t.Fatalf("summary = %v", s)
+	}
+	if !strings.Contains(g.SortedSummary(), "Double:2") {
+		t.Fatalf("sorted summary = %q", g.SortedSummary())
+	}
+}
+
+func TestVariableWithoutValueErrors(t *testing.T) {
+	g := New()
+	g.MustAdd("w", &Variable{})
+	var e Executor
+	if _, err := e.Run(g, nil, "w"); err == nil {
+		t.Fatal("want no-value error")
+	}
+}
+
+func TestPlaceholderDirectEvalErrors(t *testing.T) {
+	p := &Placeholder{}
+	if _, err := p.Eval(nil); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,162 @@
+package inject
+
+import (
+	"fmt"
+
+	"ranger/internal/graph"
+	"ranger/internal/tensor"
+)
+
+// Detector is implemented by fault-detection techniques (the Table VI
+// comparators: symptom-based detection, selective duplication, ABFT
+// checksums, ML-based detection). The campaign calls Reset before each
+// execution, Observe for every evaluated node in topological order (after
+// any fault has been applied to that node's output), and Detected after
+// the run. Techniques that detect a fault are credited with correcting it
+// by re-execution — the recovery model of those papers, whose cost Ranger
+// avoids.
+type Detector interface {
+	// Name identifies the technique in reports.
+	Name() string
+	// Reset clears per-execution state.
+	Reset()
+	// Observe is called for every evaluated node with its (possibly
+	// faulty) output.
+	Observe(node *graph.Node, out *tensor.Tensor)
+	// Detected reports whether this execution was flagged as faulty.
+	Detected() bool
+}
+
+// DetectorOutcome extends Outcome with detection accounting.
+type DetectorOutcome struct {
+	Outcome
+	// DetectedFaulty counts faulty executions that were flagged.
+	DetectedFaulty int
+	// UncorrectedSDC counts SDCs that escaped detection (the residual SDC
+	// rate after detect-and-re-execute recovery).
+	UncorrectedSDC int
+	// FalsePositives counts clean executions (one per input) flagged.
+	FalsePositives int
+	// CleanRuns is the number of clean executions checked for FPs.
+	CleanRuns int
+	// TrialSDC records, per trial in execution order, whether the raw
+	// faulty output was an SDC (classifier: top-1 flip; regressor:
+	// deviation above the campaign's RegSDCThresholdDeg). Used as labels
+	// when training learned detectors.
+	TrialSDC []bool
+}
+
+// CoverageOfSDCs returns the fraction of SDC-causing faults that the
+// detector caught (the paper's "SDC coverage" in Table VI).
+func (d DetectorOutcome) CoverageOfSDCs() float64 {
+	total := d.Top1SDC
+	if total == 0 {
+		return 1
+	}
+	return 1 - float64(d.UncorrectedSDC)/float64(total)
+}
+
+// RunWithDetector executes the campaign with a detection technique
+// attached. SDC accounting in the embedded Outcome refers to the raw
+// (undetected-and-uncorrected) faulty outputs; UncorrectedSDC applies the
+// detect-and-re-execute recovery model. For regressors, detected trials'
+// recorded deviations are zeroed (corrected by re-execution).
+func (c *Campaign) RunWithDetector(inputs []graph.Feeds, det Detector) (DetectorOutcome, error) {
+	if det == nil {
+		return DetectorOutcome{}, fmt.Errorf("inject: nil detector")
+	}
+	if c.Trials <= 0 || c.Fault.BitFlips <= 0 || len(inputs) == 0 {
+		return DetectorOutcome{}, fmt.Errorf("inject: invalid campaign config")
+	}
+	rng := newCampaignRNG(c.Seed)
+	var out DetectorOutcome
+	var clean graph.Executor
+	for _, feeds := range inputs {
+		fs, err := buildFaultSpace(c.Model, feeds, c.Exclude, c.TargetNodes)
+		if err != nil {
+			return DetectorOutcome{}, err
+		}
+		refOuts, err := clean.Run(c.Model.Graph, feeds, c.Model.Output)
+		if err != nil {
+			return DetectorOutcome{}, fmt.Errorf("inject: clean run: %w", err)
+		}
+		ref := refOuts[0]
+
+		// False-positive check on the clean execution.
+		det.Reset()
+		fpExec := graph.Executor{Hook: func(n *graph.Node, t *tensor.Tensor) *tensor.Tensor {
+			det.Observe(n, t)
+			return nil
+		}}
+		if _, err := fpExec.Run(c.Model.Graph, feeds, c.Model.Output); err != nil {
+			return DetectorOutcome{}, err
+		}
+		out.CleanRuns++
+		if det.Detected() {
+			out.FalsePositives++
+		}
+
+		for trial := 0; trial < c.Trials; trial++ {
+			sites := c.sampleFaultSites(fs, rng)
+			det.Reset()
+			faulty, err := c.runWithFaultsObserved(feeds, sites, det)
+			if err != nil {
+				return DetectorOutcome{}, err
+			}
+			detected := det.Detected()
+			if detected {
+				out.DetectedFaulty++
+			}
+			before := out.Top1SDC
+			beforeDev := len(out.Deviations)
+			c.judge(&out.Outcome, ref, faulty)
+			out.Trials++
+			wasSDC := out.Top1SDC > before
+			if len(out.Deviations) > beforeDev {
+				wasSDC = out.Deviations[len(out.Deviations)-1] > c.regSDCThreshold()
+			}
+			out.TrialSDC = append(out.TrialSDC, wasSDC)
+			if wasSDC && !detected {
+				out.UncorrectedSDC++
+			}
+			// Detected regressor trials are corrected by re-execution:
+			// replace the recorded deviation with zero.
+			if detected && len(out.Deviations) > beforeDev {
+				out.Deviations[len(out.Deviations)-1] = 0
+			}
+		}
+	}
+	return out, nil
+}
+
+// runWithFaultsObserved is runWithFaults with a detector observing every
+// node output after fault application.
+func (c *Campaign) runWithFaultsObserved(feeds graph.Feeds, sites map[string][]site, det Detector) (*tensor.Tensor, error) {
+	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+		result := out
+		if ss, ok := sites[n.Name()]; ok {
+			repl := out.Clone()
+			for _, s := range ss {
+				idx := s.elem
+				if idx >= repl.Size() {
+					idx = repl.Size() - 1
+				}
+				v, err := c.Fault.Format.FlipBit(repl.Data()[idx], s.bit)
+				if err == nil {
+					repl.Data()[idx] = v
+				}
+			}
+			result = repl
+		}
+		det.Observe(n, result)
+		if result != out {
+			return result
+		}
+		return nil
+	}}
+	outs, err := e.Run(c.Model.Graph, feeds, c.Model.Output)
+	if err != nil {
+		return nil, fmt.Errorf("inject: faulty run: %w", err)
+	}
+	return outs[0], nil
+}

@@ -1,0 +1,299 @@
+// Package inject implements the paper's fault-injection methodology
+// (§V-A): random single-bit (and, for §VI-B, multi-bit) flips in the
+// fixed-point encoding of operator output values, injected during graph
+// execution, with SDC classification for both classifier models
+// (misclassification) and steering models (angle deviation thresholds).
+// It is the TensorFI counterpart in this reproduction.
+package inject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ranger/internal/fixpoint"
+	"ranger/internal/graph"
+	"ranger/internal/models"
+	"ranger/internal/tensor"
+)
+
+// FaultModel configures the hardware fault being simulated.
+type FaultModel struct {
+	// Format is the fixed-point datatype of the simulated datapath
+	// (fixpoint.Q32 for RQ1-3, fixpoint.Q16 for RQ4).
+	Format fixpoint.Format
+	// BitFlips is the number of bit flips per execution (1 = the paper's
+	// primary single-bit model; 2-5 for §VI-B).
+	BitFlips int
+	// Consecutive selects §VI-B's alternative multi-bit model: all
+	// BitFlips land in consecutive bit positions of a single value,
+	// instead of independent flips across multiple values (the default,
+	// which the paper argues is the more damaging and hence conservative
+	// choice).
+	Consecutive bool
+}
+
+// DefaultFaultModel returns the paper's primary fault model.
+func DefaultFaultModel() FaultModel {
+	return FaultModel{Format: fixpoint.Q32, BitFlips: 1}
+}
+
+// site is one (node, element, bit) fault location.
+type site struct {
+	node string
+	elem int
+	bit  int
+}
+
+// newCampaignRNG builds the deterministic site-sampling stream so that
+// Run and RunWithDetector draw identical fault sequences for equal seeds.
+func newCampaignRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Campaign runs fault-injection trials against one model.
+type Campaign struct {
+	Model *models.Model
+	Fault FaultModel
+	// Trials is the number of injections per input.
+	Trials int
+	// Seed drives site sampling.
+	Seed int64
+	// Exclude lists node names removed from the fault space in addition
+	// to the model's own ExcludeFI list (the paper's last-FC exclusion).
+	Exclude []string
+	// RegSDCThresholdDeg is the steering deviation (degrees) above which
+	// a regressor trial counts as an SDC in detector accounting; 0 means
+	// the paper's smallest threshold, 15 degrees.
+	RegSDCThresholdDeg float64
+	// TargetNodes, when non-empty, restricts the fault space to the named
+	// nodes (used for per-node vulnerability estimation by the selective
+	// duplication baseline).
+	TargetNodes []string
+}
+
+// regSDCThreshold returns the effective regressor SDC threshold.
+func (c *Campaign) regSDCThreshold() float64 {
+	if c.RegSDCThresholdDeg > 0 {
+		return c.RegSDCThresholdDeg
+	}
+	return 15
+}
+
+// Outcome aggregates a campaign's results. For classifiers Top1SDC and
+// Top5SDC count trials whose fault-free top-1 label left the faulty top-1
+// (resp. top-5) predictions. For regressors Deviations holds per-trial
+// absolute output deviations in degrees.
+type Outcome struct {
+	Trials     int
+	Top1SDC    int
+	Top5SDC    int
+	Deviations []float64
+}
+
+// Top1Rate returns the top-1 SDC rate in [0,1].
+func (o Outcome) Top1Rate() float64 { return float64(o.Top1SDC) / float64(o.Trials) }
+
+// Top5Rate returns the top-5 SDC rate in [0,1].
+func (o Outcome) Top5Rate() float64 { return float64(o.Top5SDC) / float64(o.Trials) }
+
+// RateAbove returns the fraction of deviations exceeding a threshold (in
+// degrees), the steering-model SDC definition of §V-B (15/30/60/120).
+func (o Outcome) RateAbove(thresholdDeg float64) float64 {
+	n := 0
+	for _, d := range o.Deviations {
+		if d > thresholdDeg {
+			n++
+		}
+	}
+	return float64(n) / float64(len(o.Deviations))
+}
+
+// faultSpace describes the sampleable output elements of a graph for one
+// input shape: the evaluated, non-excluded operator outputs.
+type faultSpace struct {
+	nodes []string
+	sizes []int
+	total int64
+}
+
+// buildFaultSpace runs the graph once to discover which nodes execute for
+// the model output and how many output elements each produces. Sites are
+// then sampled uniformly over *elements* (not ops), matching the paper's
+// state-space accounting (its last-FC exclusion argument counts elements).
+func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNodes []string) (*faultSpace, error) {
+	excluded := make(map[string]bool, len(m.ExcludeFI)+len(extraExclude))
+	for _, n := range m.ExcludeFI {
+		excluded[n] = true
+	}
+	for _, n := range extraExclude {
+		excluded[n] = true
+	}
+	var targets map[string]bool
+	if len(targetNodes) > 0 {
+		targets = make(map[string]bool, len(targetNodes))
+		for _, n := range targetNodes {
+			targets[n] = true
+		}
+	}
+	fs := &faultSpace{}
+	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+		switch n.Op().(type) {
+		case *graph.Placeholder, *graph.Variable:
+			return nil
+		}
+		if excluded[n.Name()] {
+			return nil
+		}
+		if targets != nil && !targets[n.Name()] {
+			return nil
+		}
+		fs.nodes = append(fs.nodes, n.Name())
+		fs.sizes = append(fs.sizes, out.Size())
+		fs.total += int64(out.Size())
+		return nil
+	}}
+	if _, err := e.Run(m.Graph, feeds, m.Output); err != nil {
+		return nil, fmt.Errorf("inject: dry run: %w", err)
+	}
+	if fs.total == 0 {
+		return nil, fmt.Errorf("inject: empty fault space for %s", m.Name)
+	}
+	return fs, nil
+}
+
+// sampleFaultSites draws the fault locations for one execution according
+// to the campaign's fault model: BitFlips independent (node, element, bit)
+// sites by default, or BitFlips consecutive bits of one element under the
+// Consecutive model.
+func (c *Campaign) sampleFaultSites(fs *faultSpace, rng *rand.Rand) map[string][]site {
+	sites := make(map[string][]site, c.Fault.BitFlips)
+	width := c.Fault.Format.Bits()
+	if c.Fault.Consecutive && c.Fault.BitFlips > 1 {
+		k := c.Fault.BitFlips
+		if k > width {
+			k = width
+		}
+		s := fs.sampleSite(rng, width-k+1)
+		for b := 0; b < k; b++ {
+			sites[s.node] = append(sites[s.node], site{node: s.node, elem: s.elem, bit: s.bit + b})
+		}
+		return sites
+	}
+	for b := 0; b < c.Fault.BitFlips; b++ {
+		s := fs.sampleSite(rng, width)
+		sites[s.node] = append(sites[s.node], s)
+	}
+	return sites
+}
+
+// sampleSite draws a fault location uniformly over output elements.
+func (fs *faultSpace) sampleSite(rng *rand.Rand, bits int) site {
+	k := rng.Int63n(fs.total)
+	for i, sz := range fs.sizes {
+		if k < int64(sz) {
+			return site{node: fs.nodes[i], elem: int(k), bit: rng.Intn(bits)}
+		}
+		k -= int64(sz)
+	}
+	// Unreachable if sizes sum to total.
+	return site{node: fs.nodes[len(fs.nodes)-1], elem: 0, bit: rng.Intn(bits)}
+}
+
+// Run executes the campaign over the given inputs. Each input's fault-free
+// output is the SDC reference, as in the paper (inputs are chosen so the
+// fault-free prediction is correct; see experiments.SelectInputs).
+func (c *Campaign) Run(inputs []graph.Feeds) (Outcome, error) {
+	if c.Trials <= 0 {
+		return Outcome{}, fmt.Errorf("inject: trials = %d", c.Trials)
+	}
+	if c.Fault.BitFlips <= 0 {
+		return Outcome{}, fmt.Errorf("inject: bit flips = %d", c.Fault.BitFlips)
+	}
+	if len(inputs) == 0 {
+		return Outcome{}, fmt.Errorf("inject: no inputs")
+	}
+	rng := newCampaignRNG(c.Seed)
+	var out Outcome
+	var clean graph.Executor
+	for _, feeds := range inputs {
+		fs, err := buildFaultSpace(c.Model, feeds, c.Exclude, c.TargetNodes)
+		if err != nil {
+			return Outcome{}, err
+		}
+		refOuts, err := clean.Run(c.Model.Graph, feeds, c.Model.Output)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("inject: clean run: %w", err)
+		}
+		ref := refOuts[0]
+		for trial := 0; trial < c.Trials; trial++ {
+			sites := c.sampleFaultSites(fs, rng)
+			faulty, err := c.runWithFaults(feeds, sites)
+			if err != nil {
+				return Outcome{}, err
+			}
+			c.judge(&out, ref, faulty)
+			out.Trials++
+		}
+	}
+	return out, nil
+}
+
+// runWithFaults executes the model with the given fault sites applied to
+// operator outputs.
+func (c *Campaign) runWithFaults(feeds graph.Feeds, sites map[string][]site) (*tensor.Tensor, error) {
+	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+		ss, ok := sites[n.Name()]
+		if !ok {
+			return nil
+		}
+		repl := out.Clone()
+		for _, s := range ss {
+			idx := s.elem
+			if idx >= repl.Size() {
+				idx = repl.Size() - 1
+			}
+			v, err := c.Fault.Format.FlipBit(repl.Data()[idx], s.bit)
+			if err == nil {
+				repl.Data()[idx] = v
+			}
+		}
+		return repl
+	}}
+	outs, err := e.Run(c.Model.Graph, feeds, c.Model.Output)
+	if err != nil {
+		return nil, fmt.Errorf("inject: faulty run: %w", err)
+	}
+	return outs[0], nil
+}
+
+// judge updates SDC counters by comparing the faulty output against the
+// fault-free reference.
+func (c *Campaign) judge(out *Outcome, ref, faulty *tensor.Tensor) {
+	switch c.Model.Kind {
+	case models.Classifier:
+		cleanLabel := ref.ArgMax()
+		if faulty.ArgMax() != cleanLabel {
+			out.Top1SDC++
+		}
+		in5 := false
+		for _, l := range faulty.TopK(5) {
+			if l == cleanLabel {
+				in5 = true
+				break
+			}
+		}
+		if !in5 {
+			out.Top5SDC++
+		}
+	case models.Regressor:
+		dev := math.Abs(float64(faulty.Data()[0] - ref.Data()[0]))
+		if !c.Model.OutputInDegrees {
+			dev = dev * 180 / math.Pi
+		}
+		if math.IsNaN(dev) {
+			dev = math.Inf(1)
+		}
+		out.Deviations = append(out.Deviations, dev)
+	}
+}

@@ -1,0 +1,349 @@
+package inject
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ranger/internal/core"
+	"ranger/internal/data"
+	"ranger/internal/fixpoint"
+	"ranger/internal/graph"
+	"ranger/internal/models"
+	"ranger/internal/ops"
+)
+
+// untrained lenet is enough for mechanics tests; SDC-rate shape tests use
+// the trained zoo in the experiments package.
+func lenetInputs(t *testing.T, n int) (*models.Model, []graph.Feeds) {
+	t.Helper()
+	m, err := models.Build("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := data.NewDigits()
+	feeds := make([]graph.Feeds, n)
+	for i := range feeds {
+		s := ds.Sample(data.Train, i)
+		feeds[i] = graph.Feeds{m.Input: s.X}
+	}
+	return m, feeds
+}
+
+func TestCampaignValidation(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	if _, err := (&Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 0}).Run(feeds); err == nil {
+		t.Fatal("want trials error")
+	}
+	if _, err := (&Campaign{Model: m, Fault: FaultModel{Format: fixpoint.Q32}, Trials: 1}).Run(feeds); err == nil {
+		t.Fatal("want bitflips error")
+	}
+	if _, err := (&Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 1}).Run(nil); err == nil {
+		t.Fatal("want inputs error")
+	}
+}
+
+func TestCampaignRunsAndCounts(t *testing.T) {
+	m, feeds := lenetInputs(t, 2)
+	c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 25, Seed: 1}
+	out, err := c.Run(feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 50 {
+		t.Fatalf("trials = %d, want 50", out.Trials)
+	}
+	if out.Top1SDC < 0 || out.Top1SDC > out.Trials {
+		t.Fatalf("top1 = %d", out.Top1SDC)
+	}
+	// Top-5 misses imply top-1 misses: top5 SDC count <= top1 SDC count.
+	if out.Top5SDC > out.Top1SDC {
+		t.Fatalf("top5 SDC %d > top1 SDC %d", out.Top5SDC, out.Top1SDC)
+	}
+}
+
+func TestCampaignDeterministicAcrossRuns(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	run := func() Outcome {
+		c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 30, Seed: 42}
+		out, err := c.Run(feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a.Top1SDC != b.Top1SDC || a.Top5SDC != b.Top5SDC {
+		t.Fatalf("campaigns differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestFaultSpaceExcludesLastFC(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	fs, err := buildFaultSpace(m, feeds[0], nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	excluded := make(map[string]bool)
+	for _, n := range m.ExcludeFI {
+		excluded[n] = true
+	}
+	for _, name := range fs.nodes {
+		if excluded[name] {
+			t.Fatalf("excluded node %q in fault space", name)
+		}
+		node, _ := m.Graph.Node(name)
+		switch node.Op().(type) {
+		case *graph.Placeholder, *graph.Variable:
+			t.Fatalf("non-operator %q in fault space", name)
+		}
+	}
+	if fs.total <= 0 {
+		t.Fatal("empty space")
+	}
+}
+
+func TestFaultSpaceExtraExclude(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	base, err := buildFaultSpace(m, feeds[0], nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := buildFaultSpace(m, feeds[0], []string{base.nodes[0]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.total >= base.total {
+		t.Fatal("extra exclusion did not shrink the space")
+	}
+}
+
+func TestSampleSiteUniformOverElements(t *testing.T) {
+	fs := &faultSpace{nodes: []string{"a", "b"}, sizes: []int{10, 90}, total: 100}
+	rng := rand.New(rand.NewSource(3))
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		s := fs.sampleSite(rng, 32)
+		counts[s.node]++
+		if s.bit < 0 || s.bit >= 32 {
+			t.Fatalf("bit %d", s.bit)
+		}
+		if s.node == "a" && s.elem >= 10 {
+			t.Fatalf("elem %d out of a's range", s.elem)
+		}
+	}
+	// Element-weighted: node b (90% of elements) should dominate.
+	frac := float64(counts["b"]) / 5000
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("b fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestMultiBitAppliesMultipleFlips(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	c := &Campaign{Model: m, Fault: FaultModel{Format: fixpoint.Q32, BitFlips: 5}, Trials: 10, Seed: 9}
+	out, err := c.Run(feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 10 {
+		t.Fatalf("trials = %d", out.Trials)
+	}
+}
+
+func TestRegressorDeviations(t *testing.T) {
+	m, err := models.Build("comma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := data.NewDriving()
+	feeds := []graph.Feeds{{m.Input: ds.Sample(data.Train, 0).X}}
+	c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 20, Seed: 2}
+	out, err := c.Run(feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deviations) != 20 {
+		t.Fatalf("deviations = %d", len(out.Deviations))
+	}
+	for _, d := range out.Deviations {
+		if d < 0 || math.IsNaN(d) {
+			t.Fatalf("bad deviation %v", d)
+		}
+	}
+	// RateAbove is monotone decreasing in the threshold.
+	prev := 1.1
+	for _, th := range []float64{15, 30, 60, 120} {
+		r := out.RateAbove(th)
+		if r > prev {
+			t.Fatalf("rate not monotone at %v", th)
+		}
+		prev = r
+	}
+}
+
+func TestRadianModelDeviationsInDegrees(t *testing.T) {
+	m, err := models.Build("dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OutputInDegrees {
+		t.Fatal("dave should be radians")
+	}
+	ds := data.NewDrivingRadians()
+	feeds := []graph.Feeds{{m.Input: ds.Sample(data.Train, 0).X}}
+	c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 30, Seed: 5}
+	out, err := c.Run(feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dave's output is within (-pi, pi) radians; converted deviations are
+	// bounded by 360 degrees.
+	for _, d := range out.Deviations {
+		if d > 360.0001 {
+			t.Fatalf("radian conversion missing: deviation %v deg", d)
+		}
+	}
+}
+
+// Protection integration: a Ranger-protected model must see its SDC rate
+// drop under the same campaign seeds. This is the paper's core claim in
+// miniature (full-scale campaigns are in the experiments package).
+func TestProtectedModelHasFewerSDCs(t *testing.T) {
+	m, feeds := lenetInputs(t, 2)
+	// Profile bounds on a handful of training samples.
+	ds := data.NewDigits()
+	bounds, err := core.ProfileModel(m, core.ProfileOptions{}, 10, func(i int) (graph.Feeds, error) {
+		return graph.Feeds{m.Input: ds.Sample(data.Train, 100+i).X}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, _, err := core.ProtectModel(m, bounds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := 150
+	origOut, err := (&Campaign{Model: m, Fault: DefaultFaultModel(), Trials: trials, Seed: 11}).Run(feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protFeeds := make([]graph.Feeds, len(feeds))
+	for i, f := range feeds {
+		protFeeds[i] = graph.Feeds{pm.Input: f[m.Input]}
+	}
+	protOut, err := (&Campaign{Model: pm, Fault: DefaultFaultModel(), Trials: trials, Seed: 11}).Run(protFeeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if protOut.Top1SDC > origOut.Top1SDC {
+		t.Fatalf("protected SDCs %d > original %d", protOut.Top1SDC, origOut.Top1SDC)
+	}
+}
+
+func TestClipNodesAreInFaultSpace(t *testing.T) {
+	// Faults can strike the inserted Clip operators themselves; they must
+	// not be silently excluded (coverage honesty).
+	m, feeds := lenetInputs(t, 1)
+	bounds := core.Bounds{}
+	for _, name := range m.Graph.NamesByType(ops.TypeRelu) {
+		bounds[name] = core.Bound{Low: 0, High: 10}
+	}
+	pm, res, err := core.ProtectModel(m, bounds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := buildFaultSpace(pm, graph.Feeds{pm.Input: feeds[0][m.Input]}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSpace := make(map[string]bool, len(fs.nodes))
+	for _, n := range fs.nodes {
+		inSpace[n] = true
+	}
+	for _, clip := range res.Protected {
+		if !inSpace[clip] {
+			t.Fatalf("clip %q missing from fault space", clip)
+		}
+	}
+}
+
+func TestOutcomeRates(t *testing.T) {
+	o := Outcome{Trials: 200, Top1SDC: 30, Top5SDC: 10}
+	if o.Top1Rate() != 0.15 || o.Top5Rate() != 0.05 {
+		t.Fatalf("rates = %v %v", o.Top1Rate(), o.Top5Rate())
+	}
+	o2 := Outcome{Deviations: []float64{1, 20, 40, 200}}
+	if o2.RateAbove(30) != 0.5 {
+		t.Fatalf("rate above = %v", o2.RateAbove(30))
+	}
+}
+
+func TestConsecutiveMultiBitFaults(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	c := &Campaign{
+		Model:  m,
+		Fault:  FaultModel{Format: fixpoint.Q32, BitFlips: 3, Consecutive: true},
+		Trials: 15,
+		Seed:   21,
+	}
+	out, err := c.Run(feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 15 {
+		t.Fatalf("trials = %d", out.Trials)
+	}
+}
+
+func TestConsecutiveSitesShareOneElement(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	fs, err := buildFaultSpace(m, feeds[0], nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Campaign{Model: m, Fault: FaultModel{Format: fixpoint.Q16, BitFlips: 4, Consecutive: true}}
+	rng := newCampaignRNG(3)
+	for trial := 0; trial < 100; trial++ {
+		sites := c.sampleFaultSites(fs, rng)
+		if len(sites) != 1 {
+			t.Fatalf("consecutive flips span %d nodes, want 1", len(sites))
+		}
+		for _, ss := range sites {
+			if len(ss) != 4 {
+				t.Fatalf("got %d flips, want 4", len(ss))
+			}
+			for i := 1; i < len(ss); i++ {
+				if ss[i].elem != ss[0].elem || ss[i].bit != ss[i-1].bit+1 {
+					t.Fatalf("bits not consecutive on one element: %+v", ss)
+				}
+			}
+			if ss[len(ss)-1].bit >= c.Fault.Format.Bits() {
+				t.Fatalf("bit out of range: %+v", ss)
+			}
+		}
+	}
+}
+
+func TestIndependentSitesSampleWholeWidth(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	fs, err := buildFaultSpace(m, feeds[0], nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Campaign{Model: m, Fault: FaultModel{Format: fixpoint.Q16, BitFlips: 1}}
+	rng := newCampaignRNG(4)
+	seenHigh := false
+	for trial := 0; trial < 300; trial++ {
+		for _, ss := range c.sampleFaultSites(fs, rng) {
+			for _, s := range ss {
+				if s.bit >= 12 {
+					seenHigh = true
+				}
+			}
+		}
+	}
+	if !seenHigh {
+		t.Fatal("single-bit sampling never hit high-order bits")
+	}
+}

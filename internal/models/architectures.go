@@ -1,0 +1,347 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"ranger/internal/graph"
+	"ranger/internal/ops"
+)
+
+// DatasetName is attached to each model so the trainer and experiment
+// harness can pair models with their datasets.
+type buildFunc func() *Model
+
+// registry maps model names to constructors. The "-tanh" variants retrain
+// with Tanh activations for the Hong et al. comparison (Fig. 8).
+var registry = map[string]buildFunc{
+	"lenet":        func() *Model { return LeNet(ActRelu) },
+	"lenet-tanh":   func() *Model { return LeNet(ActTanh) },
+	"alexnet":      func() *Model { return AlexNet(ActRelu) },
+	"alexnet-tanh": func() *Model { return AlexNet(ActTanh) },
+	"vgg11":        func() *Model { return VGG11(ActRelu) },
+	"vgg11-tanh":   func() *Model { return VGG11(ActTanh) },
+	"vgg16":        func() *Model { return VGG16(ActRelu) },
+	"resnet18":     func() *Model { return ResNet18(ActRelu) },
+	"squeezenet":   func() *Model { return SqueezeNet(ActRelu) },
+	"dave":         func() *Model { return Dave(ActRelu, false) },
+	"dave-tanh":    func() *Model { return Dave(ActTanh, false) },
+	"dave-degrees": func() *Model { return Dave(ActRelu, true) },
+	"comma":        func() *Model { return Comma(ActElu) },
+	"comma-tanh":   func() *Model { return Comma(ActTanh) },
+}
+
+// Build constructs a model by registry name.
+func Build(name string) (*Model, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q", name)
+	}
+	return f(), nil
+}
+
+// Names returns the canonical eight paper models in evaluation order.
+func Names() []string {
+	return []string{"lenet", "alexnet", "vgg11", "vgg16", "resnet18", "squeezenet", "dave", "comma"}
+}
+
+// ClassifierNames returns the six classifier models of Fig. 6.
+func ClassifierNames() []string {
+	return []string{"lenet", "alexnet", "vgg11", "vgg16", "resnet18", "squeezenet"}
+}
+
+// LeNet is the classic LeNet-5 on the digits (MNIST stand-in) dataset.
+// Full-size channels (6, 16) are kept; this model is already laptop-scale.
+func LeNet(act Activation) *Model {
+	b := newBuilder(11, act)
+	b.input(28, 28, 1)
+	b.conv(6, 5, 5, 1, 2)
+	b.activation()
+	b.maxPool(2, 2)
+	b.conv(16, 5, 5, 1, 0)
+	b.activation()
+	b.maxPool(2, 2)
+	b.flatten()
+	b.dense(120)
+	b.activation()
+	b.dense(84)
+	b.activation()
+	last := b.dense(10)
+	m := b.finishClassifier(nameWithAct("lenet", act), 10, []int{28, 28, 1}, fcNodeNames(last))
+	m.Dataset = "digits"
+	return m
+}
+
+// AlexNet is a 5-conv/3-fc AlexNet-family model on the objects10
+// (CIFAR-10 stand-in) dataset; channels scaled ~1/4 of the CIFAR variant.
+func AlexNet(act Activation) *Model {
+	b := newBuilder(22, act)
+	b.input(32, 32, 3)
+	b.conv(16, 3, 3, 1, 1)
+	b.activation()
+	b.maxPool(2, 2)
+	b.conv(24, 3, 3, 1, 1)
+	b.activation()
+	b.maxPool(2, 2)
+	b.conv(32, 3, 3, 1, 1)
+	b.activation()
+	b.conv(32, 3, 3, 1, 1)
+	b.activation()
+	b.conv(24, 3, 3, 1, 1)
+	b.activation()
+	b.maxPool(2, 2)
+	b.flatten()
+	b.dense(128)
+	b.activation()
+	b.dense(64)
+	b.activation()
+	last := b.dense(10)
+	m := b.finishClassifier(nameWithAct("alexnet", act), 10, []int{32, 32, 3}, fcNodeNames(last))
+	m.Dataset = "objects10"
+	return m
+}
+
+// VGG11 is configuration A of VGGNet on the signs (GTSRB stand-in)
+// dataset, channels scaled 1/8 (8..64 instead of 64..512).
+func VGG11(act Activation) *Model {
+	b := newBuilder(33, act)
+	b.input(32, 32, 3)
+	for _, c := range []int{8, -1, 16, -1, 32, 32, -1, 64, 64, -1, 64, 64, -1} {
+		if c == -1 {
+			b.maxPool(2, 2)
+			continue
+		}
+		b.conv(c, 3, 3, 1, 1)
+		b.activation()
+	}
+	b.flatten()
+	b.dense(64)
+	b.activation()
+	b.dense(64)
+	b.activation()
+	last := b.dense(8)
+	m := b.finishClassifier(nameWithAct("vgg11", act), 8, []int{32, 32, 3}, fcNodeNames(last))
+	m.Dataset = "signs"
+	return m
+}
+
+// VGG16 is configuration D of VGGNet on the imnet (ImageNet stand-in)
+// dataset: 13 conv+ACT layers exactly as the paper notes ("13 ACT layers
+// in total" under Fig. 4), channels scaled 1/8.
+func VGG16(act Activation) *Model {
+	b := newBuilder(44, act)
+	b.input(64, 64, 3)
+	for _, c := range []int{8, 8, -1, 16, 16, -1, 32, 32, 32, -1, 64, 64, 64, -1, 64, 64, 64, -1} {
+		if c == -1 {
+			b.maxPool(2, 2)
+			continue
+		}
+		b.conv(c, 3, 3, 1, 1)
+		b.activation()
+	}
+	b.flatten()
+	b.dense(128)
+	b.activation()
+	b.dense(128)
+	b.activation()
+	last := b.dense(20)
+	m := b.finishClassifier(nameWithAct("vgg16", act), 20, []int{64, 64, 3}, fcNodeNames(last))
+	m.Dataset = "imnet"
+	return m
+}
+
+// ResNet18 is the 4-stage, 2-block-per-stage residual network on the
+// imnet dataset, channels scaled 1/8 (8..64). Identity shortcuts use Add;
+// downsampling shortcuts use a 1x1 strided conv projection.
+func ResNet18(act Activation) *Model {
+	b := newBuilder(55, act)
+	b.input(64, 64, 3)
+	b.conv(8, 3, 3, 1, 1)
+	b.activation()
+	channels := []int{8, 16, 32, 64}
+	for stage, c := range channels {
+		for block := 0; block < 2; block++ {
+			stride := 1
+			if stage > 0 && block == 0 {
+				stride = 2
+			}
+			residualBlock(b, c, stride)
+		}
+	}
+	b.avgPoolGlobal()
+	b.flatten()
+	last := b.dense(20)
+	m := b.finishClassifier(nameWithAct("resnet18", act), 20, []int{64, 64, 3}, fcNodeNames(last))
+	m.Dataset = "imnet"
+	return m
+}
+
+// residualBlock appends a basic ResNet block: conv-act-conv plus a skip
+// connection joined by Add, followed by an activation.
+func residualBlock(b *builder, outC, stride int) {
+	skip := b.last
+	skipShape := append([]int{}, b.cur...)
+	b.conv(outC, 3, 3, stride, 1)
+	b.activation()
+	b.conv(outC, 3, 3, 1, 1)
+	main := b.last
+	mainShape := append([]int{}, b.cur...)
+	if skipShape[0] != mainShape[0] || skipShape[2] != mainShape[2] {
+		// Projection shortcut: 1x1 conv with the block's stride.
+		b.last = skip
+		b.cur = skipShape
+		b.conv(outC, 1, 1, stride, 0)
+		skip = b.last
+	}
+	b.last = b.g.MustAdd(b.name("resadd"), ops.AddOp{}, main, skip)
+	b.cur = mainShape
+	b.activation()
+}
+
+// SqueezeNet is the fire-module architecture on the imnet dataset,
+// scaled ~1/8. Its Concat joins two ACT outputs, exercising Algorithm 1's
+// Concatenate rule (bound = min/max of the two preceding ACT bounds).
+func SqueezeNet(act Activation) *Model {
+	b := newBuilder(66, act)
+	b.input(64, 64, 3)
+	b.conv(16, 3, 3, 2, 1)
+	b.activation()
+	b.maxPool(3, 2)
+	fireModule(b, 4, 8)
+	fireModule(b, 4, 8)
+	b.maxPool(3, 2)
+	fireModule(b, 8, 16)
+	fireModule(b, 8, 16)
+	b.maxPool(3, 2)
+	fireModule(b, 12, 24)
+	// Classifier head: 1x1 conv to classes, ACT, global average pool.
+	head := b.conv(20, 1, 1, 1, 0) // returns the head's BiasAdd node
+	headAct := b.activation()
+	gap := b.avgPoolGlobal()
+	flat := b.flatten()
+	exclude := []string{head.Name(), headAct.Name(), gap.Name(), flat.Name()}
+	for _, in := range head.Inputs() {
+		if in.OpType() == ops.TypeConv2D {
+			exclude = append(exclude, in.Name())
+		}
+	}
+	m := b.finishClassifier(nameWithAct("squeezenet", act), 20, []int{64, 64, 3}, exclude)
+	m.Dataset = "imnet"
+	return m
+}
+
+// fireModule appends a squeeze 1x1 conv + ACT followed by parallel
+// expand-1x1 and expand-3x3 convs (+ACT each) joined by Concat.
+func fireModule(b *builder, squeezeC, expandC int) {
+	b.conv(squeezeC, 1, 1, 1, 0)
+	b.activation()
+	sq := b.last
+	sqShape := append([]int{}, b.cur...)
+
+	b.conv(expandC, 1, 1, 1, 0)
+	e1 := b.activation()
+	e1Shape := append([]int{}, b.cur...)
+
+	b.last = sq
+	b.cur = sqShape
+	b.conv(expandC, 3, 3, 1, 1)
+	e3 := b.activation()
+
+	b.last = b.g.MustAdd(b.name("concat"), ops.ConcatOp{}, e1, e3)
+	b.cur = []int{e1Shape[0], e1Shape[1], 2 * expandC}
+}
+
+// Dave is the Nvidia Dave-2 steering model on the driving dataset,
+// channels scaled ~1/4. The head reproduces the SullyChen TensorFlow
+// implementation the paper uses: y = 2·atan(fc), emitting radians. The
+// degrees variant (the paper's retrained model, §VI-A) scales the atan
+// output to degrees instead, giving the output a larger dynamic range.
+func Dave(act Activation, degrees bool) *Model {
+	seed := int64(77)
+	if degrees {
+		seed = 78
+	}
+	b := newBuilder(seed, act)
+	b.input(66, 200, 3)
+	b.conv(6, 5, 5, 2, 0)
+	b.activation()
+	b.conv(9, 5, 5, 2, 0)
+	b.activation()
+	b.conv(12, 5, 5, 2, 0)
+	b.activation()
+	b.conv(16, 3, 3, 1, 0)
+	b.activation()
+	b.conv(16, 3, 3, 1, 0)
+	b.activation()
+	b.flatten()
+	b.dense(100)
+	b.activation()
+	b.dense(50)
+	b.activation()
+	b.dense(10)
+	b.activation()
+	lastFC := b.dense(1)
+	atan := b.g.MustAdd("atan_out", ops.Atan(), b.last)
+	factor := float32(2)
+	if degrees {
+		factor = float32(2 * 180 / math.Pi)
+	}
+	out := b.g.MustAdd("steering", &ops.ScaleOp{Factor: factor}, atan)
+	b.last = out
+	name := nameWithAct("dave", act)
+	dataset := "driving-rad"
+	if degrees {
+		name = "dave-degrees"
+		dataset = "driving-deg"
+	}
+	exclude := append(fcNodeNames(lastFC), "atan_out", "steering")
+	m := b.finishRegressor(name, []int{66, 200, 3}, degrees, exclude)
+	m.Dataset = dataset
+	return m
+}
+
+// Comma is the Comma.ai research steering model on the driving dataset,
+// channels scaled ~1/2. It keeps the original's ELU activations and
+// linear head, emitting the steering angle directly in degrees — the
+// larger output dynamic range the paper credits for its resilience.
+func Comma(act Activation) *Model {
+	b := newBuilder(88, act)
+	b.input(66, 200, 3)
+	b.conv(8, 8, 8, 4, 0)
+	b.activation()
+	b.conv(12, 5, 5, 2, 0)
+	b.activation()
+	b.conv(16, 5, 5, 2, 0)
+	b.activation()
+	b.flatten()
+	b.dense(64)
+	b.activation()
+	lastFC := b.dense(1)
+	name := "comma"
+	if act != ActElu {
+		name = nameWithAct("comma", act)
+	}
+	m := b.finishRegressor(name, []int{66, 200, 3}, true, fcNodeNames(lastFC))
+	m.Dataset = "driving-deg"
+	return m
+}
+
+func nameWithAct(base string, act Activation) string {
+	if act == ActRelu {
+		return base
+	}
+	return base + "-" + string(act)
+}
+
+// fcNodeNames returns the node names making up a dense layer (the BiasAdd
+// node returned by builder.dense plus its MatMul input), which the paper
+// excludes from the fault space for the final layer.
+func fcNodeNames(biasNode *graph.Node) []string {
+	names := []string{biasNode.Name()}
+	for _, in := range biasNode.Inputs() {
+		if in.OpType() == ops.TypeDense {
+			names = append(names, in.Name())
+		}
+	}
+	return names
+}

@@ -1,0 +1,210 @@
+// Package models defines the eight DNN benchmarks the Ranger paper
+// evaluates (LeNet, AlexNet, VGG11, VGG16, ResNet-18, SqueezeNet, the
+// Nvidia Dave and Comma.ai steering models), built as dataflow graphs.
+// Architectures keep the paper models' topology families — conv/ACT
+// stacks, max pooling, SqueezeNet's fire-module Concats, ResNet's residual
+// Adds, Dave's 2·atan radian head — with channel counts scaled down so the
+// models train on synthetic data in seconds. The scaling factors are
+// documented per architecture; SDC propagation depends on topology and the
+// monotone operators, not parameter count.
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ranger/internal/graph"
+	"ranger/internal/ops"
+	"ranger/internal/tensor"
+)
+
+// Kind distinguishes classification from regression models.
+type Kind int
+
+// Model kinds.
+const (
+	Classifier Kind = iota + 1
+	Regressor
+)
+
+// Activation selects the nonlinearity family for a model build; the
+// Hong et al. baseline (§V-B, Fig. 8) retrains models with Tanh in place
+// of ReLU.
+type Activation string
+
+// Supported activations.
+const (
+	ActRelu Activation = "relu"
+	ActTanh Activation = "tanh"
+	ActElu  Activation = "elu"
+)
+
+// Model couples a graph with the node names experiments need.
+type Model struct {
+	Name       string
+	Kind       Kind
+	Graph      *graph.Graph
+	Input      string // input placeholder
+	Output     string // prediction node: logits (N,C) or steering angle (N,1)
+	Labels     string // supervision placeholder
+	Loss       string // scalar training loss
+	NumClasses int
+	InputShape []int    // (H, W, C)
+	Dataset    string   // name of the dataset the model trains on
+	ExcludeFI  []string // nodes excluded from fault injection (last FC layer, loss path)
+	// OutputInDegrees is true when a steering model emits degrees; radian
+	// models need conversion before comparing against the paper's
+	// degree-denominated SDC thresholds.
+	OutputInDegrees bool
+}
+
+// builder provides layer-level construction over a graph with
+// deterministic naming and weight initialization.
+type builder struct {
+	g    *graph.Graph
+	rng  *rand.Rand
+	act  Activation
+	seq  int
+	last *graph.Node
+	cur  []int // current HWC shape (spatial layers) or [features]
+}
+
+func newBuilder(seed int64, act Activation) *builder {
+	return &builder{g: graph.New(), rng: rand.New(rand.NewSource(seed)), act: act}
+}
+
+func (b *builder) name(kind string) string {
+	b.seq++
+	return fmt.Sprintf("%s%d", kind, b.seq)
+}
+
+func (b *builder) input(h, w, c int) *graph.Node {
+	n := b.g.MustAdd("input", &graph.Placeholder{Shape: []int{0, h, w, c}})
+	b.last = n
+	b.cur = []int{h, w, c}
+	return n
+}
+
+func (b *builder) variable(name string, t *tensor.Tensor) *graph.Node {
+	return b.g.MustAdd(name, &graph.Variable{Value: t})
+}
+
+// conv adds Conv2D + BiasAdd. He/Xavier-style init keyed to the builder's
+// activation family.
+func (b *builder) conv(outC, kh, kw, stride, pad int) *graph.Node {
+	inC := b.cur[2]
+	fanIn := float64(kh * kw * inC)
+	std := math.Sqrt(2 / fanIn)
+	if b.act == ActTanh {
+		std = math.Sqrt(1 / fanIn)
+	}
+	name := b.name("conv")
+	w := b.variable(name+"_w", tensor.New(kh, kw, inC, outC).Randn(b.rng, std))
+	geom := tensor.ConvGeom{KH: kh, KW: kw, SH: stride, SW: stride, PadH: pad, PadW: pad}
+	n := b.g.MustAdd(name, &ops.Conv2DOp{Geom: geom}, b.last, w)
+	bias := b.variable(name+"_b", tensor.New(outC))
+	n = b.g.MustAdd(name+"_bias", ops.BiasAddOp{}, n, bias)
+	oh, ow := geom.OutDims(b.cur[0], b.cur[1])
+	b.cur = []int{oh, ow, outC}
+	b.last = n
+	return n
+}
+
+// activation appends the builder's configured nonlinearity.
+func (b *builder) activation() *graph.Node {
+	var op graph.Op
+	switch b.act {
+	case ActTanh:
+		op = ops.Tanh()
+	case ActElu:
+		op = ops.Elu()
+	default:
+		op = ops.Relu()
+	}
+	n := b.g.MustAdd(b.name("act"), op, b.last)
+	b.last = n
+	return n
+}
+
+func (b *builder) maxPool(k, stride int) *graph.Node {
+	geom := tensor.ConvGeom{KH: k, KW: k, SH: stride, SW: stride}
+	n := b.g.MustAdd(b.name("pool"), &ops.MaxPoolOp{Geom: geom}, b.last)
+	oh, ow := geom.OutDims(b.cur[0], b.cur[1])
+	b.cur = []int{oh, ow, b.cur[2]}
+	b.last = n
+	return n
+}
+
+func (b *builder) avgPoolGlobal() *graph.Node {
+	geom := tensor.ConvGeom{KH: b.cur[0], KW: b.cur[1], SH: 1, SW: 1}
+	n := b.g.MustAdd(b.name("gap"), &ops.AvgPoolOp{Geom: geom}, b.last)
+	b.cur = []int{1, 1, b.cur[2]}
+	b.last = n
+	return n
+}
+
+func (b *builder) flatten() *graph.Node {
+	n := b.g.MustAdd(b.name("flatten"), ops.Flatten(), b.last)
+	b.cur = []int{b.cur[0] * b.cur[1] * b.cur[2]}
+	b.last = n
+	return n
+}
+
+// dense adds MatMul + BiasAdd from the current flat features to outF.
+func (b *builder) dense(outF int) *graph.Node {
+	inF := b.cur[0]
+	std := math.Sqrt(2 / float64(inF))
+	if b.act == ActTanh {
+		std = math.Sqrt(1 / float64(inF))
+	}
+	name := b.name("fc")
+	w := b.variable(name+"_w", tensor.New(inF, outF).Randn(b.rng, std))
+	n := b.g.MustAdd(name, ops.DenseOp{}, b.last, w)
+	bias := b.variable(name+"_b", tensor.New(outF))
+	n = b.g.MustAdd(name+"_bias", ops.BiasAddOp{}, n, bias)
+	b.cur = []int{outF}
+	b.last = n
+	return n
+}
+
+// finishClassifier appends the label placeholder and cross-entropy loss;
+// logits is the current node. The paper excludes the last FC layer from
+// the fault space (§V-B RQ1) because duplicating it is cheap; lastFC names
+// those nodes.
+func (b *builder) finishClassifier(name string, classes int, inputShape []int, lastFC []string) *Model {
+	logits := b.last
+	labels := b.g.MustAdd("labels", &graph.Placeholder{})
+	loss := b.g.MustAdd("loss", ops.XentOp{}, logits, labels)
+	b.g.MustAdd("probs", ops.SoftmaxOp{}, logits)
+	return &Model{
+		Name:       name,
+		Kind:       Classifier,
+		Graph:      b.g,
+		Input:      "input",
+		Output:     logits.Name(),
+		Labels:     labels.Name(),
+		Loss:       loss.Name(),
+		NumClasses: classes,
+		InputShape: inputShape,
+		ExcludeFI:  append(lastFC, "labels", "loss", "probs"),
+	}
+}
+
+func (b *builder) finishRegressor(name string, inputShape []int, degrees bool, lastFC []string) *Model {
+	pred := b.last
+	labels := b.g.MustAdd("labels", &graph.Placeholder{})
+	loss := b.g.MustAdd("loss", ops.MSEOp{}, pred, labels)
+	return &Model{
+		Name:            name,
+		Kind:            Regressor,
+		Graph:           b.g,
+		Input:           "input",
+		Output:          pred.Name(),
+		Labels:          labels.Name(),
+		Loss:            loss.Name(),
+		InputShape:      inputShape,
+		ExcludeFI:       append(lastFC, "labels", "loss"),
+		OutputInDegrees: degrees,
+	}
+}

@@ -1,0 +1,237 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"ranger/internal/data"
+	"ranger/internal/graph"
+	"ranger/internal/ops"
+	"ranger/internal/tensor"
+)
+
+// datasetByName resolves the generators used to smoke-test each model.
+func datasetByName(t *testing.T, name string) data.Dataset {
+	t.Helper()
+	switch name {
+	case "digits":
+		return data.NewDigits()
+	case "objects10":
+		return data.NewObjects10()
+	case "signs":
+		return data.NewSigns()
+	case "imnet":
+		return data.NewImNet()
+	case "driving-rad":
+		return data.NewDrivingRadians()
+	case "driving-deg":
+		return data.NewDriving()
+	default:
+		t.Fatalf("unknown dataset %q", name)
+		return nil
+	}
+}
+
+func TestAllModelsForwardPass(t *testing.T) {
+	var names []string
+	names = append(names, Names()...)
+	names = append(names, "lenet-tanh", "alexnet-tanh", "vgg11-tanh", "dave-tanh", "comma-tanh", "dave-degrees")
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, err := Build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := datasetByName(t, m.Dataset)
+			x, labels, _ := data.Batch(ds, data.Train, []int{0, 1})
+			var e graph.Executor
+			outs, err := e.Run(m.Graph, graph.Feeds{m.Input: x}, m.Output)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := outs[0]
+			if out.Dim(0) != 2 {
+				t.Fatalf("batch dim = %d", out.Dim(0))
+			}
+			switch m.Kind {
+			case Classifier:
+				if out.Rank() != 2 || out.Dim(1) != m.NumClasses {
+					t.Fatalf("logits shape %v for %d classes", out.Shape(), m.NumClasses)
+				}
+			case Regressor:
+				if out.Rank() != 2 || out.Dim(1) != 1 {
+					t.Fatalf("steering shape %v", out.Shape())
+				}
+			}
+			_ = labels
+		})
+	}
+}
+
+func TestAllModelsLossAndBackward(t *testing.T) {
+	// One representative per structural family to keep runtime modest:
+	// plain stack, residual Adds, fire-module Concats, atan head, ELU head.
+	for _, name := range []string{"lenet", "resnet18", "squeezenet", "dave", "comma"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, err := Build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := datasetByName(t, m.Dataset)
+			x, labels, targets := data.Batch(ds, data.Train, []int{0, 1})
+			feeds := graph.Feeds{m.Input: x}
+			if m.Kind == Classifier {
+				feeds[m.Labels] = data.OneHot(labels, m.NumClasses)
+			} else {
+				feeds[m.Labels] = data.TargetTensor(targets)
+			}
+			var e graph.Executor
+			cache, err := e.RunAll(m.Graph, feeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grads, err := e.Backward(m.Graph, cache, m.Loss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(grads) == 0 {
+				t.Fatal("no variable gradients")
+			}
+			// Every trainable variable must receive a gradient.
+			for _, v := range m.Graph.Variables() {
+				if grads[v.Name()] == nil {
+					t.Fatalf("variable %q has no gradient", v.Name())
+				}
+			}
+		})
+	}
+}
+
+func TestBuildUnknownModel(t *testing.T) {
+	if _, err := Build("nope"); err == nil {
+		t.Fatal("want unknown-model error")
+	}
+}
+
+func TestVGG16HasThirteenConvActs(t *testing.T) {
+	m, _ := Build("vgg16")
+	acts := m.Graph.NamesByType(ops.TypeRelu)
+	// 13 conv ACTs + 2 FC ACTs = 15 ReLU nodes; the paper's Fig. 4 counts
+	// the 13 conv ACT layers.
+	if len(acts) != 15 {
+		t.Fatalf("vgg16 relu count = %d, want 15", len(acts))
+	}
+	convs := m.Graph.NamesByType(ops.TypeConv2D)
+	if len(convs) != 13 {
+		t.Fatalf("vgg16 conv count = %d, want 13", len(convs))
+	}
+}
+
+func TestResNet18HasResidualAdds(t *testing.T) {
+	m, _ := Build("resnet18")
+	adds := m.Graph.NamesByType(ops.TypeAdd)
+	if len(adds) != 8 { // 4 stages x 2 blocks
+		t.Fatalf("resnet18 add count = %d, want 8", len(adds))
+	}
+}
+
+func TestSqueezeNetHasConcats(t *testing.T) {
+	m, _ := Build("squeezenet")
+	concats := m.Graph.NamesByType(ops.TypeConcat)
+	if len(concats) != 5 { // five fire modules
+		t.Fatalf("squeezenet concat count = %d, want 5", len(concats))
+	}
+	// Each concat's two inputs must be ACT nodes (expand-1x1, expand-3x3),
+	// the structure Algorithm 1's Concatenate rule relies on.
+	for _, name := range concats {
+		n, _ := m.Graph.Node(name)
+		for _, in := range n.Inputs() {
+			if in.OpType() != ops.TypeRelu {
+				t.Fatalf("concat %q input %q is %s, want Relu", name, in.Name(), in.OpType())
+			}
+		}
+	}
+}
+
+func TestTanhVariantsUseTanh(t *testing.T) {
+	m, _ := Build("lenet-tanh")
+	if len(m.Graph.NamesByType(ops.TypeTanh)) == 0 {
+		t.Fatal("lenet-tanh has no Tanh nodes")
+	}
+	if len(m.Graph.NamesByType(ops.TypeRelu)) != 0 {
+		t.Fatal("lenet-tanh still has Relu nodes")
+	}
+}
+
+func TestDaveHeadEmitsRadians(t *testing.T) {
+	m, _ := Build("dave")
+	if m.OutputInDegrees {
+		t.Fatal("dave must output radians")
+	}
+	// Force the pre-atan value high: output must saturate below pi.
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(1, 66, 200, 3).Randn(rng, 5)
+	var e graph.Executor
+	outs, err := e.Run(m.Graph, graph.Feeds{m.Input: x}, m.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := float64(outs[0].Data()[0])
+	if v > 3.1416 || v < -3.1416 {
+		t.Fatalf("dave output %v outside (-pi, pi)", v)
+	}
+	md, _ := Build("dave-degrees")
+	if !md.OutputInDegrees {
+		t.Fatal("dave-degrees must output degrees")
+	}
+}
+
+func TestCommaUsesElu(t *testing.T) {
+	m, _ := Build("comma")
+	if len(m.Graph.NamesByType(ops.TypeElu)) == 0 {
+		t.Fatal("comma has no ELU nodes")
+	}
+	if !m.OutputInDegrees {
+		t.Fatal("comma must output degrees")
+	}
+}
+
+func TestExcludeFICoversLastFC(t *testing.T) {
+	for _, name := range Names() {
+		m, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.ExcludeFI) == 0 {
+			t.Fatalf("%s: empty ExcludeFI", name)
+		}
+		for _, ex := range m.ExcludeFI {
+			if _, ok := m.Graph.Node(ex); !ok {
+				t.Fatalf("%s: ExcludeFI names unknown node %q", name, ex)
+			}
+		}
+	}
+}
+
+func TestModelsAreDeterministic(t *testing.T) {
+	a, _ := Build("lenet")
+	b, _ := Build("lenet")
+	va := a.Graph.Variables()
+	vb := b.Graph.Variables()
+	if len(va) != len(vb) {
+		t.Fatal("variable count differs")
+	}
+	for i := range va {
+		ta := va[i].Op().(*graph.Variable).Value
+		tb := vb[i].Op().(*graph.Variable).Value
+		for j := range ta.Data() {
+			if ta.Data()[j] != tb.Data()[j] {
+				t.Fatalf("weights differ in %s", va[i].Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package ops
+
+import (
+	"fmt"
+
+	"ranger/internal/graph"
+	"ranger/internal/tensor"
+)
+
+// TypeClip is the op type of the range-restriction operator Ranger
+// inserts. It is the counterpart of the tf.minimum/tf.maximum pair the
+// paper's TensorFlow implementation adds (§IV).
+const TypeClip = "RangerClip"
+
+// Policy selects what a Clip does to an out-of-bound value. The paper's
+// default restores the value to the violated bound; §VI-C evaluates two
+// design alternatives.
+type Policy int
+
+// Restriction policies from the paper.
+const (
+	// PolicyClip truncates out-of-bound values to the restriction bound
+	// (Ranger's default; deterministic, preserves accuracy).
+	PolicyClip Policy = iota + 1
+	// PolicyZero resets out-of-bound values to 0 (Reagen et al. style;
+	// shown in §VI-C to destroy accuracy).
+	PolicyZero
+	// PolicyRandom replaces out-of-bound values with a uniform random
+	// value inside the bound (viable but non-deterministic, §VI-C).
+	PolicyRandom
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyClip:
+		return "clip"
+	case PolicyZero:
+		return "zero"
+	case PolicyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ClipOp bounds every element of its input into [Low, High] according to
+// the chosen policy. For PolicyRandom the op draws from a deterministic
+// per-op xorshift stream so executions remain reproducible.
+type ClipOp struct {
+	Low, High float32
+	Policy    Policy
+	rngState  uint64
+}
+
+var _ graph.GradOp = (*ClipOp)(nil)
+
+// NewClip returns the default (truncating) range-restriction op.
+func NewClip(low, high float32) *ClipOp {
+	return &ClipOp{Low: low, High: high, Policy: PolicyClip}
+}
+
+// Type implements graph.Op.
+func (c *ClipOp) Type() string { return TypeClip }
+
+// Eval implements graph.Op.
+func (c *ClipOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("clip: want 1 input, got %d", len(in))
+	}
+	if c.Low > c.High {
+		return nil, fmt.Errorf("clip: low %g > high %g", c.Low, c.High)
+	}
+	out := in[0].Clone()
+	od := out.Data()
+	switch c.Policy {
+	case PolicyZero:
+		for i, v := range od {
+			if v < c.Low || v > c.High {
+				od[i] = 0
+			}
+		}
+	case PolicyRandom:
+		if c.rngState == 0 {
+			c.rngState = 0x9E3779B97F4A7C15
+		}
+		span := c.High - c.Low
+		for i, v := range od {
+			if v < c.Low || v > c.High {
+				c.rngState ^= c.rngState << 13
+				c.rngState ^= c.rngState >> 7
+				c.rngState ^= c.rngState << 17
+				u := float32(c.rngState>>11) / float32(1<<53)
+				od[i] = c.Low + u*span
+			}
+		}
+	default: // PolicyClip
+		for i, v := range od {
+			if v < c.Low {
+				od[i] = c.Low
+			} else if v > c.High {
+				od[i] = c.High
+			}
+		}
+	}
+	return out, nil
+}
+
+// Grad implements graph.GradOp: gradient passes through where the value is
+// strictly inside the bound (the clip is inserted post-training, but
+// supporting gradients keeps protected graphs trainable).
+func (c *ClipOp) Grad(in []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.Tensor, error) {
+	x := in[0]
+	g := tensor.New(x.Shape()...)
+	xd, gd, od := x.Data(), gout.Data(), g.Data()
+	for i, v := range xd {
+		if v >= c.Low && v <= c.High {
+			od[i] = gd[i]
+		}
+	}
+	return []*tensor.Tensor{g}, nil
+}

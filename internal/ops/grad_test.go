@@ -1,0 +1,337 @@
+package ops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ranger/internal/graph"
+	"ranger/internal/tensor"
+)
+
+// numericalGrad estimates d(sum-of-weighted-output)/d(input[k]) by central
+// differences and compares against the analytic Grad. The weighting tensor
+// plays the role of an upstream gradient.
+func checkGrad(t *testing.T, op graph.GradOp, inputs []*tensor.Tensor, diffIdx []int, tol float64) {
+	t.Helper()
+	out, err := op.Eval(inputs)
+	if err != nil {
+		t.Fatalf("%s eval: %v", op.Type(), err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	gout := tensor.New(out.Shape()...).Randn(rng, 1)
+	analytic, err := op.Grad(inputs, out, gout)
+	if err != nil {
+		t.Fatalf("%s grad: %v", op.Type(), err)
+	}
+	weighted := func() float64 {
+		o, err := op.Eval(inputs)
+		if err != nil {
+			t.Fatalf("%s re-eval: %v", op.Type(), err)
+		}
+		var s float64
+		for i := range o.Data() {
+			s += float64(o.Data()[i]) * float64(gout.Data()[i])
+		}
+		return s
+	}
+	const eps = 1e-2
+	for _, k := range diffIdx {
+		in := inputs[k]
+		if analytic[k] == nil {
+			t.Fatalf("%s: nil gradient for differentiable input %d", op.Type(), k)
+		}
+		// Probe a handful of elements.
+		n := in.Size()
+		probes := []int{0, n / 2, n - 1}
+		for _, p := range probes {
+			orig := in.Data()[p]
+			in.Data()[p] = orig + eps
+			plus := weighted()
+			in.Data()[p] = orig - eps
+			minus := weighted()
+			in.Data()[p] = orig
+			num := (plus - minus) / (2 * eps)
+			got := float64(analytic[k].Data()[p])
+			if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+				t.Fatalf("%s input %d elem %d: analytic %v vs numerical %v", op.Type(), k, p, got, num)
+			}
+		}
+	}
+}
+
+func TestActivationGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(2, 5).Randn(rng, 1)
+	// Nudge values away from ReLU/ELU kinks where central differences lie.
+	for i, v := range x.Data() {
+		if v > -0.05 && v < 0.05 {
+			x.Data()[i] = 0.3
+		}
+	}
+	for _, op := range []graph.Op{Relu(), Tanh(), Sigmoid(), Elu(), Atan()} {
+		checkGrad(t, op.(graph.GradOp), []*tensor.Tensor{x.Clone()}, []int{0}, 2e-2)
+	}
+}
+
+func TestActivationValues(t *testing.T) {
+	in := tensor.MustFromSlice([]float32{-2, -0.5, 0, 0.5, 2}, 5)
+	relu, _ := Relu().Eval([]*tensor.Tensor{in})
+	wantRelu := []float32{0, 0, 0, 0.5, 2}
+	for i, w := range wantRelu {
+		if relu.Data()[i] != w {
+			t.Fatalf("relu = %v", relu.Data())
+		}
+	}
+	tanh, _ := Tanh().Eval([]*tensor.Tensor{in})
+	if math.Abs(float64(tanh.Data()[4])-math.Tanh(2)) > 1e-6 {
+		t.Fatalf("tanh = %v", tanh.Data())
+	}
+	sig, _ := Sigmoid().Eval([]*tensor.Tensor{in})
+	if math.Abs(float64(sig.Data()[2])-0.5) > 1e-6 {
+		t.Fatalf("sigmoid(0) = %v", sig.Data()[2])
+	}
+	elu, _ := Elu().Eval([]*tensor.Tensor{in})
+	if math.Abs(float64(elu.Data()[0])-(math.Exp(-2)-1)) > 1e-6 {
+		t.Fatalf("elu(-2) = %v", elu.Data()[0])
+	}
+	if elu.Data()[4] != 2 {
+		t.Fatalf("elu(2) = %v", elu.Data()[4])
+	}
+	atan, _ := Atan().Eval([]*tensor.Tensor{in})
+	if math.Abs(float64(atan.Data()[4])-math.Atan(2)) > 1e-6 {
+		t.Fatalf("atan(2) = %v", atan.Data()[4])
+	}
+}
+
+func TestInherentBounds(t *testing.T) {
+	lo, hi, ok := InherentBound(TypeTanh)
+	if !ok || lo != -1 || hi != 1 {
+		t.Fatalf("tanh bound = %v %v %v", lo, hi, ok)
+	}
+	if _, _, ok := InherentBound(TypeRelu); ok {
+		t.Fatal("relu must have no inherent bound")
+	}
+	lo, hi, ok = InherentBound(TypeAtan)
+	if !ok || lo != -math.Pi/2 || hi != math.Pi/2 {
+		t.Fatalf("atan bound = %v %v %v", lo, hi, ok)
+	}
+	if _, _, ok := InherentBound(TypeSigmoid); !ok {
+		t.Fatal("sigmoid should have inherent bound")
+	}
+}
+
+func TestConv2DGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := tensor.ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PadH: 1, PadW: 1}
+	x := tensor.New(1, 5, 5, 2).Randn(rng, 1)
+	w := tensor.New(3, 3, 2, 3).Randn(rng, 1)
+	checkGrad(t, &Conv2DOp{Geom: g}, []*tensor.Tensor{x, w}, []int{0, 1}, 5e-2)
+}
+
+func TestConv2DStridedGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := tensor.ConvGeom{KH: 3, KW: 3, SH: 2, SW: 2, PadH: 1, PadW: 1}
+	x := tensor.New(1, 6, 6, 1).Randn(rng, 1)
+	w := tensor.New(3, 3, 1, 2).Randn(rng, 1)
+	checkGrad(t, &Conv2DOp{Geom: g}, []*tensor.Tensor{x, w}, []int{0, 1}, 5e-2)
+}
+
+func TestConv2DShapeChecks(t *testing.T) {
+	g := tensor.ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1}
+	op := &Conv2DOp{Geom: g}
+	if _, err := op.Eval([]*tensor.Tensor{tensor.New(1, 5, 5, 2)}); err == nil {
+		t.Fatal("want arity error")
+	}
+	if _, err := op.Eval([]*tensor.Tensor{tensor.New(1, 5, 5, 2), tensor.New(3, 3, 3, 4)}); err == nil {
+		t.Fatal("want channel mismatch error")
+	}
+}
+
+func TestDenseGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(3, 4).Randn(rng, 1)
+	w := tensor.New(4, 5).Randn(rng, 1)
+	checkGrad(t, DenseOp{}, []*tensor.Tensor{x, w}, []int{0, 1}, 2e-2)
+}
+
+func TestBiasAddGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(2, 3, 3, 4).Randn(rng, 1)
+	b := tensor.New(4).Randn(rng, 1)
+	checkGrad(t, BiasAddOp{}, []*tensor.Tensor{x, b}, []int{0, 1}, 2e-2)
+}
+
+func TestBiasAddValues(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := tensor.MustFromSlice([]float32{10, 20}, 2)
+	out, err := BiasAddOp{}.Eval([]*tensor.Tensor{x, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{11, 22, 13, 24}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("biasadd = %v", out.Data())
+		}
+	}
+	if _, err := (BiasAddOp{}).Eval([]*tensor.Tensor{x, tensor.New(3)}); err == nil {
+		t.Fatal("want bias size error")
+	}
+}
+
+func TestAddScaleGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := tensor.New(2, 3).Randn(rng, 1)
+	b := tensor.New(2, 3).Randn(rng, 1)
+	checkGrad(t, AddOp{}, []*tensor.Tensor{a, b}, []int{0, 1}, 2e-2)
+	checkGrad(t, &ScaleOp{Factor: 2.5}, []*tensor.Tensor{a}, []int{0}, 2e-2)
+}
+
+func TestMaxPoolGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := tensor.ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}
+	x := tensor.New(1, 4, 4, 2).Randn(rng, 1)
+	checkGrad(t, &MaxPoolOp{Geom: g}, []*tensor.Tensor{x}, []int{0}, 2e-2)
+}
+
+func TestMaxPoolValues(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4, 1)
+	out, err := (&MaxPoolOp{Geom: tensor.ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}}).Eval([]*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("maxpool = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestAvgPoolGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := tensor.ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}
+	x := tensor.New(1, 4, 4, 2).Randn(rng, 1)
+	checkGrad(t, &AvgPoolOp{Geom: g}, []*tensor.Tensor{x}, []int{0}, 2e-2)
+}
+
+func TestAvgPoolValues(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 1, 2, 2, 1)
+	out, err := (&AvgPoolOp{Geom: tensor.ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}}).Eval([]*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 2.5 {
+		t.Fatalf("avgpool = %v", out.Data())
+	}
+}
+
+func TestReshapeAndConcatGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.New(2, 3, 2, 2).Randn(rng, 1)
+	checkGrad(t, Flatten(), []*tensor.Tensor{x}, []int{0}, 2e-2)
+	a := tensor.New(2, 2, 2, 3).Randn(rng, 1)
+	b := tensor.New(2, 2, 2, 2).Randn(rng, 1)
+	checkGrad(t, ConcatOp{}, []*tensor.Tensor{a, b}, []int{0, 1}, 2e-2)
+}
+
+func TestConcatValues(t *testing.T) {
+	a := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := tensor.MustFromSlice([]float32{5, 6}, 2, 1)
+	out, err := ConcatOp{}.Eval([]*tensor.Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 5, 3, 4, 6}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("concat = %v, want %v", out.Data(), want)
+		}
+	}
+	if _, err := (ConcatOp{}).Eval([]*tensor.Tensor{a}); err == nil {
+		t.Fatal("want arity error")
+	}
+	if _, err := (ConcatOp{}).Eval([]*tensor.Tensor{a, tensor.New(3, 1)}); err == nil {
+		t.Fatal("want leading-dim error")
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := tensor.New(4, 7).Randn(rng, 3)
+	out, err := SoftmaxOp{}.Eval([]*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		var s float64
+		for j := 0; j < 7; j++ {
+			v := out.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	x := tensor.MustFromSlice([]float32{1e20, 0}, 1, 2)
+	out, err := SoftmaxOp{}.Eval([]*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(float64(out.Data()[0])) || out.Data()[0] < 0.99 {
+		t.Fatalf("softmax(huge) = %v", out.Data())
+	}
+}
+
+func TestXentGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	logits := tensor.New(3, 4).Randn(rng, 1)
+	labels := tensor.New(3, 4)
+	for i := 0; i < 3; i++ {
+		labels.Set(1, i, i%4)
+	}
+	checkGrad(t, XentOp{}, []*tensor.Tensor{logits, labels}, []int{0}, 2e-2)
+}
+
+func TestXentPerfectPrediction(t *testing.T) {
+	logits := tensor.MustFromSlice([]float32{100, 0, 0, 100}, 2, 2)
+	labels := tensor.MustFromSlice([]float32{1, 0, 0, 1}, 2, 2)
+	out, err := XentOp{}.Eval([]*tensor.Tensor{logits, labels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] > 1e-3 {
+		t.Fatalf("xent(perfect) = %v", out.Data()[0])
+	}
+}
+
+func TestMSEGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := tensor.New(4, 1).Randn(rng, 1)
+	target := tensor.New(4, 1).Randn(rng, 1)
+	checkGrad(t, MSEOp{}, []*tensor.Tensor{p, target}, []int{0}, 2e-2)
+}
+
+func TestMSEValue(t *testing.T) {
+	p := tensor.MustFromSlice([]float32{1, 2}, 2, 1)
+	q := tensor.MustFromSlice([]float32{3, 2}, 2, 1)
+	out, err := MSEOp{}.Eval([]*tensor.Tensor{p, q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 2 { // ((1-3)^2 + 0)/2
+		t.Fatalf("mse = %v", out.Data()[0])
+	}
+}

@@ -1,0 +1,171 @@
+package ops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ranger/internal/tensor"
+)
+
+// These property tests verify the monotonicity observation Ranger is
+// built on (§III-B, via BinFI): the operators of common DNNs behave
+// monotonically in the magnitude of a value deviation, so faults in
+// high-order bits cause larger output deviations than faults in
+// low-order bits, and clipping the deviation reduces its downstream
+// effect.
+
+// TestActivationsMonotone: ReLU, Tanh, Sigmoid, ELU, and Atan are
+// monotonically non-decreasing functions.
+func TestActivationsMonotone(t *testing.T) {
+	acts := []struct {
+		name string
+		op   interface {
+			Eval([]*tensor.Tensor) (*tensor.Tensor, error)
+		}
+	}{
+		{"relu", Relu()}, {"tanh", Tanh()}, {"sigmoid", Sigmoid()}, {"elu", Elu()}, {"atan", Atan()},
+	}
+	for _, a := range acts {
+		f := func(x, y float32) bool {
+			if x > y {
+				x, y = y, x
+			}
+			in := tensor.MustFromSlice([]float32{x, y}, 2)
+			out, err := a.op.Eval([]*tensor.Tensor{in})
+			if err != nil {
+				return false
+			}
+			return out.Data()[0] <= out.Data()[1]
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Fatalf("%s not monotone: %v", a.name, err)
+		}
+	}
+}
+
+// TestMACMonotoneInDeviation: for the multiply-accumulate at the heart of
+// Conv/Dense, a larger input deviation produces a larger (or equal)
+// output deviation — |w*(x+d1) - w*x| >= |w*(x+d2) - w*x| for |d1|>=|d2|.
+func TestMACMonotoneInDeviation(t *testing.T) {
+	f := func(w, x, d1, d2 float32) bool {
+		if abs32(d1) < abs32(d2) {
+			d1, d2 = d2, d1
+		}
+		dev1 := abs32(w*(x+d1) - w*x)
+		dev2 := abs32(w*(x+d2) - w*x)
+		// Skip cases where float32 arithmetic overflows to Inf/NaN: the
+		// monotone property is about representable datapath values (the
+		// fixed-point formats cap magnitudes at ~2^21).
+		if isBad(dev1) || isBad(dev2) {
+			return true
+		}
+		// Allow float rounding slack.
+		return dev1 >= dev2 || dev2-dev1 < 1e-3*abs32(dev2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// isBad reports float32 overflow artifacts (Inf/NaN).
+func isBad(v float32) bool {
+	return v != v || v > 3.4e38 || v < -3.4e38
+}
+
+// TestConvDeviationGrowsWithFaultMagnitude: the end-to-end form of the
+// monotone property through a real convolution — injecting a larger
+// deviation into one input element never produces a smaller L1 output
+// deviation.
+func TestConvDeviationGrowsWithFaultMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	geom := tensor.ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PadH: 1, PadW: 1}
+	op := &Conv2DOp{Geom: geom}
+	x := tensor.New(1, 6, 6, 2).Randn(rng, 1)
+	w := tensor.New(3, 3, 2, 3).Randn(rng, 1)
+	clean, err := op.Eval([]*tensor.Tensor{x, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1dev := func(faultMag float32) float64 {
+		xf := x.Clone()
+		xf.Data()[10] += faultMag
+		out, err := op.Eval([]*tensor.Tensor{xf, w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for i := range out.Data() {
+			d := float64(out.Data()[i] - clean.Data()[i])
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		return s
+	}
+	prev := 0.0
+	for _, mag := range []float32{0.001, 0.01, 0.1, 1, 10, 100, 1000, 1e6} {
+		dev := l1dev(mag)
+		if dev < prev {
+			t.Fatalf("deviation decreased: mag %v -> %v (prev %v)", mag, dev, prev)
+		}
+		prev = dev
+	}
+}
+
+// TestClipBoundsDownstreamDeviation is the §III-C MaxPool example as a
+// property: for a fault of any magnitude above the bound, the deviation
+// surviving a Clip is at most (bound - clean value), independent of the
+// fault's size — the "transfer from high-order to low-order bits".
+func TestClipBoundsDownstreamDeviation(t *testing.T) {
+	f := func(clean float32, faultMag float32) bool {
+		const bound = 10
+		if clean < 0 || clean > bound {
+			return true
+		}
+		fault := clean + abs32(faultMag)
+		clip := NewClip(0, bound)
+		out, err := clip.Eval([]*tensor.Tensor{tensor.MustFromSlice([]float32{fault}, 1)})
+		if err != nil {
+			return false
+		}
+		return abs32(out.Data()[0]-clean) <= bound-clean+1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxPoolMonotone: max pooling is monotone — raising any input
+// element never lowers any output element.
+func TestMaxPoolMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	op := &MaxPoolOp{Geom: tensor.ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}}
+	for trial := 0; trial < 50; trial++ {
+		x := tensor.New(1, 4, 4, 1).Randn(rng, 1)
+		base, err := op.Eval([]*tensor.Tensor{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := rng.Intn(x.Size())
+		x2 := x.Clone()
+		x2.Data()[idx] += rng.Float32() * 100
+		bumped, err := op.Eval([]*tensor.Tensor{x2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.Data() {
+			if bumped.Data()[i] < base.Data()[i] {
+				t.Fatalf("maxpool output decreased after raising an input")
+			}
+		}
+	}
+}

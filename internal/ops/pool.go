@@ -1,0 +1,208 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"ranger/internal/graph"
+	"ranger/internal/tensor"
+)
+
+// Op type names for pooling. These are among the operator types that
+// Algorithm 1 extends an activation's restriction bound to.
+const (
+	TypeMaxPool = "MaxPool"
+	TypeAvgPool = "AvgPool"
+)
+
+// MaxPoolOp performs max pooling over NHWC inputs.
+type MaxPoolOp struct {
+	Geom tensor.ConvGeom
+}
+
+var _ graph.GradOp = (*MaxPoolOp)(nil)
+
+// Type implements graph.Op.
+func (p *MaxPoolOp) Type() string { return TypeMaxPool }
+
+// Eval implements graph.Op.
+func (p *MaxPoolOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("maxpool: want 1 input, got %d", len(in))
+	}
+	out, _, err := p.evalWithArg(in[0])
+	return out, err
+}
+
+// evalWithArg returns the pooled output and, for each output element, the
+// flat input index that won the max (used by the backward pass).
+func (p *MaxPoolOp) evalWithArg(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
+	if x.Rank() != 4 {
+		return nil, nil, fmt.Errorf("maxpool: want NHWC, got %v", x.Shape())
+	}
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g := p.Geom
+	oh, ow := g.OutDims(h, w)
+	if oh <= 0 || ow <= 0 {
+		return nil, nil, fmt.Errorf("maxpool: empty output for input %v geom %+v", x.Shape(), g)
+	}
+	out := tensor.New(n, oh, ow, c)
+	arg := make([]int, out.Size())
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.SH - g.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.SW - g.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							idx := ((b*h+iy)*w+ix)*c + ch
+							if xd[idx] > best {
+								best, bestIdx = xd[idx], idx
+							}
+						}
+					}
+					oidx := ((b*oh+oy)*ow+ox)*c + ch
+					od[oidx] = best
+					arg[oidx] = bestIdx
+				}
+			}
+		}
+	}
+	return out, arg, nil
+}
+
+// Grad implements graph.GradOp: the gradient routes to the max element of
+// each window.
+func (p *MaxPoolOp) Grad(in []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.Tensor, error) {
+	_, arg, err := p.evalWithArg(in[0])
+	if err != nil {
+		return nil, err
+	}
+	dx := tensor.New(in[0].Shape()...)
+	dxd, gd := dx.Data(), gout.Data()
+	for i, src := range arg {
+		if src >= 0 {
+			dxd[src] += gd[i]
+		}
+	}
+	return []*tensor.Tensor{dx}, nil
+}
+
+// AvgPoolOp performs average pooling over NHWC inputs; SqueezeNet and
+// ResNet use it as their global spatial reduction.
+type AvgPoolOp struct {
+	Geom tensor.ConvGeom
+}
+
+var _ graph.GradOp = (*AvgPoolOp)(nil)
+
+// Type implements graph.Op.
+func (p *AvgPoolOp) Type() string { return TypeAvgPool }
+
+// Eval implements graph.Op.
+func (p *AvgPoolOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("avgpool: want 1 input, got %d", len(in))
+	}
+	x := in[0]
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("avgpool: want NHWC, got %v", x.Shape())
+	}
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g := p.Geom
+	oh, ow := g.OutDims(h, w)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("avgpool: empty output for input %v geom %+v", x.Shape(), g)
+	}
+	out := tensor.New(n, oh, ow, c)
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					var sum float32
+					count := 0
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.SH - g.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.SW - g.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += xd[((b*h+iy)*w+ix)*c+ch]
+							count++
+						}
+					}
+					if count > 0 {
+						od[((b*oh+oy)*ow+ox)*c+ch] = sum / float32(count)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Grad implements graph.GradOp: each window distributes its gradient
+// equally over the inputs it covered.
+func (p *AvgPoolOp) Grad(in []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.Tensor, error) {
+	x := in[0]
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g := p.Geom
+	oh, ow := g.OutDims(h, w)
+	dx := tensor.New(x.Shape()...)
+	dxd, gd := dx.Data(), gout.Data()
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					// Count valid cells first to divide the gradient.
+					count := 0
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.SH - g.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.SW - g.PadW + kx
+							if ix >= 0 && ix < w {
+								count++
+							}
+						}
+					}
+					if count == 0 {
+						continue
+					}
+					share := gd[((b*oh+oy)*ow+ox)*c+ch] / float32(count)
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.SH - g.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.SW - g.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dxd[((b*h+iy)*w+ix)*c+ch] += share
+						}
+					}
+				}
+			}
+		}
+	}
+	return []*tensor.Tensor{dx}, nil
+}

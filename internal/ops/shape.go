@@ -1,0 +1,122 @@
+package ops
+
+import (
+	"fmt"
+
+	"ranger/internal/graph"
+	"ranger/internal/tensor"
+)
+
+// Op type names for the shape operators. Reshape and Concat are in
+// Algorithm 1's set of operators that inherit an activation's bound.
+const (
+	TypeReshape = "Reshape"
+	TypeConcat  = "Concat"
+)
+
+// ReshapeOp reshapes its input, preserving the batch (first) dimension and
+// reshaping the rest to TailShape; a TailShape of [-1] flattens.
+type ReshapeOp struct {
+	TailShape []int
+}
+
+var _ graph.GradOp = (*ReshapeOp)(nil)
+
+// Flatten returns a Reshape op that flattens all non-batch dims.
+func Flatten() *ReshapeOp { return &ReshapeOp{TailShape: []int{-1}} }
+
+// Type implements graph.Op.
+func (r *ReshapeOp) Type() string { return TypeReshape }
+
+// Eval implements graph.Op.
+func (r *ReshapeOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("reshape: want 1 input, got %d", len(in))
+	}
+	x := in[0]
+	if x.Rank() < 1 {
+		return nil, fmt.Errorf("reshape: scalar input")
+	}
+	shape := append([]int{x.Dim(0)}, r.TailShape...)
+	// Reshape shares the backing array; clone so a downstream fault
+	// injection cannot alias the upstream tensor.
+	return x.Clone().Reshape(shape...)
+}
+
+// Grad implements graph.GradOp.
+func (r *ReshapeOp) Grad(in []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.Tensor, error) {
+	dx, err := gout.Clone().Reshape(in[0].Shape()...)
+	if err != nil {
+		return nil, err
+	}
+	return []*tensor.Tensor{dx}, nil
+}
+
+// ConcatOp concatenates its inputs along the channel (last) dimension, the
+// layout SqueezeNet's fire modules use to join expand-1x1 and expand-3x3.
+type ConcatOp struct{}
+
+var _ graph.GradOp = (*ConcatOp)(nil)
+
+// Type implements graph.Op.
+func (ConcatOp) Type() string { return TypeConcat }
+
+// Eval implements graph.Op.
+func (ConcatOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("concat: want >=2 inputs, got %d", len(in))
+	}
+	r := in[0].Rank()
+	lead := in[0].Shape()[:r-1]
+	totalC := 0
+	for _, t := range in {
+		if t.Rank() != r {
+			return nil, fmt.Errorf("concat: rank mismatch %d vs %d", t.Rank(), r)
+		}
+		for i, d := range t.Shape()[:r-1] {
+			if d != lead[i] {
+				return nil, fmt.Errorf("concat: leading dims %v vs %v", t.Shape(), in[0].Shape())
+			}
+		}
+		totalC += t.Dim(r - 1)
+	}
+	outShape := append(append([]int{}, lead...), totalC)
+	out := tensor.New(outShape...)
+	rows := 1
+	for _, d := range lead {
+		rows *= d
+	}
+	od := out.Data()
+	off := 0
+	for _, t := range in {
+		c := t.Dim(r - 1)
+		td := t.Data()
+		for row := 0; row < rows; row++ {
+			copy(od[row*totalC+off:row*totalC+off+c], td[row*c:(row+1)*c])
+		}
+		off += c
+	}
+	return out, nil
+}
+
+// Grad implements graph.GradOp: the gradient splits back along the channel
+// dimension.
+func (ConcatOp) Grad(in []*tensor.Tensor, out, gout *tensor.Tensor) ([]*tensor.Tensor, error) {
+	r := out.Rank()
+	totalC := out.Dim(r - 1)
+	rows := out.Size() / totalC
+	gd := gout.Data()
+	grads := make([]*tensor.Tensor, len(in))
+	off := 0
+	for i, t := range in {
+		c := t.Dim(r - 1)
+		g := tensor.New(t.Shape()...)
+		gdst := g.Data()
+		for row := 0; row < rows; row++ {
+			copy(gdst[row*c:(row+1)*c], gd[row*totalC+off:row*totalC+off+c])
+		}
+		grads[i] = g
+		off += c
+	}
+	return grads, nil
+}

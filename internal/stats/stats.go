@@ -1,0 +1,138 @@
+// Package stats provides the statistical reporting used throughout the
+// paper's evaluation: SDC-rate error bars at the 95% confidence level
+// (§V-A), RMSE and average deviation for the steering models, and
+// percentiles for bound selection.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// z95 is the two-sided 95% normal quantile used for the paper's error bars.
+const z95 = 1.96
+
+// Proportion summarizes a binomial estimate (e.g. an SDC rate).
+type Proportion struct {
+	Rate   float64 // point estimate in [0,1]
+	N      int     // trials
+	StdErr float64
+	CI95   float64 // half-width of the 95% confidence interval
+}
+
+// NewProportion computes the estimate for k successes in n trials.
+func NewProportion(k, n int) Proportion {
+	if n <= 0 {
+		return Proportion{}
+	}
+	p := float64(k) / float64(n)
+	se := math.Sqrt(p * (1 - p) / float64(n))
+	return Proportion{Rate: p, N: n, StdErr: se, CI95: z95 * se}
+}
+
+// Percent renders the rate as a percentage string with its error bar.
+func (p Proportion) Percent() string {
+	return fmt.Sprintf("%.2f%% ±%.2f%%", p.Rate*100, p.CI95*100)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// RMSE returns the root mean squared error between predictions and targets.
+func RMSE(pred, target []float64) (float64, error) {
+	if len(pred) != len(target) {
+		return 0, fmt.Errorf("stats: rmse length mismatch %d vs %d", len(pred), len(target))
+	}
+	if len(pred) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred))), nil
+}
+
+// MeanAbsDev returns the mean absolute deviation between predictions and
+// targets (the paper's "average deviation per frame").
+func MeanAbsDev(pred, target []float64) (float64, error) {
+	if len(pred) != len(target) {
+		return 0, fmt.Errorf("stats: dev length mismatch %d vs %d", len(pred), len(target))
+	}
+	if len(pred) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - target[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// Percentile returns the p'th percentile (0-100) of xs using the
+// nearest-rank method; it does not modify xs.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", p)
+	}
+	sorted := append([]float64{}, xs...)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0], nil
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	return sorted[rank-1], nil
+}
+
+// ReductionFactor returns how many times smaller b is than a (the paper's
+// "3x to 50x" resilience-boost factors); +Inf when b is zero and a is not.
+func ReductionFactor(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// RelativeReduction returns (a-b)/a in [0,1] — the paper's Fig. 8
+// "relative SDC reduction"; 0 when a is 0.
+func RelativeReduction(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	r := (a - b) / a
+	if r < 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProportion(t *testing.T) {
+	p := NewProportion(50, 200)
+	if p.Rate != 0.25 {
+		t.Fatalf("rate = %v", p.Rate)
+	}
+	wantSE := math.Sqrt(0.25 * 0.75 / 200)
+	if math.Abs(p.StdErr-wantSE) > 1e-12 {
+		t.Fatalf("se = %v, want %v", p.StdErr, wantSE)
+	}
+	if math.Abs(p.CI95-1.96*wantSE) > 1e-12 {
+		t.Fatalf("ci = %v", p.CI95)
+	}
+}
+
+func TestProportionEdges(t *testing.T) {
+	if p := NewProportion(0, 0); p.Rate != 0 || p.N != 0 {
+		t.Fatalf("empty = %+v", p)
+	}
+	if p := NewProportion(10, 10); p.Rate != 1 || p.StdErr != 0 {
+		t.Fatalf("all = %+v", p)
+	}
+	if s := NewProportion(1, 100).Percent(); s == "" {
+		t.Fatal("empty percent string")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if got := StdDev(xs); math.Abs(got-2.13809) > 1e-4 {
+		t.Fatalf("stddev = %v", got)
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("edge cases")
+	}
+}
+
+func TestRMSEAndDev(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	tgt := []float64{1, 4, 3}
+	r, err := RMSE(pred, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Fatalf("rmse = %v", r)
+	}
+	d, err := MeanAbsDev(pred, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2.0/3) > 1e-12 {
+		t.Fatalf("dev = %v", d)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := MeanAbsDev([]float64{1}, nil); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{{100, 5}, {0, 1}, {50, 3}, {80, 4}} {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("p%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("want range error")
+	}
+	// Percentile must not reorder the caller's slice.
+	if xs[0] != 5 {
+		t.Fatal("input mutated")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v, err := Percentile(xs, p)
+			if err != nil || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionFactor(t *testing.T) {
+	if ReductionFactor(15, 0.5) != 30 {
+		t.Fatal("factor")
+	}
+	if !math.IsInf(ReductionFactor(1, 0), 1) {
+		t.Fatal("inf factor")
+	}
+	if ReductionFactor(0, 0) != 1 {
+		t.Fatal("0/0 factor")
+	}
+}
+
+func TestRelativeReduction(t *testing.T) {
+	if got := RelativeReduction(20, 2); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("rel = %v", got)
+	}
+	if RelativeReduction(0, 5) != 0 {
+		t.Fatal("zero base")
+	}
+	if RelativeReduction(1, 2) != 0 {
+		t.Fatal("negative reduction clamps to 0")
+	}
+}

@@ -1,0 +1,104 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window
+// over NHWC tensors. Padding is symmetric ("SAME"-style when computed via
+// SamePad, zero for "VALID").
+type ConvGeom struct {
+	KH, KW     int // kernel height and width
+	SH, SW     int // strides
+	PadH, PadW int // symmetric padding on each side
+}
+
+// OutDims returns the spatial output size for an input of (h, w).
+func (g ConvGeom) OutDims(h, w int) (int, int) {
+	oh := (h+2*g.PadH-g.KH)/g.SH + 1
+	ow := (w+2*g.PadW-g.KW)/g.SW + 1
+	return oh, ow
+}
+
+// SamePad returns the symmetric padding that keeps output size ceil(in/stride)
+// for odd kernels; it matches TensorFlow's SAME padding for stride 1.
+func SamePad(k int) int { return (k - 1) / 2 }
+
+// Im2Col lowers an NHWC input into a matrix of patch rows: the result has
+// shape (N*OH*OW, KH*KW*C), so a convolution becomes a single matrix
+// multiply against a (KH*KW*C, outC) kernel matrix.
+func Im2Col(x *Tensor, g ConvGeom) (*Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("%w: im2col wants NHWC, got %v", ErrShape, x.shape)
+	}
+	n, h, w, c := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := g.OutDims(h, w)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("%w: im2col output %dx%d for input %v geom %+v", ErrShape, oh, ow, x.shape, g)
+	}
+	cols := New(n*oh*ow, g.KH*g.KW*c)
+	xd, cd := x.data, cols.data
+	rowLen := g.KH * g.KW * c
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := ((b*oh+oy)*ow + ox) * rowLen
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.SH - g.PadH + ky
+					if iy < 0 || iy >= h {
+						continue // leave zeros
+					}
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.SW - g.PadW + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						src := ((b*h+iy)*w + ix) * c
+						dst := row + (ky*g.KW+kx)*c
+						copy(cd[dst:dst+c], xd[src:src+c])
+					}
+				}
+			}
+		}
+	}
+	return cols, nil
+}
+
+// Col2Im scatters patch-row gradients back to NHWC input gradients; it is
+// the adjoint of Im2Col. shape gives the original input shape.
+func Col2Im(cols *Tensor, shape []int, g ConvGeom) (*Tensor, error) {
+	if len(shape) != 4 {
+		return nil, fmt.Errorf("%w: col2im wants NHWC shape, got %v", ErrShape, shape)
+	}
+	n, h, w, c := shape[0], shape[1], shape[2], shape[3]
+	oh, ow := g.OutDims(h, w)
+	rowLen := g.KH * g.KW * c
+	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
+		return nil, fmt.Errorf("%w: col2im cols %v for shape %v geom %+v", ErrShape, cols.shape, shape, g)
+	}
+	out := New(shape...)
+	cd, od := cols.data, out.data
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := ((b*oh+oy)*ow + ox) * rowLen
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.SH - g.PadH + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.SW - g.PadW + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dst := ((b*h+iy)*w + ix) * c
+						src := row + (ky*g.KW+kx)*c
+						for ch := 0; ch < c; ch++ {
+							od[dst+ch] += cd[src+ch]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

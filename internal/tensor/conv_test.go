@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveConv is a direct convolution reference implementation used to
+// validate the im2col lowering.
+func naiveConv(x *Tensor, w *Tensor, g ConvGeom) *Tensor {
+	n, h, wd, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outC := w.Dim(3)
+	oh, ow := g.OutDims(h, wd)
+	out := New(n, oh, ow, outC)
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for oc := 0; oc < outC; oc++ {
+					var sum float32
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.SH - g.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.SW - g.PadW + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							for ic := 0; ic < c; ic++ {
+								sum += x.At(b, iy, ix, ic) * w.At(ky, kx, ic, oc)
+							}
+						}
+					}
+					out.Set(sum, b, oy, ox, oc)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesNaiveConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []ConvGeom{
+		{KH: 3, KW: 3, SH: 1, SW: 1, PadH: 1, PadW: 1},
+		{KH: 3, KW: 3, SH: 2, SW: 2, PadH: 1, PadW: 1},
+		{KH: 1, KW: 1, SH: 1, SW: 1},
+		{KH: 5, KW: 5, SH: 1, SW: 1, PadH: 2, PadW: 2},
+		{KH: 2, KW: 2, SH: 2, SW: 2},
+	}
+	for _, g := range cases {
+		x := New(2, 8, 8, 3).Randn(rng, 1)
+		w := New(g.KH, g.KW, 3, 4).Randn(rng, 1)
+		cols, err := Im2Col(x, g)
+		if err != nil {
+			t.Fatalf("%+v: %v", g, err)
+		}
+		wm, _ := w.Reshape(g.KH*g.KW*3, 4)
+		prod, err := MatMul(cols, wm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oh, ow := g.OutDims(8, 8)
+		got, _ := prod.Reshape(2, oh, ow, 4)
+		want := naiveConv(x, w, g)
+		if !got.SameShape(want) {
+			t.Fatalf("%+v: shape %v vs %v", g, got.Shape(), want.Shape())
+		}
+		for i := range want.Data() {
+			if !almostEq(got.Data()[i], want.Data()[i], 1e-3) {
+				t.Fatalf("%+v: element %d = %v, want %v", g, i, got.Data()[i], want.Data()[i])
+			}
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col, i.e. for any x and y:
+// <Im2Col(x), y> == <x, Col2Im(y)>. This is exactly the condition that
+// makes the convolution backward pass correct.
+func TestCol2ImAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := ConvGeom{KH: 3, KW: 3, SH: 2, SW: 2, PadH: 1, PadW: 1}
+	for trial := 0; trial < 10; trial++ {
+		x := New(1, 7, 7, 2).Randn(rng, 1)
+		cols, err := Im2Col(x, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := New(cols.Shape()...).Randn(rng, 1)
+		back, err := Col2Im(y, x.Shape(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lhs, rhs float64
+		for i := range cols.Data() {
+			lhs += float64(cols.Data()[i]) * float64(y.Data()[i])
+		}
+		for i := range x.Data() {
+			rhs += float64(x.Data()[i]) * float64(back.Data()[i])
+		}
+		if d := lhs - rhs; d > 1e-2 || d < -1e-2 {
+			t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestIm2ColErrors(t *testing.T) {
+	g := ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1}
+	if _, err := Im2Col(New(3, 3), g); err == nil {
+		t.Fatal("want rank error")
+	}
+	if _, err := Im2Col(New(1, 2, 2, 1), g); err == nil {
+		t.Fatal("want empty-output error: 3x3 kernel on 2x2 input, no pad")
+	}
+	if _, err := Col2Im(New(5, 5), []int{1, 4, 4, 1}, g); err == nil {
+		t.Fatal("want cols shape error")
+	}
+}
+
+func TestConvGeomOutDims(t *testing.T) {
+	g := ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PadH: 1, PadW: 1}
+	if oh, ow := g.OutDims(32, 32); oh != 32 || ow != 32 {
+		t.Fatalf("same-pad stride-1 = %dx%d, want 32x32", oh, ow)
+	}
+	g2 := ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}
+	if oh, ow := g2.OutDims(32, 32); oh != 16 || ow != 16 {
+		t.Fatalf("2x2/2 pool = %dx%d, want 16x16", oh, ow)
+	}
+	if SamePad(3) != 1 || SamePad(5) != 2 || SamePad(1) != 0 {
+		t.Fatal("SamePad wrong")
+	}
+}

@@ -1,0 +1,94 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product of two rank-2 tensors: (m,k)x(k,n)->(m,n).
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("%w: matmul ranks %d x %d", ErrShape, a.Rank(), b.Rank())
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: matmul %v x %v", ErrShape, a.shape, b.shape)
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulTransA returns aᵀ·b for a (k,m) and b (k,n), yielding (m,n).
+func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.shape[0] != b.shape[0] {
+		return nil, fmt.Errorf("%w: matmulTransA %v x %v", ErrShape, a.shape, b.shape)
+	}
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulTransB returns a·bᵀ for a (m,k) and b (n,k), yielding (m,n).
+func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[1] {
+		return nil, fmt.Errorf("%w: matmulTransB %v x %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("%w: transpose rank %d", ErrShape, a.Rank())
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 {
+		t.Fatalf("size = %d, want 24", x.Size())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSliceShapeMismatch(t *testing.T) {
+	if _, err := FromSlice([]float32{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3)
+	x.Set(7, 1, 2)
+	if got := x.At(1, 2); got != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", got)
+	}
+	if got := x.Data()[1*3+2]; got != 7 {
+		t.Fatalf("row-major offset = %v, want 7", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestReshapeInfer(t *testing.T) {
+	x := New(2, 3, 4)
+	y, err := x.Reshape(2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(0) != 2 || y.Dim(1) != 12 {
+		t.Fatalf("shape = %v", y.Shape())
+	}
+	// Reshape shares data.
+	y.Data()[0] = 5
+	if x.Data()[0] != 5 {
+		t.Fatal("reshape should share backing data")
+	}
+}
+
+func TestReshapeErrors(t *testing.T) {
+	x := New(2, 3)
+	if _, err := x.Reshape(4, -1); err == nil {
+		t.Fatal("want error: 6 elements not divisible by 4")
+	}
+	if _, err := x.Reshape(-1, -1); err == nil {
+		t.Fatal("want error: two inferred dims")
+	}
+	if _, err := x.Reshape(7); err == nil {
+		t.Fatal("want error: wrong element count")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	y := x.Clone()
+	y.Data()[0] = 9
+	if x.Data()[0] != 1 {
+		t.Fatal("clone should not alias")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := MustFromSlice([]float32{5, 6, 7, 8}, 2, 2)
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(1, 1) != 12 {
+		t.Fatalf("add = %v", sum.Data())
+	}
+	diff, _ := b.Sub(a)
+	if diff.At(0, 0) != 4 {
+		t.Fatalf("sub = %v", diff.Data())
+	}
+	prod, _ := a.Mul(b)
+	if prod.At(0, 1) != 12 {
+		t.Fatalf("mul = %v", prod.Data())
+	}
+	if got := a.Scale(2).At(1, 0); got != 6 {
+		t.Fatalf("scale = %v", got)
+	}
+}
+
+func TestArithmeticShapeErrors(t *testing.T) {
+	a, b := New(2, 2), New(3)
+	if _, err := a.Add(b); err == nil {
+		t.Fatal("add: want shape error")
+	}
+	if _, err := a.Sub(b); err == nil {
+		t.Fatal("sub: want shape error")
+	}
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("mul: want shape error")
+	}
+	if err := a.AxpyInPlace(1, b); err == nil {
+		t.Fatal("axpy: want shape error")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := MustFromSlice([]float32{-3, 7, 0, 2}, 4)
+	if x.Sum() != 6 {
+		t.Fatalf("sum = %v", x.Sum())
+	}
+	if x.Max() != 7 {
+		t.Fatalf("max = %v", x.Max())
+	}
+	if x.Min() != -3 {
+		t.Fatalf("min = %v", x.Min())
+	}
+	if x.ArgMax() != 1 {
+		t.Fatalf("argmax = %v", x.ArgMax())
+	}
+}
+
+func TestTopK(t *testing.T) {
+	x := MustFromSlice([]float32{1, 9, 3, 7, 5}, 5)
+	got := x.TopK(3)
+	want := []int{1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topk = %v, want %v", got, want)
+		}
+	}
+	if got := x.TopK(99); len(got) != 5 {
+		t.Fatalf("topk overflow = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	x := MustFromSlice([]float32{-5, 0, 5, 10}, 4)
+	x.Clamp(0, 6)
+	want := []float32{0, 0, 5, 6}
+	for i, w := range want {
+		if x.Data()[i] != w {
+			t.Fatalf("clamp = %v, want %v", x.Data(), want)
+		}
+	}
+}
+
+// Property: clamp output is always within [lo, hi], and elements already
+// inside the range are unchanged. This is the core invariant Ranger's
+// restriction relies on.
+func TestClampProperty(t *testing.T) {
+	f := func(vals []float32, lo, hi float32) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		x := MustFromSlice(append([]float32{}, vals...), len(vals))
+		x.Clamp(lo, hi)
+		for i, v := range x.Data() {
+			orig := vals[i]
+			if math.IsNaN(float64(orig)) {
+				continue // NaN comparisons are all false; clamp leaves NaN
+			}
+			if v < lo || v > hi {
+				return false
+			}
+			if orig >= lo && orig <= hi && v != orig {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := MustFromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("matmul = %v, want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestMatMulShapeError(t *testing.T) {
+	if _, err := MatMul(New(2, 3), New(2, 3)); err == nil {
+		t.Fatal("want shape error")
+	}
+	if _, err := MatMul(New(2), New(2, 2)); err == nil {
+		t.Fatal("want rank error")
+	}
+}
+
+// Property: MatMulTransA(a,b) == MatMul(aᵀ,b) and MatMulTransB(a,b) ==
+// MatMul(a,bᵀ) for random matrices.
+func TestMatMulTransConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := New(k, m).Randn(rng, 1)
+		b := New(k, n).Randn(rng, 1)
+		got, err := MatMulTransA(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, _ := Transpose(a)
+		want, _ := MatMul(at, b)
+		for i := range want.Data() {
+			if !almostEq(got.Data()[i], want.Data()[i], 1e-4) {
+				t.Fatalf("transA mismatch at %d: %v vs %v", i, got.Data()[i], want.Data()[i])
+			}
+		}
+		c := New(m, k).Randn(rng, 1)
+		d := New(n, k).Randn(rng, 1)
+		got2, err := MatMulTransB(c, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, _ := Transpose(d)
+		want2, _ := MatMul(c, dt)
+		for i := range want2.Data() {
+			if !almostEq(got2.Data()[i], want2.Data()[i], 1e-4) {
+				t.Fatalf("transB mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	at, err := Transpose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Dim(0) != 3 || at.Dim(1) != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("transpose = %v %v", at.Shape(), at.Data())
+	}
+}
+
+func TestRandnDeterministic(t *testing.T) {
+	a := New(16).Randn(rand.New(rand.NewSource(42)), 1)
+	b := New(16).Randn(rand.New(rand.NewSource(42)), 1)
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("same seed should give identical fills")
+		}
+	}
+}

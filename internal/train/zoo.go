@@ -1,0 +1,228 @@
+package train
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ranger/internal/data"
+	"ranger/internal/graph"
+	"ranger/internal/models"
+	"ranger/internal/tensor"
+)
+
+// DatasetByName resolves the synthetic dataset generators by the names
+// models declare in their Dataset field.
+func DatasetByName(name string) (data.Dataset, error) {
+	switch name {
+	case "digits":
+		return data.NewDigits(), nil
+	case "objects10":
+		return data.NewObjects10(), nil
+	case "signs":
+		return data.NewSigns(), nil
+	case "imnet":
+		return data.NewImNet(), nil
+	case "driving-rad":
+		return data.NewDrivingRadians(), nil
+	case "driving-deg":
+		return data.NewDriving(), nil
+	default:
+		return nil, fmt.Errorf("train: unknown dataset %q", name)
+	}
+}
+
+// zooConfigs holds the per-model training hyperparameters used by the
+// zoo. The scaled benchmarks reach high accuracy on the synthetic
+// datasets with these settings in seconds to tens of seconds each.
+var zooConfigs = map[string]Config{
+	"lenet":        {Epochs: 3, BatchSize: 16, LR: 0.05, Momentum: 0.9, ClipNorm: 5, MaxPerEpoch: 600, Seed: 7},
+	"lenet-tanh":   {Epochs: 4, BatchSize: 16, LR: 0.05, Momentum: 0.9, ClipNorm: 5, MaxPerEpoch: 600, Seed: 7},
+	"alexnet":      {Epochs: 4, BatchSize: 16, LR: 0.03, Momentum: 0.9, ClipNorm: 5, MaxPerEpoch: 640, Seed: 7},
+	"alexnet-tanh": {Epochs: 4, BatchSize: 16, LR: 0.03, Momentum: 0.9, ClipNorm: 5, MaxPerEpoch: 640, Seed: 7},
+	"vgg11":        {Epochs: 6, BatchSize: 16, LR: 0.002, Optimizer: Adam, ClipNorm: 5, MaxPerEpoch: 800, Seed: 7},
+	"vgg11-tanh":   {Epochs: 6, BatchSize: 16, LR: 0.002, Optimizer: Adam, ClipNorm: 5, MaxPerEpoch: 800, Seed: 7},
+	"vgg16":        {Epochs: 4, BatchSize: 16, LR: 0.002, Optimizer: Adam, ClipNorm: 5, MaxPerEpoch: 800, Seed: 7},
+	"resnet18":     {Epochs: 4, BatchSize: 16, LR: 0.002, Optimizer: Adam, ClipNorm: 5, MaxPerEpoch: 800, Seed: 7},
+	"squeezenet":   {Epochs: 6, BatchSize: 16, LR: 0.002, Optimizer: Adam, ClipNorm: 5, MaxPerEpoch: 800, Seed: 7},
+	"dave":         {Epochs: 4, BatchSize: 8, LR: 0.01, Momentum: 0.9, ClipNorm: 5, MaxPerEpoch: 480, Seed: 7},
+	"dave-tanh":    {Epochs: 4, BatchSize: 8, LR: 0.01, Momentum: 0.9, ClipNorm: 5, MaxPerEpoch: 480, Seed: 7},
+	"dave-degrees": {Epochs: 8, BatchSize: 8, LR: 0.001, Optimizer: Adam, ClipNorm: 5, MaxPerEpoch: 480, Seed: 7},
+	"comma":        {Epochs: 5, BatchSize: 8, LR: 0.002, Momentum: 0.9, ClipNorm: 10, MaxPerEpoch: 480, Seed: 7},
+	"comma-tanh":   {Epochs: 5, BatchSize: 8, LR: 0.002, Momentum: 0.9, ClipNorm: 10, MaxPerEpoch: 480, Seed: 7},
+}
+
+// zooVersion busts the on-disk weight cache when architectures, datasets,
+// or training configs change incompatibly.
+const zooVersion = "v1"
+
+// Zoo trains each benchmark model once and serves the trained instance,
+// with an on-disk weight cache so separate processes (tests, benches,
+// CLI tools) do not retrain.
+type Zoo struct {
+	mu     sync.Mutex
+	models map[string]*models.Model
+	dir    string // cache dir; empty disables persistence
+	Quiet  bool
+}
+
+var (
+	defaultZoo     *Zoo
+	defaultZooOnce sync.Once
+)
+
+// Default returns the process-wide zoo, caching weights under
+// $RANGER_CACHE (or the OS user cache dir).
+func Default() *Zoo {
+	defaultZooOnce.Do(func() {
+		dir := os.Getenv("RANGER_CACHE")
+		if dir == "" {
+			if base, err := os.UserCacheDir(); err == nil {
+				dir = filepath.Join(base, "ranger-go")
+			}
+		}
+		defaultZoo = &Zoo{models: make(map[string]*models.Model), dir: dir, Quiet: true}
+	})
+	return defaultZoo
+}
+
+// NewZoo returns a zoo caching into dir (empty disables the disk cache).
+func NewZoo(dir string) *Zoo {
+	return &Zoo{models: make(map[string]*models.Model), dir: dir}
+}
+
+// Get returns the trained model for name, training (or loading cached
+// weights) on first use.
+func (z *Zoo) Get(name string) (*models.Model, error) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if m, ok := z.models[name]; ok {
+		return m, nil
+	}
+	m, err := models.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	if z.dir != "" {
+		if err := loadWeights(z.cachePath(name), m); err == nil {
+			z.models[name] = m
+			return m, nil
+		}
+	}
+	cfg, ok := zooConfigs[name]
+	if !ok {
+		cfg = DefaultConfig()
+	}
+	ds, err := DatasetByName(m.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	if !z.Quiet {
+		fmt.Fprintf(os.Stderr, "zoo: training %s on %s...\n", name, m.Dataset)
+	}
+	if _, err := Train(m, ds, cfg); err != nil {
+		return nil, fmt.Errorf("zoo: train %s: %w", name, err)
+	}
+	if z.dir != "" {
+		if err := saveWeights(z.cachePath(name), m); err != nil && !z.Quiet {
+			fmt.Fprintf(os.Stderr, "zoo: could not cache %s weights: %v\n", name, err)
+		}
+	}
+	z.models[name] = m
+	return m, nil
+}
+
+// MustGet is Get but panics on error, for experiment harness internals.
+func (z *Zoo) MustGet(name string) *models.Model {
+	m, err := z.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// DatasetOf returns the dataset for a model previously obtained.
+func (z *Zoo) DatasetOf(m *models.Model) (data.Dataset, error) {
+	return DatasetByName(m.Dataset)
+}
+
+func (z *Zoo) cachePath(name string) string {
+	return filepath.Join(z.dir, fmt.Sprintf("%s-%s.weights", name, zooVersion))
+}
+
+// weightFile is the gob-encoded on-disk format.
+type weightFile struct {
+	Version string
+	Vars    map[string]weightEntry
+}
+
+type weightEntry struct {
+	Shape []int
+	Data  []float32
+}
+
+func saveWeights(path string, m *models.Model) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	wf := weightFile{Version: zooVersion, Vars: make(map[string]weightEntry)}
+	for _, v := range m.Graph.Variables() {
+		val := v.Op().(*graph.Variable).Value
+		wf.Vars[v.Name()] = weightEntry{Shape: val.Shape(), Data: append([]float32{}, val.Data()...)}
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(wf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func loadWeights(path string, m *models.Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var wf weightFile
+	if err := gob.NewDecoder(f).Decode(&wf); err != nil {
+		return err
+	}
+	if wf.Version != zooVersion {
+		return fmt.Errorf("train: cache version %q, want %q", wf.Version, zooVersion)
+	}
+	vars := m.Graph.Variables()
+	if len(wf.Vars) != len(vars) {
+		return fmt.Errorf("train: cache has %d vars, model has %d", len(wf.Vars), len(vars))
+	}
+	for _, v := range vars {
+		entry, ok := wf.Vars[v.Name()]
+		if !ok {
+			return fmt.Errorf("train: cache missing %q", v.Name())
+		}
+		val := v.Op().(*graph.Variable).Value
+		if len(entry.Data) != val.Size() {
+			return fmt.Errorf("train: cache %q has %d values, want %d", v.Name(), len(entry.Data), val.Size())
+		}
+		t, err := tensor.FromSlice(entry.Data, entry.Shape...)
+		if err != nil {
+			return err
+		}
+		if !t.SameShape(val) {
+			return fmt.Errorf("train: cache %q shape %v, want %v", v.Name(), entry.Shape, val.Shape())
+		}
+		copy(val.Data(), entry.Data)
+	}
+	return nil
+}

@@ -8,6 +8,8 @@
 package ranger_test
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -33,13 +35,24 @@ func benchRunner(b *testing.B) *experiments.Runner {
 	b.Helper()
 	runnerOnce.Do(func() {
 		cfg := experiments.DefaultConfig()
-		if cfg.Trials == experiments.DefaultConfig().Trials {
-			cfg.Trials = 60 // bench default, overridable via RANGER_TRIALS
+		// Same parsed-and-positive condition DefaultConfig honors, so an
+		// unset (or ignored) RANGER_TRIALS falls back to the bench default.
+		if v, err := strconv.Atoi(os.Getenv("RANGER_TRIALS")); err != nil || v <= 0 {
+			cfg.Trials = 60
 		}
-		cfg.Inputs = experiments.DefaultConfig().Inputs
 		runner = experiments.NewRunner(cfg)
 	})
 	return runner
+}
+
+// skipIfShort gates the campaign-scale experiment benchmarks so that
+// `go test -short -bench . ./...` finishes quickly; the substrate
+// micro-benchmarks below stay available in short mode.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping experiment benchmark in -short mode")
+	}
 }
 
 func avgRates(rows []experiments.SDCRow) (orig, withRanger float64) {
@@ -54,6 +67,7 @@ func avgRates(rows []experiments.SDCRow) (orig, withRanger float64) {
 // BenchmarkFig4RangeConvergence regenerates Fig. 4 (VGG16 bound
 // convergence over training-data fractions).
 func BenchmarkFig4RangeConvergence(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig4(r)
@@ -73,6 +87,7 @@ func BenchmarkFig4RangeConvergence(b *testing.B) {
 
 // BenchmarkFig6ClassifierSDC regenerates Fig. 6 (classifier SDC rates).
 func BenchmarkFig6ClassifierSDC(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig6(r)
@@ -89,6 +104,7 @@ func BenchmarkFig6ClassifierSDC(b *testing.B) {
 // BenchmarkFig7SteeringSDC regenerates Fig. 7 (steering-model SDC rates
 // at the 15/30/60/120-degree thresholds).
 func BenchmarkFig7SteeringSDC(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig7(r)
@@ -104,6 +120,7 @@ func BenchmarkFig7SteeringSDC(b *testing.B) {
 // BenchmarkFig8HongComparison regenerates Fig. 8 (relative SDC reduction
 // vs the Hong et al. Tanh-swap defense).
 func BenchmarkFig8HongComparison(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig8(r)
@@ -123,6 +140,7 @@ func BenchmarkFig8HongComparison(b *testing.B) {
 
 // BenchmarkFig9ReducedPrecision regenerates Fig. 9 (16-bit datatype).
 func BenchmarkFig9ReducedPrecision(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig9(r)
@@ -138,6 +156,7 @@ func BenchmarkFig9ReducedPrecision(b *testing.B) {
 // BenchmarkFig10BoundTradeoff regenerates Fig. 10 (bound percentiles on
 // the Dave-degrees model).
 func BenchmarkFig10BoundTradeoff(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig10(r)
@@ -153,6 +172,7 @@ func BenchmarkFig10BoundTradeoff(b *testing.B) {
 // BenchmarkFig11MultiBitClassifier regenerates Fig. 11 (2-5 bit flips on
 // the classifiers).
 func BenchmarkFig11MultiBitClassifier(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig11(r)
@@ -173,6 +193,7 @@ func BenchmarkFig11MultiBitClassifier(b *testing.B) {
 // BenchmarkFig12MultiBitSteering regenerates Fig. 12 (2-5 bit flips on
 // the steering models).
 func BenchmarkFig12MultiBitSteering(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig12(r)
@@ -192,6 +213,7 @@ func BenchmarkFig12MultiBitSteering(b *testing.B) {
 
 // BenchmarkTable2Accuracy regenerates Table II (fault-free accuracy).
 func BenchmarkTable2Accuracy(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table2(r)
@@ -210,6 +232,7 @@ func BenchmarkTable2Accuracy(b *testing.B) {
 
 // BenchmarkTable3InsertionTime regenerates Table III (transform time).
 func BenchmarkTable3InsertionTime(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table3(r)
@@ -226,6 +249,7 @@ func BenchmarkTable3InsertionTime(b *testing.B) {
 
 // BenchmarkTable4FLOPs regenerates Table IV (FLOP overhead).
 func BenchmarkTable4FLOPs(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table4(r)
@@ -243,6 +267,7 @@ func BenchmarkTable4FLOPs(b *testing.B) {
 // BenchmarkTable5BoundAccuracy regenerates Table V (accuracy vs bound
 // percentile on Dave-degrees).
 func BenchmarkTable5BoundAccuracy(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table5(r)
@@ -256,6 +281,7 @@ func BenchmarkTable5BoundAccuracy(b *testing.B) {
 
 // BenchmarkTable6Comparison regenerates Table VI (technique comparison).
 func BenchmarkTable6Comparison(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table6(r)
@@ -273,6 +299,7 @@ func BenchmarkTable6Comparison(b *testing.B) {
 
 // BenchmarkDesignAlternatives regenerates the §VI-C policy study.
 func BenchmarkDesignAlternatives(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Alternatives(r)
@@ -288,6 +315,7 @@ func BenchmarkDesignAlternatives(b *testing.B) {
 // only ACT layers vs Algorithm 1's full downstream extension (the
 // paper's §III-C MaxPool amplification argument).
 func BenchmarkAblationACTOnly(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner(b)
 	m, err := r.Model("lenet")
 	if err != nil {
@@ -330,6 +358,7 @@ func BenchmarkAblationACTOnly(b *testing.B) {
 // with and without Ranger (the paper's 9.41ms vs 9.64ms measurement,
 // reported here as ns/op for the protected model and a relative metric).
 func BenchmarkInferenceLatency(b *testing.B) {
+	skipIfShort(b)
 	zoo := train.Default()
 	m, err := zoo.Get("lenet")
 	if err != nil {

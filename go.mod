@@ -1,0 +1,3 @@
+module ranger
+
+go 1.24

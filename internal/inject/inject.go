@@ -91,15 +91,29 @@ type Outcome struct {
 	Deviations []float64
 }
 
-// Top1Rate returns the top-1 SDC rate in [0,1].
-func (o Outcome) Top1Rate() float64 { return float64(o.Top1SDC) / float64(o.Trials) }
+// Top1Rate returns the top-1 SDC rate in [0,1]; 0 for an empty campaign.
+func (o Outcome) Top1Rate() float64 {
+	if o.Trials == 0 {
+		return 0
+	}
+	return float64(o.Top1SDC) / float64(o.Trials)
+}
 
-// Top5Rate returns the top-5 SDC rate in [0,1].
-func (o Outcome) Top5Rate() float64 { return float64(o.Top5SDC) / float64(o.Trials) }
+// Top5Rate returns the top-5 SDC rate in [0,1]; 0 for an empty campaign.
+func (o Outcome) Top5Rate() float64 {
+	if o.Trials == 0 {
+		return 0
+	}
+	return float64(o.Top5SDC) / float64(o.Trials)
+}
 
 // RateAbove returns the fraction of deviations exceeding a threshold (in
 // degrees), the steering-model SDC definition of §V-B (15/30/60/120).
+// It returns 0 when no deviations were recorded.
 func (o Outcome) RateAbove(thresholdDeg float64) float64 {
+	if len(o.Deviations) == 0 {
+		return 0
+	}
 	n := 0
 	for _, d := range o.Deviations {
 		if d > thresholdDeg {

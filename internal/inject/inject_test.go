@@ -279,6 +279,20 @@ func TestOutcomeRates(t *testing.T) {
 	}
 }
 
+func TestOutcomeRatesEmpty(t *testing.T) {
+	// A zero-trial outcome must report rate 0, not NaN (divide-by-zero).
+	var o Outcome
+	if r := o.Top1Rate(); r != 0 || math.IsNaN(r) {
+		t.Fatalf("empty top-1 rate = %v, want 0", r)
+	}
+	if r := o.Top5Rate(); r != 0 || math.IsNaN(r) {
+		t.Fatalf("empty top-5 rate = %v, want 0", r)
+	}
+	if r := o.RateAbove(15); r != 0 || math.IsNaN(r) {
+		t.Fatalf("empty rate-above = %v, want 0", r)
+	}
+}
+
 func TestConsecutiveMultiBitFaults(t *testing.T) {
 	m, feeds := lenetInputs(t, 1)
 	c := &Campaign{

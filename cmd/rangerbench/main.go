@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ranger/internal/experiments"
+	"ranger/internal/parallel"
 )
 
 // renderer is any experiment result.
@@ -61,8 +62,12 @@ func run(args []string) error {
 	trials := fs.Int("trials", 0, "fault injections per input (default from RANGER_TRIALS or 150)")
 	inputs := fs.Int("inputs", 0, "inputs per model (default from RANGER_INPUTS or 4)")
 	seed := fs.Int64("seed", 1234, "campaign seed")
+	workers := fs.Int("workers", 0, "worker-pool width (default from RANGER_WORKERS or the core count)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
 	}
 	cfg := experiments.DefaultConfig()
 	if *trials > 0 {
@@ -72,6 +77,7 @@ func run(args []string) error {
 		cfg.Inputs = *inputs
 	}
 	cfg.Seed = *seed
+	cfg.Workers = parallel.Workers()
 	runner := experiments.NewRunner(cfg)
 
 	var ids []string
@@ -92,8 +98,8 @@ func run(args []string) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("no experiments selected")
 	}
-	fmt.Printf("rangerbench: %d experiments, %d trials x %d inputs per campaign\n\n",
-		len(ids), cfg.Trials, cfg.Inputs)
+	fmt.Printf("rangerbench: %d experiments, %d trials x %d inputs per campaign, %d workers\n\n",
+		len(ids), cfg.Trials, cfg.Inputs, cfg.Workers)
 	for _, id := range ids {
 		start := time.Now()
 		res, err := experimentFns[id](runner)

@@ -21,6 +21,7 @@ import (
 	"ranger/internal/graph"
 	"ranger/internal/inject"
 	"ranger/internal/models"
+	"ranger/internal/parallel"
 	"ranger/internal/stats"
 	"ranger/internal/train"
 )
@@ -43,8 +44,12 @@ func run(args []string) error {
 	withRanger := fs.Bool("ranger", true, "also evaluate the Ranger-protected model")
 	profileSamples := fs.Int("profile", 120, "training samples for bound profiling")
 	seed := fs.Int64("seed", 1, "campaign seed")
+	workers := fs.Int("workers", 0, "worker-pool width (default from RANGER_WORKERS or the core count)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
 	}
 
 	var fmtFixed fixpoint.Format
@@ -72,8 +77,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("campaign: %s, %d trials x %d inputs, %d-bit flips (%s, consecutive=%v)\n",
-		m.Name, *trials, *inputs, *bits, fmtFixed, *consecutive)
+	fmt.Printf("campaign: %s, %d trials x %d inputs, %d-bit flips (%s, consecutive=%v), %d workers\n",
+		m.Name, *trials, *inputs, *bits, fmtFixed, *consecutive, parallel.Workers())
 
 	report := func(label string, target *models.Model) error {
 		c := &inject.Campaign{Model: target, Fault: fault, Trials: *trials, Seed: *seed}

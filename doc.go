@@ -14,7 +14,12 @@
 // implemented with the standard library only:
 //
 //   - internal/tensor, internal/ops, internal/graph: a TensorFlow-1.x-style
-//     static dataflow graph with forward and backward operator kernels
+//     static dataflow graph with forward and backward operator kernels,
+//     reusable output-buffer arenas, and a concurrent RunBatch entry point
+//   - internal/parallel: the shared worker pool — deterministic contiguous
+//     work-sharding sized by RANGER_WORKERS (default: the core count) that
+//     the kernels, the executor, the fault injector, and the experiment
+//     sweeps all draw from; results are identical at every worker count
 //   - internal/fixpoint: the 32-bit and 16-bit fixed-point fault encodings
 //   - internal/data: deterministic synthetic stand-ins for MNIST, CIFAR-10,
 //     GTSRB, ImageNet and the driving dataset

@@ -25,12 +25,13 @@ import (
 	"ranger/internal/tensor"
 )
 
-// compile-time interface checks.
+// compile-time interface checks: every baseline detector is cloneable, so
+// campaigns shard its trials across workers (one clone per worker).
 var (
-	_ inject.Detector = (*SymptomDetector)(nil)
-	_ inject.Detector = (*DuplicationDetector)(nil)
-	_ inject.Detector = (*ABFTDetector)(nil)
-	_ inject.Detector = (*MLDetector)(nil)
+	_ inject.CloneableDetector = (*SymptomDetector)(nil)
+	_ inject.CloneableDetector = (*DuplicationDetector)(nil)
+	_ inject.CloneableDetector = (*ABFTDetector)(nil)
+	_ inject.CloneableDetector = (*MLDetector)(nil)
 )
 
 // SymptomDetector flags executions in which any monitored activation
@@ -58,6 +59,12 @@ func NewSymptomDetector(maxima map[string]float64, slack float64) *SymptomDetect
 
 // Name implements inject.Detector.
 func (d *SymptomDetector) Name() string { return "symptom-based detector (Li et al.)" }
+
+// CloneDetector implements inject.CloneableDetector: clones share the
+// threshold table (read-only) and own fresh flag state.
+func (d *SymptomDetector) CloneDetector() inject.Detector {
+	return &SymptomDetector{Thresholds: d.Thresholds, Slack: d.Slack}
+}
 
 // Reset implements inject.Detector.
 func (d *SymptomDetector) Reset() { d.flagged = false }
@@ -106,6 +113,12 @@ func NewDuplicationDetector(duplicated []string) *DuplicationDetector {
 
 // Name implements inject.Detector.
 func (d *DuplicationDetector) Name() string { return "selective duplication (Mahmoud et al.)" }
+
+// CloneDetector implements inject.CloneableDetector: clones share the
+// duplicated-node set (read-only) and own a fresh output cache.
+func (d *DuplicationDetector) CloneDetector() inject.Detector {
+	return &DuplicationDetector{Duplicated: d.Duplicated, outputs: make(map[string]*tensor.Tensor)}
+}
 
 // Reset implements inject.Detector.
 func (d *DuplicationDetector) Reset() {
@@ -175,6 +188,11 @@ func NewABFTDetector(tolerance float64) *ABFTDetector {
 
 // Name implements inject.Detector.
 func (d *ABFTDetector) Name() string { return "ABFT conv checksums (Zhao et al.)" }
+
+// CloneDetector implements inject.CloneableDetector.
+func (d *ABFTDetector) CloneDetector() inject.Detector {
+	return &ABFTDetector{Tolerance: d.Tolerance, outputs: make(map[string]*tensor.Tensor)}
+}
 
 // Reset implements inject.Detector.
 func (d *ABFTDetector) Reset() {
@@ -262,6 +280,18 @@ type MLDetector struct {
 
 // Name implements inject.Detector.
 func (d *MLDetector) Name() string { return "ML-based error detector (Schorn et al.)" }
+
+// CloneDetector implements inject.CloneableDetector: clones share the
+// learned parameters (read-only) and own fresh feature state.
+func (d *MLDetector) CloneDetector() inject.Detector {
+	return &MLDetector{
+		Layers:      d.Layers,
+		ProfiledMax: d.ProfiledMax,
+		Weights:     d.Weights,
+		Bias:        d.Bias,
+		Threshold:   d.Threshold,
+	}
+}
 
 // Reset implements inject.Detector.
 func (d *MLDetector) Reset() { d.feats = make(map[string]float64, len(d.Layers)) }

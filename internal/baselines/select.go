@@ -8,6 +8,7 @@ import (
 	"ranger/internal/graph"
 	"ranger/internal/inject"
 	"ranger/internal/models"
+	"ranger/internal/parallel"
 )
 
 // SelectDuplicationSet chooses the nodes to duplicate for the Mahmoud et
@@ -43,8 +44,8 @@ func SelectDuplicationSet(
 	for _, n := range m.ExcludeFI {
 		excluded[n] = true
 	}
-	var cands []candidate
 	inputs := []graph.Feeds{input}
+	var targets []*graph.Node
 	for _, n := range m.Graph.Nodes() {
 		switch n.Op().(type) {
 		case *graph.Placeholder, *graph.Variable:
@@ -56,23 +57,39 @@ func SelectDuplicationSet(
 		if count.ByNode[n.Name()] == 0 {
 			continue // free ops (reshape) gain nothing from duplication
 		}
+		targets = append(targets, n)
+	}
+	// Per-node vulnerability campaigns are independent: sweep them across
+	// the pool with sequential inner campaigns, collecting by node index
+	// so the candidate order (and the greedy pack below) is deterministic.
+	perNode := make([]float64, len(targets))
+	err = parallel.ForEach(parallel.Workers(), len(targets), func(i int) error {
+		n := targets[i]
 		c := &inject.Campaign{
 			Model:       m,
 			Fault:       fault,
 			Trials:      trialsPerNode,
 			Seed:        seed + int64(n.ID()),
 			TargetNodes: []string{n.Name()},
+			Workers:     1,
 		}
 		out, err := c.Run(inputs)
 		if err != nil {
-			return nil, 0, fmt.Errorf("baselines: vulnerability of %q: %w", n.Name(), err)
+			return fmt.Errorf("baselines: vulnerability of %q: %w", n.Name(), err)
 		}
-		var sdcFrac float64
 		if m.Kind == models.Classifier {
-			sdcFrac = out.Top1Rate()
+			perNode[i] = out.Top1Rate()
 		} else {
-			sdcFrac = out.RateAbove(15)
+			perNode[i] = out.RateAbove(15)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var cands []candidate
+	for i, n := range targets {
+		sdcFrac := perNode[i]
 		if sdcFrac == 0 {
 			continue
 		}

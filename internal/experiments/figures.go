@@ -10,6 +10,7 @@ import (
 	"ranger/internal/graph"
 	"ranger/internal/inject"
 	"ranger/internal/models"
+	"ranger/internal/parallel"
 	"ranger/internal/stats"
 )
 
@@ -106,14 +107,20 @@ type Fig6Result struct {
 	Rows []SDCRow
 }
 
-// Fig6 runs the classifier campaigns.
+// Fig6 runs the classifier campaigns, one model per pool worker.
 func Fig6(r *Runner) (*Fig6Result, error) {
-	res := &Fig6Result{}
-	for _, name := range models.ClassifierNames() {
+	perModel, err := forEachModel(r, models.ClassifierNames(), func(name string) ([]SDCRow, error) {
 		rows, err := classifierSDC(r, name, inject.DefaultFaultModel())
 		if err != nil {
 			return nil, fmt.Errorf("fig6 %s: %w", name, err)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{}
+	for _, rows := range perModel {
 		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
@@ -191,14 +198,20 @@ type Fig7Result struct {
 	Rows []SDCRow
 }
 
-// Fig7 runs the Dave and Comma campaigns.
+// Fig7 runs the Dave and Comma campaigns, one model per pool worker.
 func Fig7(r *Runner) (*Fig7Result, error) {
-	res := &Fig7Result{}
-	for _, name := range []string{"dave", "comma"} {
+	perModel, err := forEachModel(r, []string{"dave", "comma"}, func(name string) ([]SDCRow, error) {
 		rows, err := steeringSDC(r, name, inject.DefaultFaultModel())
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s: %w", name, err)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{}
+	for _, rows := range perModel {
 		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
@@ -261,28 +274,31 @@ type Fig8Result struct {
 	Rows []Fig8Row
 }
 
-// Fig8 compares Ranger with the Tanh-swap defense.
+// Fig8 compares Ranger with the Tanh-swap defense, one base model (and
+// its -tanh variant) per pool worker.
 func Fig8(r *Runner) (*Fig8Result, error) {
-	res := &Fig8Result{}
-	for _, base := range []string{"lenet", "alexnet", "vgg11", "dave", "comma"} {
+	rows, err := forEachModel(r, []string{"lenet", "alexnet", "vgg11", "dave", "comma"}, func(base string) (Fig8Row, error) {
 		reluSDC, reluRangerSDC, err := avgSDC(r, base)
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s: %w", base, err)
+			return Fig8Row{}, fmt.Errorf("fig8 %s: %w", base, err)
 		}
 		tanhSDC, tanhRangerSDC, err := avgSDC(r, base+"-tanh")
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s-tanh: %w", base, err)
+			return Fig8Row{}, fmt.Errorf("fig8 %s-tanh: %w", base, err)
 		}
-		res.Rows = append(res.Rows, Fig8Row{
+		return Fig8Row{
 			Model: base,
 			// Hong et al. on a model already using Tanh changes nothing.
 			TanhHong:   0,
 			TanhRanger: stats.RelativeReduction(tanhSDC, tanhRangerSDC),
 			ReluHong:   stats.RelativeReduction(reluSDC, tanhSDC),
 			ReluRanger: stats.RelativeReduction(reluSDC, reluRangerSDC),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig8Result{Rows: rows}, nil
 }
 
 // avgSDC returns a model's SDC rate without and with Ranger: top-1 rate
@@ -340,26 +356,24 @@ type Fig9Result struct {
 	Rows []SDCRow
 }
 
-// Fig9 runs the reduced-precision campaigns.
+// Fig9 runs the reduced-precision campaigns, one model per pool worker.
 func Fig9(r *Runner) (*Fig9Result, error) {
 	fault := inject.FaultModel{Format: fixpoint.Q16, BitFlips: 1}
-	res := &Fig9Result{}
-	for _, name := range models.Names() {
+	rows, err := forEachModel(r, models.Names(), func(name string) (SDCRow, error) {
 		m, err := r.Model(name)
 		if err != nil {
-			return nil, err
+			return SDCRow{}, err
 		}
 		if m.Kind == models.Classifier {
 			rows, err := classifierSDC(r, name, fault)
 			if err != nil {
-				return nil, fmt.Errorf("fig9 %s: %w", name, err)
+				return SDCRow{}, fmt.Errorf("fig9 %s: %w", name, err)
 			}
-			res.Rows = append(res.Rows, rows[0])
-			continue
+			return rows[0], nil
 		}
 		rows, err := steeringSDC(r, name, fault)
 		if err != nil {
-			return nil, fmt.Errorf("fig9 %s: %w", name, err)
+			return SDCRow{}, fmt.Errorf("fig9 %s: %w", name, err)
 		}
 		// Average across thresholds as the paper's Fig. 9 does.
 		var o, p float64
@@ -369,14 +383,17 @@ func Fig9(r *Runner) (*Fig9Result, error) {
 		}
 		n := len(rows)
 		trials := rows[0].Original.N
-		res.Rows = append(res.Rows, SDCRow{
+		return SDCRow{
 			Model:      name,
 			Metric:     "avg",
 			Original:   stats.NewProportion(int(o/float64(n)*float64(trials)+0.5), trials),
 			WithRanger: stats.NewProportion(int(p/float64(n)*float64(trials)+0.5), trials),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig9Result{Rows: rows}, nil
 }
 
 // Render formats Fig. 9.
@@ -423,22 +440,29 @@ func Fig10(r *Runner) (*Fig10Result, error) {
 		k := int(orig.RateAbove(th)*float64(len(orig.Deviations)) + 0.5)
 		res.Original = append(res.Original, stats.NewProportion(k, len(orig.Deviations)))
 	}
-	for _, pct := range Fig10Percentiles {
-		bounds := prof.PercentileBounds(pct)
+	// One percentile configuration per pool worker (PercentileBounds
+	// copies before sorting, so concurrent calls are safe).
+	res.Protected = make([][]stats.Proportion, len(Fig10Percentiles))
+	err = parallel.ForEach(r.cfg.Workers, len(Fig10Percentiles), func(i int) error {
+		bounds := prof.PercentileBounds(Fig10Percentiles[i])
 		pm, _, err := core.ProtectModel(m, bounds, core.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out, err := r.campaign(pm, inject.DefaultFaultModel(), 0).Run(rekey(feeds))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var row []stats.Proportion
 		for _, th := range SteeringThresholds {
 			k := int(out.RateAbove(th)*float64(len(out.Deviations)) + 0.5)
 			row = append(row, stats.NewProportion(k, len(out.Deviations)))
 		}
-		res.Protected = append(res.Protected, row)
+		res.Protected[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -484,49 +508,84 @@ type MultiBitRow struct {
 	WithRanger stats.Proportion
 }
 
-// Fig11 runs multi-bit campaigns on the LeNet and ResNet classifiers.
-func Fig11(r *Runner) (*MultiBitResult, error) {
-	res := &MultiBitResult{Title: "Fig 11: classifier SDC rates under multi-bit flips"}
-	for _, name := range []string{"lenet", "resnet18"} {
+// multiBitCases enumerates the (model, bits) grid of a multi-bit figure.
+func multiBitCases(names []string) []struct {
+	name string
+	bits int
+} {
+	var cases []struct {
+		name string
+		bits int
+	}
+	for _, name := range names {
 		for bits := 2; bits <= 5; bits++ {
-			fault := inject.FaultModel{Format: fixpoint.Q32, BitFlips: bits}
-			rows, err := classifierSDC(r, name, fault)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s/%d: %w", name, bits, err)
-			}
-			res.Rows = append(res.Rows, MultiBitRow{
-				Model: name, Bits: bits, Metric: "top-1",
-				Original: rows[0].Original, WithRanger: rows[0].WithRanger,
-			})
+			cases = append(cases, struct {
+				name string
+				bits int
+			}{name, bits})
 		}
+	}
+	return cases
+}
+
+// Fig11 runs multi-bit campaigns on the LeNet and ResNet classifiers, one
+// (model, bits) campaign pair per pool worker.
+func Fig11(r *Runner) (*MultiBitResult, error) {
+	cases := multiBitCases([]string{"lenet", "resnet18"})
+	res := &MultiBitResult{
+		Title: "Fig 11: classifier SDC rates under multi-bit flips",
+		Rows:  make([]MultiBitRow, len(cases)),
+	}
+	err := parallel.ForEach(r.cfg.Workers, len(cases), func(i int) error {
+		name, bits := cases[i].name, cases[i].bits
+		fault := inject.FaultModel{Format: fixpoint.Q32, BitFlips: bits}
+		rows, err := classifierSDC(r, name, fault)
+		if err != nil {
+			return fmt.Errorf("fig11 %s/%d: %w", name, bits, err)
+		}
+		res.Rows[i] = MultiBitRow{
+			Model: name, Bits: bits, Metric: "top-1",
+			Original: rows[0].Original, WithRanger: rows[0].WithRanger,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
 // Fig12 runs multi-bit campaigns on the steering models, reporting the
-// threshold-averaged SDC rate.
+// threshold-averaged SDC rate; one (model, bits) pair per pool worker.
 func Fig12(r *Runner) (*MultiBitResult, error) {
-	res := &MultiBitResult{Title: "Fig 12: steering-model SDC rates under multi-bit flips"}
-	for _, name := range []string{"dave", "comma"} {
-		for bits := 2; bits <= 5; bits++ {
-			fault := inject.FaultModel{Format: fixpoint.Q32, BitFlips: bits}
-			rows, err := steeringSDC(r, name, fault)
-			if err != nil {
-				return nil, fmt.Errorf("fig12 %s/%d: %w", name, bits, err)
-			}
-			var o, p float64
-			for _, row := range rows {
-				o += row.Original.Rate
-				p += row.WithRanger.Rate
-			}
-			n := len(rows)
-			trials := rows[0].Original.N
-			res.Rows = append(res.Rows, MultiBitRow{
-				Model: name, Bits: bits, Metric: "avg",
-				Original:   stats.NewProportion(int(o/float64(n)*float64(trials)+0.5), trials),
-				WithRanger: stats.NewProportion(int(p/float64(n)*float64(trials)+0.5), trials),
-			})
+	cases := multiBitCases([]string{"dave", "comma"})
+	res := &MultiBitResult{
+		Title: "Fig 12: steering-model SDC rates under multi-bit flips",
+		Rows:  make([]MultiBitRow, len(cases)),
+	}
+	err := parallel.ForEach(r.cfg.Workers, len(cases), func(i int) error {
+		name, bits := cases[i].name, cases[i].bits
+		fault := inject.FaultModel{Format: fixpoint.Q32, BitFlips: bits}
+		rows, err := steeringSDC(r, name, fault)
+		if err != nil {
+			return fmt.Errorf("fig12 %s/%d: %w", name, bits, err)
 		}
+		var o, p float64
+		for _, row := range rows {
+			o += row.Original.Rate
+			p += row.WithRanger.Rate
+		}
+		n := len(rows)
+		trials := rows[0].Original.N
+		res.Rows[i] = MultiBitRow{
+			Model: name, Bits: bits, Metric: "avg",
+			Original:   stats.NewProportion(int(o/float64(n)*float64(trials)+0.5), trials),
+			WithRanger: stats.NewProportion(int(p/float64(n)*float64(trials)+0.5), trials),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -21,6 +21,7 @@ import (
 	"ranger/internal/graph"
 	"ranger/internal/inject"
 	"ranger/internal/models"
+	"ranger/internal/parallel"
 	"ranger/internal/train"
 )
 
@@ -41,12 +42,19 @@ type Config struct {
 	EvalSamples int
 	// Seed drives all campaigns.
 	Seed int64
+	// Workers is the worker-pool width for campaigns and per-model
+	// sweeps; 0 uses the process default (RANGER_WORKERS or the core
+	// count). Evaluation batches, input selection, and kernel sharding
+	// follow the process default directly (parallel.SetWorkers), and
+	// nested parallel stages adapt to leftover pool capacity. Results
+	// are identical at every worker count.
+	Workers int
 	// Zoo supplies trained models; nil uses train.Default().
 	Zoo *train.Zoo
 }
 
 // DefaultConfig returns the laptop-scale configuration, honoring
-// RANGER_TRIALS and RANGER_INPUTS overrides.
+// RANGER_TRIALS, RANGER_INPUTS, and RANGER_WORKERS overrides.
 func DefaultConfig() Config {
 	cfg := Config{
 		Trials:         150,
@@ -54,6 +62,7 @@ func DefaultConfig() Config {
 		ProfileSamples: 120,
 		EvalSamples:    200,
 		Seed:           1234,
+		Workers:        parallel.Workers(),
 	}
 	if v, err := strconv.Atoi(os.Getenv("RANGER_TRIALS")); err == nil && v > 0 {
 		cfg.Trials = v
@@ -65,11 +74,15 @@ func DefaultConfig() Config {
 }
 
 // Runner caches trained models, profiled bounds, selected inputs, and
-// protected graphs across experiments.
+// protected graphs across experiments. All methods are safe for
+// concurrent use; expensive per-model derivations (profiling, input
+// selection, protection) serialize per model, not globally, so per-model
+// experiment sweeps overlap.
 type Runner struct {
 	cfg Config
 
 	mu        sync.Mutex
+	perModel  map[string]*sync.Mutex
 	bounds    map[string]core.Bounds
 	maxima    map[string]map[string]float64
 	inputs    map[string][]graph.Feeds
@@ -93,13 +106,30 @@ func NewRunner(cfg Config) *Runner {
 	if cfg.EvalSamples <= 0 {
 		cfg.EvalSamples = DefaultConfig().EvalSamples
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = parallel.Workers()
+	}
 	return &Runner{
 		cfg:       cfg,
+		perModel:  make(map[string]*sync.Mutex),
 		bounds:    make(map[string]core.Bounds),
 		maxima:    make(map[string]map[string]float64),
 		inputs:    make(map[string][]graph.Feeds),
 		protected: make(map[string]*models.Model),
 	}
+}
+
+// modelLock returns the mutex serializing expensive derivations for one
+// model name.
+func (r *Runner) modelLock(name string) *sync.Mutex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.perModel[name]
+	if !ok {
+		l = &sync.Mutex{}
+		r.perModel[name] = l
+	}
+	return l
 }
 
 // Config returns the runner's effective configuration.
@@ -118,17 +148,23 @@ func (r *Runner) Dataset(m *models.Model) (data.Dataset, error) {
 // Bounds returns (and caches) the profiled 100th-percentile restriction
 // bounds for a model, derived from its training split as in §V-A.
 func (r *Runner) Bounds(name string) (core.Bounds, error) {
+	lock := r.modelLock(name)
+	lock.Lock()
+	defer lock.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if b, ok := r.bounds[name]; ok {
+	b, ok := r.bounds[name]
+	r.mu.Unlock()
+	if ok {
 		return b, nil
 	}
-	b, maxima, err := r.profileLocked(name, 0)
+	b, maxima, err := r.profile(name, 0)
 	if err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
 	r.bounds[name] = b
 	r.maxima[name] = maxima
+	r.mu.Unlock()
 	return b, nil
 }
 
@@ -143,10 +179,10 @@ func (r *Runner) ActMaxima(name string) (map[string]float64, error) {
 	return r.maxima[name], nil
 }
 
-// profileLocked profiles a model's activation ranges over the training
+// profile profiles a model's activation ranges over the training
 // split. reservoir > 0 additionally retains a value sample for percentile
 // bounds; callers needing percentiles use Profiler directly via this hook.
-func (r *Runner) profileLocked(name string, reservoir int) (core.Bounds, map[string]float64, error) {
+func (r *Runner) profile(name string, reservoir int) (core.Bounds, map[string]float64, error) {
 	m, err := r.cfg.Zoo.Get(name)
 	if err != nil {
 		return nil, nil, err
@@ -203,6 +239,7 @@ func (r *Runner) Protected(name string) (*models.Model, error) {
 		return pm, nil
 	}
 	r.mu.Unlock()
+	// Derive bounds before taking the model lock (Bounds takes it too).
 	b, err := r.Bounds(name)
 	if err != nil {
 		return nil, err
@@ -211,6 +248,15 @@ func (r *Runner) Protected(name string) (*models.Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	lock := r.modelLock(name)
+	lock.Lock()
+	defer lock.Unlock()
+	r.mu.Lock()
+	if pm, ok := r.protected[name]; ok {
+		r.mu.Unlock()
+		return pm, nil
+	}
+	r.mu.Unlock()
 	pm, _, err := core.ProtectModel(m, b, core.Options{})
 	if err != nil {
 		return nil, err
@@ -227,6 +273,15 @@ func (r *Runner) Protected(name string) (*models.Model, error) {
 // generate correct predictions on these inputs"). For steering models,
 // "correct" means within 15 degrees of the ground truth.
 func (r *Runner) Inputs(name string) ([]graph.Feeds, error) {
+	r.mu.Lock()
+	if f, ok := r.inputs[name]; ok {
+		r.mu.Unlock()
+		return f, nil
+	}
+	r.mu.Unlock()
+	lock := r.modelLock(name)
+	lock.Lock()
+	defer lock.Unlock()
 	r.mu.Lock()
 	if f, ok := r.inputs[name]; ok {
 		r.mu.Unlock()
@@ -252,32 +307,47 @@ func (r *Runner) Inputs(name string) ([]graph.Feeds, error) {
 }
 
 // SelectInputs scans the validation split for n samples the model
-// predicts correctly and returns single-sample feeds for them.
+// predicts correctly and returns single-sample feeds for them. The scan
+// evaluates chunks through graph.RunBatch and picks candidates in sample
+// order, so the selected inputs are identical at every worker count.
 func SelectInputs(m *models.Model, ds data.Dataset, n int) ([]graph.Feeds, error) {
-	var e graph.Executor
 	var out []graph.Feeds
 	limit := ds.Len(data.Val)
-	for i := 0; i < limit && len(out) < n; i++ {
-		s := ds.Sample(data.Val, i)
-		feeds := graph.Feeds{m.Input: s.X}
-		outs, err := e.Run(m.Graph, feeds, m.Output)
+	const chunk = 32
+	for base := 0; base < limit && len(out) < n; base += chunk {
+		end := base + chunk
+		if end > limit {
+			end = limit
+		}
+		samples := make([]data.Sample, end-base)
+		feeds := make([]graph.Feeds, end-base)
+		for i := range feeds {
+			samples[i] = ds.Sample(data.Val, base+i)
+			feeds[i] = graph.Feeds{m.Input: samples[i].X}
+		}
+		outs, err := graph.RunBatch(m.Graph, feeds, 0, m.Output)
 		if err != nil {
 			return nil, err
 		}
-		switch m.Kind {
-		case models.Classifier:
-			if outs[0].ArgMax() == s.Label {
-				out = append(out, feeds)
+		for i := range outs {
+			if len(out) == n {
+				break
 			}
-		case models.Regressor:
-			pred := float64(outs[0].Data()[0])
-			tgt := float64(s.Target)
-			if !m.OutputInDegrees {
-				pred = data.RadiansToDegrees(pred)
-				tgt = data.RadiansToDegrees(tgt)
-			}
-			if math.Abs(pred-tgt) < 15 {
-				out = append(out, feeds)
+			switch m.Kind {
+			case models.Classifier:
+				if outs[i][0].ArgMax() == samples[i].Label {
+					out = append(out, feeds[i])
+				}
+			case models.Regressor:
+				pred := float64(outs[i][0].Data()[0])
+				tgt := float64(samples[i].Target)
+				if !m.OutputInDegrees {
+					pred = data.RadiansToDegrees(pred)
+					tgt = data.RadiansToDegrees(tgt)
+				}
+				if math.Abs(pred-tgt) < 15 {
+					out = append(out, feeds[i])
+				}
 			}
 		}
 	}
@@ -295,9 +365,29 @@ func rekey(feeds []graph.Feeds) []graph.Feeds { return feeds }
 // campaign builds a campaign against a model with the runner's settings.
 func (r *Runner) campaign(m *models.Model, fault inject.FaultModel, seedOffset int64) *inject.Campaign {
 	return &inject.Campaign{
-		Model:  m,
-		Fault:  fault,
-		Trials: r.cfg.Trials,
-		Seed:   r.cfg.Seed + seedOffset,
+		Model:   m,
+		Fault:   fault,
+		Trials:  r.cfg.Trials,
+		Seed:    r.cfg.Seed + seedOffset,
+		Workers: r.cfg.Workers,
 	}
+}
+
+// forEachModel runs fn over names through the worker pool, collecting
+// per-model results by index so callers append them in declaration order
+// regardless of scheduling.
+func forEachModel[T any](r *Runner, names []string, fn func(name string) (T, error)) ([]T, error) {
+	results := make([]T, len(names))
+	err := parallel.ForEach(r.cfg.Workers, len(names), func(i int) error {
+		res, err := fn(names[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }

@@ -13,6 +13,7 @@ import (
 	"ranger/internal/inject"
 	"ranger/internal/models"
 	"ranger/internal/ops"
+	"ranger/internal/parallel"
 	"ranger/internal/stats"
 	"ranger/internal/tensor"
 	"ranger/internal/train"
@@ -34,11 +35,11 @@ type Table2Result struct {
 	Rows []Table2Row
 }
 
-// Table2 evaluates every model on its validation split.
+// Table2 evaluates every model on its validation split, one model per
+// pool worker.
 func Table2(r *Runner) (*Table2Result, error) {
-	res := &Table2Result{}
 	n := r.cfg.EvalSamples
-	for _, name := range models.Names() {
+	perModel, err := forEachModel(r, models.Names(), func(name string) ([]Table2Row, error) {
 		m, err := r.Model(name)
 		if err != nil {
 			return nil, err
@@ -62,6 +63,7 @@ func Table2(r *Runner) (*Table2Result, error) {
 					k    int
 				}{"top-5", 5})
 			}
+			var rows []Table2Row
 			for _, mt := range metrics {
 				a, err := train.TopKAccuracy(m, ds, data.Val, n, mt.k)
 				if err != nil {
@@ -71,9 +73,9 @@ func Table2(r *Runner) (*Table2Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				res.Rows = append(res.Rows, Table2Row{Model: name, Metric: mt.name, Original: a, WithRanger: b})
+				rows = append(rows, Table2Row{Model: name, Metric: mt.name, Original: a, WithRanger: b})
 			}
-			continue
+			return rows, nil
 		}
 		rmseO, devO, err := train.SteeringMetrics(m, ds, data.Val, n)
 		if err != nil {
@@ -83,10 +85,17 @@ func Table2(r *Runner) (*Table2Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Rows = append(res.Rows,
-			Table2Row{Model: name, Metric: "RMSE", Original: rmseO, WithRanger: rmseP},
-			Table2Row{Model: name, Metric: "avg-dev", Original: devO, WithRanger: devP},
-		)
+		return []Table2Row{
+			{Model: name, Metric: "RMSE", Original: rmseO, WithRanger: rmseP},
+			{Model: name, Metric: "avg-dev", Original: devO, WithRanger: devP},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{}
+	for _, rows := range perModel {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }
@@ -166,38 +175,41 @@ type Table4Result struct {
 	Rows []Table4Row
 }
 
-// Table4 counts FLOPs for every model with and without Ranger.
+// Table4 counts FLOPs for every model with and without Ranger, one model
+// per pool worker.
 func Table4(r *Runner) (*Table4Result, error) {
-	res := &Table4Result{}
-	for _, name := range models.Names() {
+	rows, err := forEachModel(r, models.Names(), func(name string) (Table4Row, error) {
 		m, err := r.Model(name)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		pm, err := r.Protected(name)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		feeds, err := r.Inputs(name)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		orig, err := flops.CountGraph(m.Graph, feeds[0], m.Output)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		prot, err := flops.CountGraph(pm.Graph, feeds[0], pm.Output)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
-		res.Rows = append(res.Rows, Table4Row{
+		return Table4Row{
 			Model:      name,
 			Original:   orig.Total,
 			WithRanger: prot.Total,
 			Overhead:   flops.Overhead(orig, prot),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table4Result{Rows: rows}, nil
 }
 
 // Render formats Table IV.
@@ -542,24 +554,34 @@ func Alternatives(r *Runner) (*AlternativesResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Accuracy = append(res.Accuracy, acc)
-	res.SDC = append(res.SDC, stats.NewProportion(orig.Top1SDC, orig.Trials))
-	for _, policy := range []ops.Policy{ops.PolicyClip, ops.PolicyZero, ops.PolicyRandom} {
-		pm, _, err := core.ProtectModel(m, bounds, core.Options{Policy: policy})
+	// One restriction policy per pool worker, folded in policy order.
+	policies := []ops.Policy{ops.PolicyClip, ops.PolicyZero, ops.PolicyRandom}
+	accs := make([]float64, len(policies))
+	sdcs := make([]stats.Proportion, len(policies))
+	err = parallel.ForEach(r.cfg.Workers, len(policies), func(i int) error {
+		pm, _, err := core.ProtectModel(m, bounds, core.Options{Policy: policies[i]})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		acc, err := train.TopKAccuracy(pm, ds, data.Val, r.cfg.EvalSamples, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out, err := r.campaign(pm, inject.DefaultFaultModel(), 0).Run(rekey(feeds))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Accuracy = append(res.Accuracy, acc)
-		res.SDC = append(res.SDC, stats.NewProportion(out.Top1SDC, out.Trials))
+		accs[i] = acc
+		sdcs[i] = stats.NewProportion(out.Top1SDC, out.Trials)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Accuracy = append(res.Accuracy, acc)
+	res.SDC = append(res.SDC, stats.NewProportion(orig.Top1SDC, orig.Trials))
+	res.Accuracy = append(res.Accuracy, accs...)
+	res.SDC = append(res.SDC, sdcs...)
 	return res, nil
 }
 

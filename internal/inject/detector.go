@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ranger/internal/graph"
+	"ranger/internal/parallel"
 	"ranger/internal/tensor"
 )
 
@@ -25,6 +26,18 @@ type Detector interface {
 	Observe(node *graph.Node, out *tensor.Tensor)
 	// Detected reports whether this execution was flagged as faulty.
 	Detected() bool
+}
+
+// CloneableDetector is implemented by detectors whose per-execution state
+// can be duplicated. RunWithDetector shards trials across workers (one
+// clone per worker) when the detector supports it and falls back to
+// sequential execution otherwise — order-dependent detectors such as
+// training-data collectors stay correct by simply not implementing it.
+type CloneableDetector interface {
+	Detector
+	// CloneDetector returns a detector sharing the receiver's
+	// configuration but owning fresh per-execution state.
+	CloneDetector() Detector
 }
 
 // DetectorOutcome extends Outcome with detection accounting.
@@ -61,6 +74,11 @@ func (d DetectorOutcome) CoverageOfSDCs() float64 {
 // (undetected-and-uncorrected) faulty outputs; UncorrectedSDC applies the
 // detect-and-re-execute recovery model. For regressors, detected trials'
 // recorded deviations are zeroed (corrected by re-execution).
+// Trials shard across workers when det implements CloneableDetector (one
+// clone per worker); otherwise they run sequentially. Either way each
+// trial samples from its own hash(Seed, input, trial) stream and results
+// fold in trial order, so the DetectorOutcome is identical at every
+// worker count.
 func (c *Campaign) RunWithDetector(inputs []graph.Feeds, det Detector) (DetectorOutcome, error) {
 	if det == nil {
 		return DetectorOutcome{}, fmt.Errorf("inject: nil detector")
@@ -68,10 +86,14 @@ func (c *Campaign) RunWithDetector(inputs []graph.Feeds, det Detector) (Detector
 	if c.Trials <= 0 || c.Fault.BitFlips <= 0 || len(inputs) == 0 {
 		return DetectorOutcome{}, fmt.Errorf("inject: invalid campaign config")
 	}
-	rng := newCampaignRNG(c.Seed)
+	workers := 1
+	cloneable, ok := det.(CloneableDetector)
+	if ok {
+		workers = parallel.Resolve(c.Workers)
+	}
 	var out DetectorOutcome
 	var clean graph.Executor
-	for _, feeds := range inputs {
+	for ii, feeds := range inputs {
 		fs, err := buildFaultSpace(c.Model, feeds, c.Exclude, c.TargetNodes)
 		if err != nil {
 			return DetectorOutcome{}, err
@@ -96,34 +118,54 @@ func (c *Campaign) RunWithDetector(inputs []graph.Feeds, det Detector) (Detector
 			out.FalsePositives++
 		}
 
-		for trial := 0; trial < c.Trials; trial++ {
-			sites := c.sampleFaultSites(fs, rng)
-			det.Reset()
-			faulty, err := c.runWithFaultsObserved(feeds, sites, det)
-			if err != nil {
-				return DetectorOutcome{}, err
+		type detVerdict struct {
+			trialVerdict
+			detected bool
+		}
+		verdicts := make([]detVerdict, c.Trials)
+		errs := make([]error, c.Trials)
+		parallel.Shard(workers, c.Trials, func(lo, hi int) {
+			d := det
+			if workers > 1 {
+				d = cloneable.CloneDetector()
 			}
-			detected := det.Detected()
-			if detected {
+			arena := graph.NewArena()
+			for trial := lo; trial < hi; trial++ {
+				sites := c.sampleFaultSites(fs, trialRNG(c.Seed, ii, trial))
+				d.Reset()
+				faulty, err := c.runWithFaultsObserved(arena, feeds, sites, d)
+				if err != nil {
+					errs[trial] = err
+					continue
+				}
+				verdicts[trial] = detVerdict{
+					trialVerdict: c.judgeTrial(ref, faulty),
+					detected:     d.Detected(),
+				}
+			}
+		})
+		for trial := 0; trial < c.Trials; trial++ {
+			if errs[trial] != nil {
+				return DetectorOutcome{}, errs[trial]
+			}
+			v := verdicts[trial]
+			if v.detected {
 				out.DetectedFaulty++
 			}
-			before := out.Top1SDC
-			beforeDev := len(out.Deviations)
-			c.judge(&out.Outcome, ref, faulty)
-			out.Trials++
-			wasSDC := out.Top1SDC > before
-			if len(out.Deviations) > beforeDev {
-				wasSDC = out.Deviations[len(out.Deviations)-1] > c.regSDCThreshold()
+			wasSDC := v.top1
+			if v.isReg {
+				wasSDC = v.dev > c.regSDCThreshold()
 			}
 			out.TrialSDC = append(out.TrialSDC, wasSDC)
-			if wasSDC && !detected {
+			if wasSDC && !v.detected {
 				out.UncorrectedSDC++
 			}
 			// Detected regressor trials are corrected by re-execution:
-			// replace the recorded deviation with zero.
-			if detected && len(out.Deviations) > beforeDev {
-				out.Deviations[len(out.Deviations)-1] = 0
+			// record a zero deviation.
+			if v.detected && v.isReg {
+				v.dev = 0
 			}
+			v.apply(&out.Outcome)
 		}
 	}
 	return out, nil
@@ -131,8 +173,8 @@ func (c *Campaign) RunWithDetector(inputs []graph.Feeds, det Detector) (Detector
 
 // runWithFaultsObserved is runWithFaults with a detector observing every
 // node output after fault application.
-func (c *Campaign) runWithFaultsObserved(feeds graph.Feeds, sites map[string][]site, det Detector) (*tensor.Tensor, error) {
-	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+func (c *Campaign) runWithFaultsObserved(arena *graph.Arena, feeds graph.Feeds, sites map[string][]site, det Detector) (*tensor.Tensor, error) {
+	e := graph.Executor{Arena: arena, Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
 		result := out
 		if ss, ok := sites[n.Name()]; ok {
 			repl := out.Clone()

@@ -14,6 +14,7 @@ import (
 	"ranger/internal/fixpoint"
 	"ranger/internal/graph"
 	"ranger/internal/models"
+	"ranger/internal/parallel"
 	"ranger/internal/tensor"
 )
 
@@ -45,10 +46,21 @@ type site struct {
 	bit  int
 }
 
-// newCampaignRNG builds the deterministic site-sampling stream so that
-// Run and RunWithDetector draw identical fault sequences for equal seeds.
+// newCampaignRNG builds a deterministic site-sampling stream; retained
+// for single-stream sampling helpers and their tests.
 func newCampaignRNG(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
+}
+
+// trialRNG derives the fault-sampling stream for one (input, trial) pair
+// as hash(seed, input, trial). Each trial owns an independent stream, so
+// trials are embarrassingly parallel while the sampled fault sites stay
+// bit-identical for a fixed campaign seed at every worker count.
+func trialRNG(seed int64, input, trial int) *rand.Rand {
+	h := parallel.Mix64(uint64(seed))
+	h = parallel.Mix64(h ^ uint64(input+1))
+	h = parallel.Mix64(h ^ uint64(trial+1))
+	return rand.New(rand.NewSource(int64(h & 0x7FFFFFFFFFFFFFFF)))
 }
 
 // Campaign runs fault-injection trials against one model.
@@ -70,6 +82,10 @@ type Campaign struct {
 	// nodes (used for per-node vulnerability estimation by the selective
 	// duplication baseline).
 	TargetNodes []string
+	// Workers caps the trial-level parallelism; 0 uses the process
+	// default (RANGER_WORKERS or the core count). Outcomes are identical
+	// at every worker count for a fixed Seed.
+	Workers int
 }
 
 // regSDCThreshold returns the effective regressor SDC threshold.
@@ -217,6 +233,11 @@ func (fs *faultSpace) sampleSite(rng *rand.Rand, bits int) site {
 // Run executes the campaign over the given inputs. Each input's fault-free
 // output is the SDC reference, as in the paper (inputs are chosen so the
 // fault-free prediction is correct; see experiments.SelectInputs).
+//
+// Trials are sharded across workers, each trial sampling from its own
+// hash(Seed, input, trial) stream and judged into an index slot, then
+// reduced in trial order — the Outcome is byte-identical at every worker
+// count.
 func (c *Campaign) Run(inputs []graph.Feeds) (Outcome, error) {
 	if c.Trials <= 0 {
 		return Outcome{}, fmt.Errorf("inject: trials = %d", c.Trials)
@@ -227,10 +248,10 @@ func (c *Campaign) Run(inputs []graph.Feeds) (Outcome, error) {
 	if len(inputs) == 0 {
 		return Outcome{}, fmt.Errorf("inject: no inputs")
 	}
-	rng := newCampaignRNG(c.Seed)
+	workers := parallel.Resolve(c.Workers)
 	var out Outcome
 	var clean graph.Executor
-	for _, feeds := range inputs {
+	for ii, feeds := range inputs {
 		fs, err := buildFaultSpace(c.Model, feeds, c.Exclude, c.TargetNodes)
 		if err != nil {
 			return Outcome{}, err
@@ -240,23 +261,36 @@ func (c *Campaign) Run(inputs []graph.Feeds) (Outcome, error) {
 			return Outcome{}, fmt.Errorf("inject: clean run: %w", err)
 		}
 		ref := refOuts[0]
-		for trial := 0; trial < c.Trials; trial++ {
-			sites := c.sampleFaultSites(fs, rng)
-			faulty, err := c.runWithFaults(feeds, sites)
-			if err != nil {
-				return Outcome{}, err
+		verdicts := make([]trialVerdict, c.Trials)
+		errs := make([]error, c.Trials)
+		parallel.Shard(workers, c.Trials, func(lo, hi int) {
+			arena := graph.NewArena()
+			for trial := lo; trial < hi; trial++ {
+				sites := c.sampleFaultSites(fs, trialRNG(c.Seed, ii, trial))
+				faulty, err := c.runWithFaults(arena, feeds, sites)
+				if err != nil {
+					errs[trial] = err
+					continue
+				}
+				verdicts[trial] = c.judgeTrial(ref, faulty)
 			}
-			c.judge(&out, ref, faulty)
-			out.Trials++
+		})
+		for trial := 0; trial < c.Trials; trial++ {
+			if errs[trial] != nil {
+				return Outcome{}, errs[trial]
+			}
+			verdicts[trial].apply(&out)
 		}
 	}
 	return out, nil
 }
 
 // runWithFaults executes the model with the given fault sites applied to
-// operator outputs.
-func (c *Campaign) runWithFaults(feeds graph.Feeds, sites map[string][]site) (*tensor.Tensor, error) {
-	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+// operator outputs. The arena recycles node buffers across a worker's
+// trials; the returned output is only valid until the next call with the
+// same arena.
+func (c *Campaign) runWithFaults(arena *graph.Arena, feeds graph.Feeds, sites map[string][]site) (*tensor.Tensor, error) {
+	e := graph.Executor{Arena: arena, Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
 		ss, ok := sites[n.Name()]
 		if !ok {
 			return nil
@@ -281,15 +315,35 @@ func (c *Campaign) runWithFaults(feeds graph.Feeds, sites map[string][]site) (*t
 	return outs[0], nil
 }
 
-// judge updates SDC counters by comparing the faulty output against the
-// fault-free reference.
-func (c *Campaign) judge(out *Outcome, ref, faulty *tensor.Tensor) {
+// trialVerdict is one trial's judged result, computed concurrently and
+// folded into the Outcome in deterministic trial order.
+type trialVerdict struct {
+	top1, top5 bool
+	dev        float64
+	isReg      bool
+}
+
+// apply folds the verdict into an Outcome.
+func (v trialVerdict) apply(out *Outcome) {
+	if v.top1 {
+		out.Top1SDC++
+	}
+	if v.top5 {
+		out.Top5SDC++
+	}
+	if v.isReg {
+		out.Deviations = append(out.Deviations, v.dev)
+	}
+	out.Trials++
+}
+
+// judgeTrial compares the faulty output against the fault-free reference.
+func (c *Campaign) judgeTrial(ref, faulty *tensor.Tensor) trialVerdict {
+	var v trialVerdict
 	switch c.Model.Kind {
 	case models.Classifier:
 		cleanLabel := ref.ArgMax()
-		if faulty.ArgMax() != cleanLabel {
-			out.Top1SDC++
-		}
+		v.top1 = faulty.ArgMax() != cleanLabel
 		in5 := false
 		for _, l := range faulty.TopK(5) {
 			if l == cleanLabel {
@@ -297,9 +351,7 @@ func (c *Campaign) judge(out *Outcome, ref, faulty *tensor.Tensor) {
 				break
 			}
 		}
-		if !in5 {
-			out.Top5SDC++
-		}
+		v.top5 = !in5
 	case models.Regressor:
 		dev := math.Abs(float64(faulty.Data()[0] - ref.Data()[0]))
 		if !c.Model.OutputInDegrees {
@@ -308,6 +360,8 @@ func (c *Campaign) judge(out *Outcome, ref, faulty *tensor.Tensor) {
 		if math.IsNaN(dev) {
 			dev = math.Inf(1)
 		}
-		out.Deviations = append(out.Deviations, dev)
+		v.isReg = true
+		v.dev = dev
 	}
+	return v
 }

@@ -1,0 +1,162 @@
+package inject
+
+import (
+	"reflect"
+	"testing"
+
+	"ranger/internal/data"
+	"ranger/internal/graph"
+	"ranger/internal/models"
+	"ranger/internal/tensor"
+)
+
+// countingDetector is a cloneable test detector that flags executions in
+// which any observed value exceeds a fixed threshold.
+type countingDetector struct {
+	threshold float32
+	flagged   bool
+}
+
+func (d *countingDetector) Name() string { return "counting" }
+func (d *countingDetector) Reset()       { d.flagged = false }
+func (d *countingDetector) Observe(_ *graph.Node, out *tensor.Tensor) {
+	if d.flagged {
+		return
+	}
+	for _, v := range out.Data() {
+		if v > d.threshold {
+			d.flagged = true
+			return
+		}
+	}
+}
+func (d *countingDetector) Detected() bool { return d.flagged }
+func (d *countingDetector) CloneDetector() Detector {
+	return &countingDetector{threshold: d.threshold}
+}
+
+var _ CloneableDetector = (*countingDetector)(nil)
+
+// TestCampaignDeterministicAcrossWorkerCounts is the tentpole equivalence
+// guarantee: for a fixed Seed the campaign Outcome is byte-identical at
+// 1, 2, and NumCPU-default workers (classifier and regressor paths).
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	m, feeds := lenetInputs(t, 2)
+	run := func(workers int) Outcome {
+		c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 20, Seed: 77, Workers: workers}
+		out, err := c.Run(feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	if want.Trials != 40 {
+		t.Fatalf("trials = %d", want.Trials)
+	}
+	for _, workers := range []int{2, 0} { // 0 = process default (NumCPU)
+		got := run(workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: outcome %+v != sequential %+v", workers, got, want)
+		}
+	}
+}
+
+func TestRegressorCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	m, err := models.Build("comma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := data.NewDriving()
+	feeds := []graph.Feeds{
+		{m.Input: ds.Sample(data.Train, 0).X},
+		{m.Input: ds.Sample(data.Train, 1).X},
+	}
+	run := func(workers int) Outcome {
+		c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 12, Seed: 5, Workers: workers}
+		out, err := c.Run(feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	if len(want.Deviations) != 24 {
+		t.Fatalf("deviations = %d", len(want.Deviations))
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		// reflect.DeepEqual also checks Deviations element order: parallel
+		// trials must land in exactly the sequential positions.
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: outcome differs from sequential", workers)
+		}
+	}
+}
+
+func TestRunWithDetectorDeterministicAcrossWorkerCounts(t *testing.T) {
+	m, feeds := lenetInputs(t, 2)
+	run := func(workers int) DetectorOutcome {
+		c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 15, Seed: 33, Workers: workers}
+		out, err := c.RunWithDetector(feeds, &countingDetector{threshold: 1e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	if want.Trials != 30 || len(want.TrialSDC) != 30 || want.CleanRuns != 2 {
+		t.Fatalf("accounting wrong: %+v", want)
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: detector outcome differs from sequential", workers)
+		}
+	}
+}
+
+// uncloneableDetector pins the sequential fallback for order-dependent
+// detectors (e.g. the ML training-data collector).
+type uncloneableDetector struct {
+	observations int
+}
+
+func (d *uncloneableDetector) Name() string                        { return "uncloneable" }
+func (d *uncloneableDetector) Reset()                              {}
+func (d *uncloneableDetector) Observe(*graph.Node, *tensor.Tensor) { d.observations++ }
+func (d *uncloneableDetector) Detected() bool                      { return false }
+
+func TestRunWithDetectorSequentialFallback(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	det := &uncloneableDetector{}
+	c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 5, Seed: 1, Workers: 4}
+	out, err := c.RunWithDetector(feeds, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 5 {
+		t.Fatalf("trials = %d", out.Trials)
+	}
+	if det.observations == 0 {
+		t.Fatal("detector never observed")
+	}
+}
+
+func TestTrialRNGIndependence(t *testing.T) {
+	// Distinct (input, trial) pairs get distinct streams; equal pairs get
+	// equal streams.
+	a := trialRNG(9, 0, 0).Int63()
+	b := trialRNG(9, 0, 1).Int63()
+	c := trialRNG(9, 1, 0).Int63()
+	d := trialRNG(9, 0, 0).Int63()
+	if a != d {
+		t.Fatal("same (seed,input,trial) must repeat")
+	}
+	if a == b || a == c || b == c {
+		t.Fatal("distinct trials collided")
+	}
+	if trialRNG(10, 0, 0).Int63() == a {
+		t.Fatal("seed change must change the stream")
+	}
+}

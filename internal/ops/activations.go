@@ -36,7 +36,8 @@ type unary struct {
 }
 
 var (
-	_ graph.GradOp = (*unary)(nil)
+	_ graph.GradOp    = (*unary)(nil)
+	_ graph.ScratchOp = (*unary)(nil)
 )
 
 // Type implements graph.Op.
@@ -48,6 +49,19 @@ func (u *unary) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("%s: want 1 input, got %d", u.typ, len(in))
 	}
 	return in[0].Map(u.f), nil
+}
+
+// EvalScratch implements graph.ScratchOp.
+func (u *unary) EvalScratch(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("%s: want 1 input, got %d", u.typ, len(in))
+	}
+	out := s.Get(in[0].Shape()...)
+	xd, od := in[0].Data(), out.Data()
+	for i, v := range xd {
+		od[i] = u.f(v)
+	}
+	return out, nil
 }
 
 // Grad implements graph.GradOp.

@@ -2,8 +2,10 @@ package ops
 
 import (
 	"fmt"
+	"math"
 
 	"ranger/internal/graph"
+	"ranger/internal/parallel"
 	"ranger/internal/tensor"
 )
 
@@ -44,15 +46,19 @@ func (p Policy) String() string {
 }
 
 // ClipOp bounds every element of its input into [Low, High] according to
-// the chosen policy. For PolicyRandom the op draws from a deterministic
-// per-op xorshift stream so executions remain reproducible.
+// the chosen policy. For PolicyRandom each replacement is a pure hash of
+// the element's index and faulty bit pattern, so the op is stateless:
+// race-free and bit-reproducible under any execution order or worker
+// count (stronger than the paper's "non-deterministic" framing needs).
 type ClipOp struct {
 	Low, High float32
 	Policy    Policy
-	rngState  uint64
 }
 
-var _ graph.GradOp = (*ClipOp)(nil)
+var (
+	_ graph.GradOp    = (*ClipOp)(nil)
+	_ graph.ScratchOp = (*ClipOp)(nil)
+)
 
 // NewClip returns the default (truncating) range-restriction op.
 func NewClip(low, high float32) *ClipOp {
@@ -64,41 +70,57 @@ func (c *ClipOp) Type() string { return TypeClip }
 
 // Eval implements graph.Op.
 func (c *ClipOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return c.eval(in, nil)
+}
+
+// EvalScratch implements graph.ScratchOp.
+func (c *ClipOp) EvalScratch(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
+	return c.eval(in, s)
+}
+
+func (c *ClipOp) eval(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("clip: want 1 input, got %d", len(in))
 	}
 	if c.Low > c.High {
 		return nil, fmt.Errorf("clip: low %g > high %g", c.Low, c.High)
 	}
-	out := in[0].Clone()
-	od := out.Data()
+	x := in[0]
+	var out *tensor.Tensor
+	if s != nil {
+		out = s.Get(x.Shape()...)
+	} else {
+		out = tensor.New(x.Shape()...)
+	}
+	xd, od := x.Data(), out.Data()
 	switch c.Policy {
 	case PolicyZero:
-		for i, v := range od {
+		for i, v := range xd {
 			if v < c.Low || v > c.High {
 				od[i] = 0
+			} else {
+				od[i] = v
 			}
 		}
 	case PolicyRandom:
-		if c.rngState == 0 {
-			c.rngState = 0x9E3779B97F4A7C15
-		}
 		span := c.High - c.Low
-		for i, v := range od {
+		for i, v := range xd {
 			if v < c.Low || v > c.High {
-				c.rngState ^= c.rngState << 13
-				c.rngState ^= c.rngState >> 7
-				c.rngState ^= c.rngState << 17
-				u := float32(c.rngState>>11) / float32(1<<53)
+				h := parallel.Mix64(uint64(math.Float32bits(v)) | uint64(i+1)<<32)
+				u := float32(h>>11) / float32(1<<53)
 				od[i] = c.Low + u*span
+			} else {
+				od[i] = v
 			}
 		}
 	default: // PolicyClip
-		for i, v := range od {
+		for i, v := range xd {
 			if v < c.Low {
 				od[i] = c.Low
 			} else if v > c.High {
 				od[i] = c.High
+			} else {
+				od[i] = v
 			}
 		}
 	}

@@ -22,13 +22,27 @@ type Conv2DOp struct {
 	Geom tensor.ConvGeom
 }
 
-var _ graph.GradOp = (*Conv2DOp)(nil)
+var (
+	_ graph.GradOp    = (*Conv2DOp)(nil)
+	_ graph.ScratchOp = (*Conv2DOp)(nil)
+)
 
 // Type implements graph.Op.
 func (c *Conv2DOp) Type() string { return TypeConv2D }
 
 // Eval implements graph.Op.
 func (c *Conv2DOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return c.eval(in, nil)
+}
+
+// EvalScratch implements graph.ScratchOp: the im2col patch matrix and the
+// matmul product — the two big allocations of a conv forward — come from
+// the node's recycled buffers.
+func (c *Conv2DOp) EvalScratch(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
+	return c.eval(in, s)
+}
+
+func (c *Conv2DOp) eval(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
 	if len(in) != 2 {
 		return nil, fmt.Errorf("conv2d: want (input, kernel), got %d inputs", len(in))
 	}
@@ -42,15 +56,21 @@ func (c *Conv2DOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
 	n, h, wd := x.Dim(0), x.Dim(1), x.Dim(2)
 	outC := w.Dim(3)
 	oh, ow := c.Geom.OutDims(h, wd)
-	cols, err := tensor.Im2Col(x, c.Geom)
+	rowLen := c.Geom.KH * c.Geom.KW * x.Dim(3)
+	var cols, prod *tensor.Tensor
+	if s != nil && oh > 0 && ow > 0 {
+		cols = s.Get(n*oh*ow, rowLen)
+		prod = s.Get(n*oh*ow, outC)
+	}
+	cols, err := tensor.Im2ColInto(cols, x, c.Geom)
 	if err != nil {
 		return nil, err
 	}
-	wm, err := w.Reshape(c.Geom.KH*c.Geom.KW*x.Dim(3), outC)
+	wm, err := w.Reshape(rowLen, outC)
 	if err != nil {
 		return nil, err
 	}
-	prod, err := tensor.MatMul(cols, wm)
+	prod, err = tensor.MatMulInto(prod, cols, wm)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +117,10 @@ func (c *Conv2DOp) Grad(in []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.
 // DenseOp multiplies a (N,K) input by a (K,F) weight matrix.
 type DenseOp struct{}
 
-var _ graph.GradOp = (*DenseOp)(nil)
+var (
+	_ graph.GradOp    = (*DenseOp)(nil)
+	_ graph.ScratchOp = (*DenseOp)(nil)
+)
 
 // Type implements graph.Op.
 func (DenseOp) Type() string { return TypeDense }
@@ -108,6 +131,18 @@ func (DenseOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("matmul: want (input, weights), got %d inputs", len(in))
 	}
 	return tensor.MatMul(in[0], in[1])
+}
+
+// EvalScratch implements graph.ScratchOp.
+func (DenseOp) EvalScratch(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("matmul: want (input, weights), got %d inputs", len(in))
+	}
+	a, b := in[0], in[1]
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return tensor.MatMul(a, b) // shared shape-error path
+	}
+	return tensor.MatMulInto(s.Get(a.Dim(0), b.Dim(1)), a, b)
 }
 
 // Grad implements graph.GradOp.
@@ -128,13 +163,25 @@ func (DenseOp) Grad(in []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.Tens
 // first input (NHWC conv outputs or (N,F) dense outputs).
 type BiasAddOp struct{}
 
-var _ graph.GradOp = (*BiasAddOp)(nil)
+var (
+	_ graph.GradOp    = (*BiasAddOp)(nil)
+	_ graph.ScratchOp = (*BiasAddOp)(nil)
+)
 
 // Type implements graph.Op.
 func (BiasAddOp) Type() string { return TypeBiasAdd }
 
 // Eval implements graph.Op.
 func (BiasAddOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return biasAddEval(in, nil)
+}
+
+// EvalScratch implements graph.ScratchOp.
+func (BiasAddOp) EvalScratch(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
+	return biasAddEval(in, s)
+}
+
+func biasAddEval(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
 	if len(in) != 2 {
 		return nil, fmt.Errorf("biasadd: want (input, bias), got %d inputs", len(in))
 	}
@@ -143,10 +190,15 @@ func (BiasAddOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
 	if b.Rank() != 1 || b.Dim(0) != c {
 		return nil, fmt.Errorf("biasadd: bias %v for input %v", b.Shape(), x.Shape())
 	}
-	out := x.Clone()
-	od, bd := out.Data(), b.Data()
-	for i := range od {
-		od[i] += bd[i%c]
+	var out *tensor.Tensor
+	if s != nil {
+		out = s.Get(x.Shape()...)
+	} else {
+		out = tensor.New(x.Shape()...)
+	}
+	xd, od, bd := x.Data(), out.Data(), b.Data()
+	for i, v := range xd {
+		od[i] = v + bd[i%c]
 	}
 	return out, nil
 }
@@ -167,7 +219,10 @@ func (BiasAddOp) Grad(in []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.Te
 // AddOp adds two same-shape tensors (residual connections in ResNet).
 type AddOp struct{}
 
-var _ graph.GradOp = (*AddOp)(nil)
+var (
+	_ graph.GradOp    = (*AddOp)(nil)
+	_ graph.ScratchOp = (*AddOp)(nil)
+)
 
 // Type implements graph.Op.
 func (AddOp) Type() string { return TypeAdd }
@@ -178,6 +233,21 @@ func (AddOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("add: want 2 inputs, got %d", len(in))
 	}
 	return in[0].Add(in[1])
+}
+
+// EvalScratch implements graph.ScratchOp.
+func (AddOp) EvalScratch(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("add: want 2 inputs, got %d", len(in))
+	}
+	if !in[0].SameShape(in[1]) {
+		return in[0].Add(in[1]) // shared shape-error path
+	}
+	out := s.Get(in[0].Shape()...)
+	if err := in[0].AddInto(in[1], out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Grad implements graph.GradOp.

@@ -20,7 +20,10 @@ type MaxPoolOp struct {
 	Geom tensor.ConvGeom
 }
 
-var _ graph.GradOp = (*MaxPoolOp)(nil)
+var (
+	_ graph.GradOp    = (*MaxPoolOp)(nil)
+	_ graph.ScratchOp = (*MaxPoolOp)(nil)
+)
 
 // Type implements graph.Op.
 func (p *MaxPoolOp) Type() string { return TypeMaxPool }
@@ -30,13 +33,31 @@ func (p *MaxPoolOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("maxpool: want 1 input, got %d", len(in))
 	}
-	out, _, err := p.evalWithArg(in[0])
+	out, _, err := p.evalInto(in[0], nil)
 	return out, err
 }
 
-// evalWithArg returns the pooled output and, for each output element, the
-// flat input index that won the max (used by the backward pass).
-func (p *MaxPoolOp) evalWithArg(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
+// EvalScratch implements graph.ScratchOp.
+func (p *MaxPoolOp) EvalScratch(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("maxpool: want 1 input, got %d", len(in))
+	}
+	x := in[0]
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("maxpool: want NHWC, got %v", x.Shape())
+	}
+	oh, ow := p.Geom.OutDims(x.Dim(1), x.Dim(2))
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("maxpool: empty output for input %v geom %+v", x.Shape(), p.Geom)
+	}
+	out, _, err := p.evalInto(x, s.Get(x.Dim(0), oh, ow, x.Dim(3)))
+	return out, err
+}
+
+// evalInto pools x into out (nil allocates; every element is written) and
+// returns, for each output element, the flat input index that won the max
+// (used by the backward pass).
+func (p *MaxPoolOp) evalInto(x, out *tensor.Tensor) (*tensor.Tensor, []int, error) {
 	if x.Rank() != 4 {
 		return nil, nil, fmt.Errorf("maxpool: want NHWC, got %v", x.Shape())
 	}
@@ -46,7 +67,9 @@ func (p *MaxPoolOp) evalWithArg(x *tensor.Tensor) (*tensor.Tensor, []int, error)
 	if oh <= 0 || ow <= 0 {
 		return nil, nil, fmt.Errorf("maxpool: empty output for input %v geom %+v", x.Shape(), g)
 	}
-	out := tensor.New(n, oh, ow, c)
+	if out == nil {
+		out = tensor.New(n, oh, ow, c)
+	}
 	arg := make([]int, out.Size())
 	xd, od := x.Data(), out.Data()
 	for b := 0; b < n; b++ {
@@ -84,7 +107,7 @@ func (p *MaxPoolOp) evalWithArg(x *tensor.Tensor) (*tensor.Tensor, []int, error)
 // Grad implements graph.GradOp: the gradient routes to the max element of
 // each window.
 func (p *MaxPoolOp) Grad(in []*tensor.Tensor, _, gout *tensor.Tensor) ([]*tensor.Tensor, error) {
-	_, arg, err := p.evalWithArg(in[0])
+	_, arg, err := p.evalInto(in[0], nil)
 	if err != nil {
 		return nil, err
 	}
@@ -104,13 +127,25 @@ type AvgPoolOp struct {
 	Geom tensor.ConvGeom
 }
 
-var _ graph.GradOp = (*AvgPoolOp)(nil)
+var (
+	_ graph.GradOp    = (*AvgPoolOp)(nil)
+	_ graph.ScratchOp = (*AvgPoolOp)(nil)
+)
 
 // Type implements graph.Op.
 func (p *AvgPoolOp) Type() string { return TypeAvgPool }
 
 // Eval implements graph.Op.
 func (p *AvgPoolOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return p.eval(in, nil)
+}
+
+// EvalScratch implements graph.ScratchOp.
+func (p *AvgPoolOp) EvalScratch(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
+	return p.eval(in, s)
+}
+
+func (p *AvgPoolOp) eval(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("avgpool: want 1 input, got %d", len(in))
 	}
@@ -124,7 +159,13 @@ func (p *AvgPoolOp) Eval(in []*tensor.Tensor) (*tensor.Tensor, error) {
 	if oh <= 0 || ow <= 0 {
 		return nil, fmt.Errorf("avgpool: empty output for input %v geom %+v", x.Shape(), g)
 	}
-	out := tensor.New(n, oh, ow, c)
+	var out *tensor.Tensor
+	if s != nil {
+		out = s.Get(n, oh, ow, c)
+		clear(out.Data()) // scratch buffers hold stale data
+	} else {
+		out = tensor.New(n, oh, ow, c)
+	}
 	xd, od := x.Data(), out.Data()
 	for b := 0; b < n; b++ {
 		for oy := 0; oy < oh; oy++ {

@@ -1,0 +1,157 @@
+// Package parallel provides the worker-pool primitives the execution
+// stack shares: a process-wide default worker count (RANGER_WORKERS, or
+// the machine's core count) and deterministic work-sharding helpers that
+// split an index space into contiguous per-worker blocks.
+//
+// Sharding is static: worker w of W always receives the same contiguous
+// index range for a given n, so any computation whose tasks write to
+// disjoint outputs produces identical results at every worker count. The
+// tensor kernels, graph batch executor, and fault-injection campaigns all
+// rely on this property for their bit-identical parallelism guarantees.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// override holds a SetWorkers value; 0 means "use the environment".
+var override atomic.Int64
+
+var (
+	envOnce    sync.Once
+	envWorkers int
+)
+
+// Workers returns the process default worker count: the last SetWorkers
+// value if any, else RANGER_WORKERS if set to a positive integer, else
+// runtime.NumCPU().
+func Workers() int {
+	if w := override.Load(); w > 0 {
+		return int(w)
+	}
+	envOnce.Do(func() {
+		envWorkers = runtime.NumCPU()
+		if v, err := strconv.Atoi(os.Getenv("RANGER_WORKERS")); err == nil && v > 0 {
+			envWorkers = v
+		}
+	})
+	return envWorkers
+}
+
+// SetWorkers overrides the process default worker count (the -workers
+// flag of the CLI tools). n <= 0 restores the environment default.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	override.Store(int64(n))
+}
+
+// Resolve returns w if positive, else the process default. It is the
+// idiom for per-call worker knobs (Campaign.Workers, Config.Workers).
+func Resolve(w int) int {
+	if w > 0 {
+		return w
+	}
+	return Workers()
+}
+
+// Mix64 is the SplitMix64 finalizer, the shared 64-bit mixer behind the
+// deterministic seed/replacement derivations (per-trial campaign streams,
+// PolicyRandom replacement draws).
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// shardBounds returns worker w's contiguous block [lo, hi) of [0, n).
+// Blocks differ in size by at most one and cover [0, n) exactly.
+func shardBounds(w, workers, n int) (int, int) {
+	lo := w * n / workers
+	hi := (w + 1) * n / workers
+	return lo, hi
+}
+
+// active counts currently spawned shard workers, so nested Shard calls
+// (a campaign's trial shard evaluating a sharded matmul, a model sweep
+// running sharded campaigns) size themselves to the leftover capacity
+// instead of multiplying goroutines and per-worker state by the nesting
+// depth. Shrinking a shard never changes results — every parallel path
+// in this repository is deterministic in the worker count by contract —
+// so the adaptation is purely a scheduling concern.
+var active atomic.Int64
+
+// Shard runs fn(lo, hi) for each worker's contiguous block of [0, n),
+// concurrently when workers > 1, and returns when every block is done.
+// fn is invoked at most workers times and never with an empty range.
+// The block boundaries are a pure function of the effective worker
+// count and n; top-level calls use exactly the requested width, while
+// calls nested inside another Shard clamp to the process default minus
+// the workers already running.
+func Shard(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if cur := int(active.Load()); cur > 0 {
+		if avail := Workers() - cur; workers > avail {
+			workers = avail
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	active.Add(int64(workers))
+	defer active.Add(int64(-workers))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := shardBounds(w, workers, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0, n) across the worker pool.
+func For(workers, n int, fn func(i int)) {
+	Shard(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the worker pool and
+// returns the error of the lowest failing index (deterministic regardless
+// of scheduling). Workers keep draining their own blocks after a failure
+// elsewhere; fn must be safe to call for every index.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(workers, n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

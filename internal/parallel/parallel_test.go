@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardCoversExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 2, 5, 16, 97} {
+			hits := make([]int32, n)
+			Shard(workers, n, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty block [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestShardDeterministicBlocks(t *testing.T) {
+	// The block boundaries are a pure function of (workers, n).
+	blocks := func() map[string]bool {
+		m := make(map[string]bool)
+		var mu sync.Mutex
+		Shard(4, 10, func(lo, hi int) {
+			mu.Lock()
+			m[fmt.Sprintf("%d-%d", lo, hi)] = true
+			mu.Unlock()
+		})
+		return m
+	}
+	a, b := blocks(), blocks()
+	if len(a) != len(b) {
+		t.Fatalf("block sets differ: %v vs %v", a, b)
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatalf("block %s missing on second run", k)
+		}
+	}
+}
+
+func TestForEachReturnsLowestError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForEach(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, errB)
+	}
+	if err := ForEach(4, 10, func(int) error { return nil }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+func TestResolveAndSetWorkers(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Fatalf("Resolve(3) = %d", got)
+	}
+	defer SetWorkers(0)
+	SetWorkers(5)
+	if got := Workers(); got != 5 {
+		t.Fatalf("Workers after SetWorkers(5) = %d", got)
+	}
+	if got := Resolve(0); got != 5 {
+		t.Fatalf("Resolve(0) = %d, want 5", got)
+	}
+	SetWorkers(0)
+	if got := Workers(); got <= 0 {
+		t.Fatalf("default Workers = %d", got)
+	}
+}
+
+func TestNestedShardClampsButCovers(t *testing.T) {
+	// A Shard inside a Shard worker must still cover its index space
+	// exactly once (at whatever clamped width the pool allows).
+	defer SetWorkers(0)
+	SetWorkers(2)
+	const outerN, innerN = 4, 9
+	hits := make([]int32, outerN*innerN)
+	Shard(2, outerN, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			Shard(8, innerN, func(ilo, ihi int) {
+				for i := ilo; i < ihi; i++ {
+					atomic.AddInt32(&hits[o*innerN+i], 1)
+				}
+			})
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("nested index %d visited %d times", i, h)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"ranger/internal/parallel"
+)
 
 // ConvGeom describes the geometry of a 2-D convolution or pooling window
 // over NHWC tensors. Padding is symmetric ("SAME"-style when computed via
@@ -26,6 +30,14 @@ func SamePad(k int) int { return (k - 1) / 2 }
 // shape (N*OH*OW, KH*KW*C), so a convolution becomes a single matrix
 // multiply against a (KH*KW*C, outC) kernel matrix.
 func Im2Col(x *Tensor, g ConvGeom) (*Tensor, error) {
+	return Im2ColInto(nil, x, g)
+}
+
+// Im2ColInto lowers x into dst, which must be (N*OH*OW, KH*KW*C) (its
+// contents are overwritten); dst == nil allocates. Patch rows are sharded
+// across workers; every row is written by exactly one worker, so results
+// are identical at every worker count.
+func Im2ColInto(dst *Tensor, x *Tensor, g ConvGeom) (*Tensor, error) {
 	if x.Rank() != 4 {
 		return nil, fmt.Errorf("%w: im2col wants NHWC, got %v", ErrShape, x.shape)
 	}
@@ -34,31 +46,39 @@ func Im2Col(x *Tensor, g ConvGeom) (*Tensor, error) {
 	if oh <= 0 || ow <= 0 {
 		return nil, fmt.Errorf("%w: im2col output %dx%d for input %v geom %+v", ErrShape, oh, ow, x.shape, g)
 	}
-	cols := New(n*oh*ow, g.KH*g.KW*c)
-	xd, cd := x.data, cols.data
 	rowLen := g.KH * g.KW * c
-	for b := 0; b < n; b++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				row := ((b*oh+oy)*ow + ox) * rowLen
-				for ky := 0; ky < g.KH; ky++ {
-					iy := oy*g.SH - g.PadH + ky
-					if iy < 0 || iy >= h {
-						continue // leave zeros
+	rows := n * oh * ow
+	cols := dst
+	if cols == nil {
+		cols = New(rows, rowLen)
+	} else if cols.Rank() != 2 || cols.shape[0] != rows || cols.shape[1] != rowLen {
+		return nil, fmt.Errorf("%w: im2col dst %v, want [%d %d]", ErrShape, cols.shape, rows, rowLen)
+	}
+	xd, cd := x.data, cols.data
+	parallel.Shard(kernelWorkers(rows*rowLen), rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			b := r / (oh * ow)
+			oy := r / ow % oh
+			ox := r % ow
+			row := r * rowLen
+			clear(cd[row : row+rowLen]) // padding taps stay zero
+			for ky := 0; ky < g.KH; ky++ {
+				iy := oy*g.SH - g.PadH + ky
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < g.KW; kx++ {
+					ix := ox*g.SW - g.PadW + kx
+					if ix < 0 || ix >= w {
+						continue
 					}
-					for kx := 0; kx < g.KW; kx++ {
-						ix := ox*g.SW - g.PadW + kx
-						if ix < 0 || ix >= w {
-							continue
-						}
-						src := ((b*h+iy)*w + ix) * c
-						dst := row + (ky*g.KW+kx)*c
-						copy(cd[dst:dst+c], xd[src:src+c])
-					}
+					src := ((b*h+iy)*w + ix) * c
+					dst := row + (ky*g.KW+kx)*c
+					copy(cd[dst:dst+c], xd[src:src+c])
 				}
 			}
 		}
-	}
+	})
 	return cols, nil
 }
 

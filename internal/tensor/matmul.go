@@ -1,9 +1,47 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"ranger/internal/parallel"
+)
+
+// Kernel blocking parameters. The B-panel block (blockK x blockN float32s)
+// is sized to sit in L2 while it is reused across every output row of a
+// worker's shard.
+const (
+	blockK = 128
+	blockN = 512
+)
+
+// parallelFLOPCutoff is the approximate multiply-add count below which the
+// kernels stay on the calling goroutine; tiny matmuls are dominated by
+// goroutine hand-off, not arithmetic.
+const parallelFLOPCutoff = 1 << 16
+
+// kernelWorkers returns the worker count for a kernel of the given
+// multiply-add volume: 1 below the cutoff, the process default above it.
+func kernelWorkers(flops int) int {
+	if flops < parallelFLOPCutoff {
+		return 1
+	}
+	return parallel.Workers()
+}
+
+// All three matmul kernels shard output rows across workers and walk the
+// reduction dimension in ascending order within each row, so every output
+// element accumulates its products in exactly the sequence the sequential
+// kernel used. Results are therefore bit-identical at every worker count
+// and block size.
 
 // MatMul returns the matrix product of two rank-2 tensors: (m,k)x(k,n)->(m,n).
 func MatMul(a, b *Tensor) (*Tensor, error) {
+	return MatMulInto(nil, a, b)
+}
+
+// MatMulInto computes a·b into dst, which must be (m,n) (its contents are
+// overwritten); dst == nil allocates. It returns dst.
+func MatMulInto(dst, a, b *Tensor) (*Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		return nil, fmt.Errorf("%w: matmul ranks %d x %d", ErrShape, a.Rank(), b.Rank())
 	}
@@ -12,70 +50,171 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 	if k != k2 {
 		return nil, fmt.Errorf("%w: matmul %v x %v", ErrShape, a.shape, b.shape)
 	}
-	out := New(m, n)
+	out, err := prepDst(dst, m, n)
+	if err != nil {
+		return nil, err
+	}
 	ad, bd, od := a.data, b.data, out.data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		orow := od[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	workers := kernelWorkers(m * k * n)
+	if m >= workers || m >= n {
+		// Row sharding: each worker owns contiguous output rows and keeps
+		// its current row resident while streaming B in p-major order,
+		// blocking j so wide B rows stay L1-resident across the p-block.
+		parallel.Shard(workers, m, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				orow := od[i*n : (i+1)*n]
+				clear(orow)
+				if n <= blockN {
+					// Single j-block: the sequential kernel's loops verbatim.
+					for p := 0; p < k; p++ {
+						av := arow[p]
+						if av == 0 {
+							continue
+						}
+						brow := bd[p*n : (p+1)*n]
+						for j := range orow {
+							orow[j] += av * brow[j]
+						}
+					}
+					continue
+				}
+				for p0 := 0; p0 < k; p0 += blockK {
+					p1 := min(p0+blockK, k)
+					for j0 := 0; j0 < n; j0 += blockN {
+						j1 := min(j0+blockN, n)
+						ob := orow[j0:j1]
+						for p := p0; p < p1; p++ {
+							av := arow[p]
+							if av == 0 {
+								continue
+							}
+							brow := bd[p*n+j0 : p*n+j1]
+							for j, bv := range brow {
+								ob[j] += av * bv
+							}
+						}
+					}
+				}
 			}
-			brow := bd[p*n : (p+1)*n]
-			for j := range orow {
-				orow[j] += av * brow[j]
+		})
+		return out, nil
+	}
+	// Few tall rows (batch-1 dense layers): shard output columns instead,
+	// each worker streaming its B column stripe. Per-element accumulation
+	// is p-ascending in both paths, so results are bitwise identical.
+	parallel.Shard(workers, n, func(j0, j1 int) {
+		for i := 0; i < m; i++ {
+			arow := ad[i*k : (i+1)*k]
+			ob := od[i*n+j0 : i*n+j1]
+			clear(ob)
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n+j0 : p*n+j1]
+				for j, bv := range brow {
+					ob[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
 // MatMulTransA returns aᵀ·b for a (k,m) and b (k,n), yielding (m,n).
 func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	return MatMulTransAInto(nil, a, b)
+}
+
+// MatMulTransAInto computes aᵀ·b into dst ((m,n), overwritten; nil
+// allocates) and returns dst.
+func MatMulTransAInto(dst, a, b *Tensor) (*Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 || a.shape[0] != b.shape[0] {
 		return nil, fmt.Errorf("%w: matmulTransA %v x %v", ErrShape, a.shape, b.shape)
 	}
 	k, m := a.shape[0], a.shape[1]
 	n := b.shape[1]
-	out := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+	out, err := prepDst(dst, m, n)
+	if err != nil {
+		return nil, err
+	}
+	ad, bd, od := a.data, b.data, out.data
+	// Column sharding: every worker keeps the sequential kernel's p-major
+	// streaming over a (row-major, zero-skipping) and owns a disjoint
+	// column stripe of the output; a is re-streamed per worker, which is
+	// cheap next to the j-work it amortizes.
+	parallel.Shard(kernelWorkers(m*k*n), n, func(j0, j1 int) {
+		for i := 0; i < m; i++ {
+			clear(od[i*n+j0 : i*n+j1])
+		}
+		for p := 0; p < k; p++ {
+			arow := ad[p*m : (p+1)*m]
+			brow := bd[p*n+j0 : p*n+j1]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := od[i*n+j0 : i*n+j1]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
 // MatMulTransB returns a·bᵀ for a (m,k) and b (n,k), yielding (m,n).
 func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	return MatMulTransBInto(nil, a, b)
+}
+
+// MatMulTransBInto computes a·bᵀ into dst ((m,n), overwritten; nil
+// allocates) and returns dst.
+func MatMulTransBInto(dst, a, b *Tensor) (*Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[1] {
 		return nil, fmt.Errorf("%w: matmulTransB %v x %v", ErrShape, a.shape, b.shape)
 	}
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[0]
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			orow[j] = s
-		}
+	out, err := prepDst(dst, m, n)
+	if err != nil {
+		return nil, err
 	}
+	ad, bd, od := a.data, b.data, out.data
+	// Row sharding with the sequential kernel's loops: each output element
+	// is one contiguous dot product, so there is nothing for blocking to
+	// keep resident — workers just own disjoint row ranges.
+	parallel.Shard(kernelWorkers(m*k*n), m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
 	return out, nil
+}
+
+// prepDst validates or allocates an (m,n) kernel destination.
+func prepDst(dst *Tensor, m, n int) (*Tensor, error) {
+	if dst == nil {
+		// New zero-fills; the kernels clear their own shards, which is
+		// redundant here but keeps the dst-reuse path identical.
+		return New(m, n), nil
+	}
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		return nil, fmt.Errorf("%w: matmul dst %v, want [%d %d]", ErrShape, dst.shape, m, n)
+	}
+	return dst, nil
 }
 
 // Transpose returns the transpose of a rank-2 tensor.

@@ -1,0 +1,184 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"ranger/internal/parallel"
+)
+
+// refMatMul is the original sequential kernel, kept as the bit-exactness
+// oracle for the blocked parallel implementation.
+func refMatMul(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		// Include exact zeros to exercise the zero-skip path.
+		if rng.Intn(8) == 0 {
+			continue
+		}
+		t.data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// TestMatMulBitIdenticalAcrossWorkers locks in the determinism contract:
+// the blocked kernels produce byte-identical results at every worker
+// count, and match the sequential reference exactly.
+func TestMatMulBitIdenticalAcrossWorkers(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	rng := rand.New(rand.NewSource(11))
+	// Sizes straddle the parallel cutoff and the block boundaries.
+	cases := [][3]int{{3, 5, 7}, {64, 64, 64}, {130, 257, 61}, {33, 600, 520}}
+	for _, c := range cases {
+		m, k, n := c[0], c[1], c[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		want := refMatMul(a, b)
+		for _, workers := range []int{1, 2, 3, 8} {
+			parallel.SetWorkers(workers)
+			got, err := MatMul(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.data {
+				if got.data[i] != want.data[i] {
+					t.Fatalf("m=%d k=%d n=%d workers=%d: element %d = %v, want %v (bitwise)",
+						m, k, n, workers, i, got.data[i], want.data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTransKernelsBitIdenticalAcrossWorkers(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	rng := rand.New(rand.NewSource(12))
+	k, m, n := 150, 70, 330
+	a := randTensor(rng, k, m)  // for aᵀ·b
+	a2 := randTensor(rng, m, k) // for a·bᵀ
+	b := randTensor(rng, k, n)
+	b2 := randTensor(rng, n, k)
+	parallel.SetWorkers(1)
+	wantA, err := MatMulTransA(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := MatMulTransB(a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		parallel.SetWorkers(workers)
+		gotA, err := MatMulTransA(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB, err := MatMulTransB(a2, b2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantA.data {
+			if gotA.data[i] != wantA.data[i] {
+				t.Fatalf("transA workers=%d: element %d differs", workers, i)
+			}
+		}
+		for i := range wantB.data {
+			if gotB.data[i] != wantB.data[i] {
+				t.Fatalf("transB workers=%d: element %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestMatMulIntoReusesDst(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := MustFromSlice([]float32{5, 6, 7, 8}, 2, 2)
+	dst := New(2, 2)
+	dst.Fill(99) // stale contents must be overwritten
+	out, err := MatMulInto(dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != dst {
+		t.Fatal("MatMulInto did not return dst")
+	}
+	want := []float32{19, 22, 43, 50}
+	for i, v := range want {
+		if out.data[i] != v {
+			t.Fatalf("element %d = %v, want %v", i, out.data[i], v)
+		}
+	}
+	if _, err := MatMulInto(New(3, 3), a, b); err == nil {
+		t.Fatal("want dst shape error")
+	}
+}
+
+func TestIm2ColIntoMatchesAlloc(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	rng := rand.New(rand.NewSource(13))
+	x := randTensor(rng, 2, 9, 9, 3)
+	g := ConvGeom{KH: 3, KW: 3, SH: 2, SW: 2, PadH: 1, PadW: 1}
+	parallel.SetWorkers(1)
+	want, err := Im2Col(x, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetWorkers(4)
+	dst := New(want.shape[0], want.shape[1])
+	dst.Fill(-7) // stale data: padding taps must be re-zeroed
+	got, err := Im2ColInto(dst, x, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.data {
+		if got.data[i] != want.data[i] {
+			t.Fatalf("element %d = %v, want %v", i, got.data[i], want.data[i])
+		}
+	}
+}
+
+// Benchmarks comparing the blocked worker-sharded kernel against the
+// seed's sequential reference at a mid-size shape (the before/after
+// numbers for the parallel-execution PR).
+func BenchmarkMatMul256Blocked(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 256, 256)
+	y := randTensor(rng, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul256SeqRef(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 256, 256)
+	y := randTensor(rng, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refMatMul(x, y)
+	}
+}

@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"ranger/internal/data"
 	"ranger/internal/graph"
 	"ranger/internal/models"
+	"ranger/internal/parallel"
 	"ranger/internal/tensor"
 )
 
@@ -201,8 +203,39 @@ func clipGrads(grads map[string]*tensor.Tensor, c float64) {
 	}
 }
 
+// evalBatches runs fn over the batch ranges covering [0, n) through the
+// worker pool, folding any error by lowest batch index. Each worker owns
+// one arena-backed executor for its whole run of batches, so node
+// buffers are recycled batch to batch and workers stay independent.
+func evalBatches(n, batch int, fn func(e *graph.Executor, start, end int) error) error {
+	batches := (n + batch - 1) / batch
+	if batches <= 0 {
+		return nil
+	}
+	errs := make([]error, batches)
+	parallel.Shard(parallel.Workers(), batches, func(lo, hi int) {
+		e := &graph.Executor{Arena: graph.NewArena()}
+		for bi := lo; bi < hi; bi++ {
+			start := bi * batch
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			errs[bi] = fn(e, start, end)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // TopKAccuracy evaluates the model over the first n samples of a split
 // and returns the fraction whose true label is among the top-k logits.
+// Batches evaluate concurrently on the worker pool; the count reduction
+// is order-independent, so results match the sequential path exactly.
 func TopKAccuracy(m *models.Model, ds data.Dataset, split data.Split, n, k int) (float64, error) {
 	if m.Kind != models.Classifier {
 		return 0, fmt.Errorf("train: top-k accuracy on non-classifier %s", m.Name)
@@ -210,14 +243,12 @@ func TopKAccuracy(m *models.Model, ds data.Dataset, split data.Split, n, k int) 
 	if n > ds.Len(split) {
 		n = ds.Len(split)
 	}
-	var e graph.Executor
-	correct := 0
+	if n <= 0 {
+		return 0, nil
+	}
 	const batch = 16
-	for start := 0; start < n; start += batch {
-		end := start + batch
-		if end > n {
-			end = n
-		}
+	var correct atomic.Int64
+	err := evalBatches(n, batch, func(e *graph.Executor, start, end int) error {
 		idx := make([]int, end-start)
 		for i := range idx {
 			idx[i] = start + i
@@ -225,23 +256,27 @@ func TopKAccuracy(m *models.Model, ds data.Dataset, split data.Split, n, k int) 
 		x, labels, _ := data.Batch(ds, split, idx)
 		outs, err := e.Run(m.Graph, graph.Feeds{m.Input: x}, m.Output)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		logits := outs[0]
 		for i := range idx {
 			row, err := rowOf(logits, i)
 			if err != nil {
-				return 0, err
+				return err
 			}
 			for _, cand := range row.TopK(k) {
 				if cand == labels[i] {
-					correct++
+					correct.Add(1)
 					break
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return float64(correct) / float64(n), nil
+	return float64(correct.Load()) / float64(n), nil
 }
 
 // SteeringMetrics evaluates a regression model over the first n samples of
@@ -255,14 +290,16 @@ func SteeringMetrics(m *models.Model, ds data.Dataset, split data.Split, n int) 
 	if n > ds.Len(split) {
 		n = ds.Len(split)
 	}
-	var e graph.Executor
-	var sqSum, absSum float64
+	if n <= 0 {
+		return 0, 0, nil
+	}
 	const batch = 8
-	for start := 0; start < n; start += batch {
-		end := start + batch
-		if end > n {
-			end = n
-		}
+	batches := (n + batch - 1) / batch
+	// Per-batch partial sums, reduced in batch order below so the float64
+	// accumulation is identical at every worker count.
+	sq := make([]float64, batches)
+	abs := make([]float64, batches)
+	err = evalBatches(n, batch, func(e *graph.Executor, start, end int) error {
 		idx := make([]int, end-start)
 		for i := range idx {
 			idx[i] = start + i
@@ -270,9 +307,10 @@ func SteeringMetrics(m *models.Model, ds data.Dataset, split data.Split, n int) 
 		x, _, targets := data.Batch(ds, split, idx)
 		outs, err := e.Run(m.Graph, graph.Feeds{m.Input: x}, m.Output)
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
 		pred := outs[0]
+		bi := start / batch
 		for i := range idx {
 			p := float64(pred.At(i, 0))
 			tgt := float64(targets[i])
@@ -281,9 +319,18 @@ func SteeringMetrics(m *models.Model, ds data.Dataset, split data.Split, n int) 
 				tgt = data.RadiansToDegrees(tgt)
 			}
 			d := p - tgt
-			sqSum += d * d
-			absSum += math.Abs(d)
+			sq[bi] += d * d
+			abs[bi] += math.Abs(d)
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var sqSum, absSum float64
+	for bi := 0; bi < batches; bi++ {
+		sqSum += sq[bi]
+		absSum += abs[bi]
 	}
 	rmse = math.Sqrt(sqSum / float64(n))
 	avgDev = absSum / float64(n)

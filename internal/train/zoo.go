@@ -60,9 +60,12 @@ const zooVersion = "v1"
 
 // Zoo trains each benchmark model once and serves the trained instance,
 // with an on-disk weight cache so separate processes (tests, benches,
-// CLI tools) do not retrain.
+// CLI tools) do not retrain. Get is safe for concurrent use and
+// serializes per model name, so concurrent experiment sweeps can train
+// (or load) distinct models at the same time.
 type Zoo struct {
 	mu     sync.Mutex
+	locks  map[string]*sync.Mutex
 	models map[string]*models.Model
 	dir    string // cache dir; empty disables persistence
 	Quiet  bool
@@ -93,21 +96,52 @@ func NewZoo(dir string) *Zoo {
 	return &Zoo{models: make(map[string]*models.Model), dir: dir}
 }
 
-// Get returns the trained model for name, training (or loading cached
-// weights) on first use.
-func (z *Zoo) Get(name string) (*models.Model, error) {
+// nameLock returns the mutex serializing first-use work for one model.
+func (z *Zoo) nameLock(name string) *sync.Mutex {
 	z.mu.Lock()
 	defer z.mu.Unlock()
+	if z.locks == nil {
+		z.locks = make(map[string]*sync.Mutex)
+	}
+	l, ok := z.locks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		z.locks[name] = l
+	}
+	return l
+}
+
+// Get returns the trained model for name, training (or loading cached
+// weights) on first use. Distinct models load/train concurrently; the
+// same model is derived once.
+func (z *Zoo) Get(name string) (*models.Model, error) {
+	z.mu.Lock()
 	if m, ok := z.models[name]; ok {
+		z.mu.Unlock()
 		return m, nil
 	}
+	z.mu.Unlock()
+	lock := z.nameLock(name)
+	lock.Lock()
+	defer lock.Unlock()
+	z.mu.Lock()
+	if m, ok := z.models[name]; ok {
+		z.mu.Unlock()
+		return m, nil
+	}
+	z.mu.Unlock()
 	m, err := models.Build(name)
 	if err != nil {
 		return nil, err
 	}
+	store := func() {
+		z.mu.Lock()
+		z.models[name] = m
+		z.mu.Unlock()
+	}
 	if z.dir != "" {
 		if err := loadWeights(z.cachePath(name), m); err == nil {
-			z.models[name] = m
+			store()
 			return m, nil
 		}
 	}
@@ -130,7 +164,7 @@ func (z *Zoo) Get(name string) (*models.Model, error) {
 			fmt.Fprintf(os.Stderr, "zoo: could not cache %s weights: %v\n", name, err)
 		}
 	}
-	z.models[name] = m
+	store()
 	return m, nil
 }
 

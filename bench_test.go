@@ -8,6 +8,7 @@
 package ranger_test
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"sync"
@@ -70,7 +71,7 @@ func BenchmarkFig4RangeConvergence(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(r)
+		res, err := experiments.Fig4(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func BenchmarkFig6ClassifierSDC(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig6(r)
+		res, err := experiments.Fig6(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func BenchmarkFig7SteeringSDC(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig7(r)
+		res, err := experiments.Fig7(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func BenchmarkFig8HongComparison(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig8(r)
+		res, err := experiments.Fig8(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func BenchmarkFig9ReducedPrecision(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig9(r)
+		res, err := experiments.Fig9(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func BenchmarkFig10BoundTradeoff(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig10(r)
+		res, err := experiments.Fig10(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func BenchmarkFig11MultiBitClassifier(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig11(r)
+		res, err := experiments.Fig11(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,7 +197,7 @@ func BenchmarkFig12MultiBitSteering(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig12(r)
+		res, err := experiments.Fig12(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func BenchmarkTable2Accuracy(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(r)
+		res, err := experiments.Table2(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,7 +236,7 @@ func BenchmarkTable3InsertionTime(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table3(r)
+		res, err := experiments.Table3(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -252,7 +253,7 @@ func BenchmarkTable4FLOPs(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table4(r)
+		res, err := experiments.Table4(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -270,7 +271,7 @@ func BenchmarkTable5BoundAccuracy(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table5(r)
+		res, err := experiments.Table5(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -284,7 +285,7 @@ func BenchmarkTable6Comparison(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table6(r)
+		res, err := experiments.Table6(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -302,7 +303,7 @@ func BenchmarkDesignAlternatives(b *testing.B) {
 	skipIfShort(b)
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Alternatives(r)
+		res, err := experiments.Alternatives(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -337,11 +338,10 @@ func BenchmarkAblationACTOnly(b *testing.B) {
 			}
 			c := &inject.Campaign{
 				Model:  pm,
-				Fault:  inject.DefaultFaultModel(),
 				Trials: r.Config().Trials,
 				Seed:   r.Config().Seed,
 			}
-			out, err := c.Run(feeds)
+			out, err := c.Run(context.Background(), feeds)
 			if err != nil {
 				b.Fatal(err)
 			}

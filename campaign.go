@@ -1,0 +1,119 @@
+// Facade: fault-injection campaigns and scenarios.
+package ranger
+
+import (
+	"context"
+
+	"ranger/internal/inject"
+)
+
+// Campaign runs fault-injection trials against one model. Configure the
+// fault model through Format and Scenario (zero values mean the paper's
+// primary model: one random bit flip in a Q32 datapath), then call Run
+// or RunWithDetector with a cancellable context. Set OnTrial — or use
+// Stream — to receive per-trial results while a long campaign runs.
+type Campaign = inject.Campaign
+
+// Outcome aggregates a campaign's results.
+type Outcome = inject.Outcome
+
+// TrialResult is one completed trial's judged result, streamed while a
+// campaign runs.
+type TrialResult = inject.TrialResult
+
+// Detector is implemented by fault-detection techniques evaluated under
+// the detect-and-re-execute recovery model.
+type Detector = inject.Detector
+
+// CloneableDetector marks detectors whose trials can shard across
+// workers (one clone per worker).
+type CloneableDetector = inject.CloneableDetector
+
+// DetectorOutcome extends Outcome with detection accounting.
+type DetectorOutcome = inject.DetectorOutcome
+
+// Scenario is a pluggable hardware-fault model: site sampling plus value
+// corruption. Implementations register by name; see RegisterScenario.
+type Scenario = inject.Scenario
+
+// Site is one sampled fault location.
+type Site = inject.Site
+
+// FaultSpace is the set of sampleable operator-output elements for one
+// model input.
+type FaultSpace = inject.FaultSpace
+
+// The built-in fault scenarios.
+type (
+	// BitFlips is the paper's primary model: independent random bit
+	// flips (1 = §V-A single bit; 2-5 = §VI-B multi-bit).
+	BitFlips = inject.BitFlips
+	// ConsecutiveBits lands all flips in consecutive bits of one value
+	// (§VI-B's alternative multi-bit model).
+	ConsecutiveBits = inject.ConsecutiveBits
+	// RandomValue replaces struck values with random bit patterns.
+	RandomValue = inject.RandomValue
+	// StuckAt forces struck bits to a fixed level (0 or 1).
+	StuckAt = inject.StuckAt
+)
+
+// DefaultScenario returns the paper's primary fault model: one random
+// bit flip per execution.
+func DefaultScenario() Scenario { return inject.DefaultScenario() }
+
+// NewScenario builds a registered scenario by name with the given
+// per-execution fault multiplicity.
+func NewScenario(name string, faults int) (Scenario, error) { return inject.NewScenario(name, faults) }
+
+// RegisterScenario adds a named scenario factory, making it selectable
+// by tools such as rangerinject -scenario.
+func RegisterScenario(name string, f func(faults int) (Scenario, error)) {
+	inject.RegisterScenario(name, f)
+}
+
+// ScenarioNames returns the registered scenario names, sorted.
+func ScenarioNames() []string { return inject.ScenarioNames() }
+
+// Stream runs a campaign and delivers per-trial results on the returned
+// channel as trials complete (in scheduling order; the folded Outcome
+// stays deterministic). The channel closes when the campaign finishes;
+// wait() then returns the final Outcome. Cancelling ctx stops the
+// campaign promptly with ctx.Err(). A consumer that stops reading early
+// without cancelling does not stall the campaign: wait() drains any
+// unread results before returning, so call it only after the consumer
+// loop is done.
+//
+//	results, wait := ranger.Stream(ctx, campaign, inputs)
+//	for tr := range results { ... }
+//	outcome, err := wait()
+func Stream(ctx context.Context, c *Campaign, inputs []Feeds) (<-chan TrialResult, func() (Outcome, error)) {
+	ch := make(chan TrialResult, 64)
+	done := make(chan struct{})
+	var out Outcome
+	var err error
+	cc := *c
+	prev := cc.OnTrial
+	cc.OnTrial = func(tr TrialResult) {
+		if prev != nil {
+			prev(tr)
+		}
+		select {
+		case ch <- tr:
+		case <-ctx.Done():
+		}
+	}
+	go func() {
+		defer close(done)
+		defer close(ch)
+		out, err = cc.Run(ctx, inputs)
+	}()
+	wait := func() (Outcome, error) {
+		// Drain results the consumer abandoned so campaign workers are
+		// never left blocked on a full channel.
+		for range ch {
+		}
+		<-done
+		return out, err
+	}
+	return ch, wait
+}

@@ -1,4 +1,5 @@
-// Command rangerbench regenerates the Ranger paper's tables and figures.
+// Command rangerbench regenerates the Ranger paper's tables and figures
+// through the public ranger facade.
 //
 // Usage:
 //
@@ -8,55 +9,32 @@
 // Experiment ids: fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 tab2 tab3
 // tab4 tab5 tab6 alt. Models are trained on first use and cached under
 // $RANGER_CACHE (or the user cache dir), so the first run is slower.
+// Interrupting (Ctrl-C) cancels the in-flight campaign promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"ranger/internal/experiments"
-	"ranger/internal/parallel"
+	"ranger"
 )
 
-// renderer is any experiment result.
-type renderer interface{ Render() string }
-
-// experimentFns maps experiment ids to their entry points.
-var experimentFns = map[string]func(*experiments.Runner) (renderer, error){
-	"fig4":  wrap(experiments.Fig4),
-	"fig6":  wrap(experiments.Fig6),
-	"fig7":  wrap(experiments.Fig7),
-	"fig8":  wrap(experiments.Fig8),
-	"fig9":  wrap(experiments.Fig9),
-	"fig10": wrap(experiments.Fig10),
-	"fig11": wrap(experiments.Fig11),
-	"fig12": wrap(experiments.Fig12),
-	"tab2":  wrap(experiments.Table2),
-	"tab3":  wrap(experiments.Table3),
-	"tab4":  wrap(experiments.Table4),
-	"tab5":  wrap(experiments.Table5),
-	"tab6":  wrap(experiments.Table6),
-	"alt":   wrap(experiments.Alternatives),
-}
-
-// order fixes the paper's presentation order for -exp all.
-var order = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt"}
-
-func wrap[T renderer](f func(*experiments.Runner) (T, error)) func(*experiments.Runner) (renderer, error) {
-	return func(r *experiments.Runner) (renderer, error) { return f(r) }
-}
-
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rangerbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rangerbench", flag.ContinueOnError)
 	expFlag := fs.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	trials := fs.Int("trials", 0, "fault injections per input (default from RANGER_TRIALS or 150)")
@@ -67,9 +45,9 @@ func run(args []string) error {
 		return err
 	}
 	if *workers > 0 {
-		parallel.SetWorkers(*workers)
+		ranger.SetWorkers(*workers)
 	}
-	cfg := experiments.DefaultConfig()
+	cfg := ranger.DefaultExperimentConfig()
 	if *trials > 0 {
 		cfg.Trials = *trials
 	}
@@ -77,20 +55,25 @@ func run(args []string) error {
 		cfg.Inputs = *inputs
 	}
 	cfg.Seed = *seed
-	cfg.Workers = parallel.Workers()
-	runner := experiments.NewRunner(cfg)
+	cfg.Workers = ranger.WorkerCount()
+	runner := ranger.NewExperimentRunner(cfg)
 
+	all := ranger.ExperimentIDs()
 	var ids []string
 	if *expFlag == "all" {
-		ids = order
+		ids = all
 	} else {
+		known := make(map[string]bool, len(all))
+		for _, id := range all {
+			known[id] = true
+		}
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.TrimSpace(id)
 			if id == "" {
 				continue
 			}
-			if _, ok := experimentFns[id]; !ok {
-				return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(order, " "))
+			if !known[id] {
+				return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(all, " "))
 			}
 			ids = append(ids, id)
 		}
@@ -102,7 +85,7 @@ func run(args []string) error {
 		len(ids), cfg.Trials, cfg.Inputs, cfg.Workers)
 	for _, id := range ids {
 		start := time.Now()
-		res, err := experimentFns[id](runner)
+		res, err := ranger.RunExperiment(ctx, runner, id)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

@@ -1,99 +1,123 @@
 // Command rangerinject runs a custom fault-injection campaign against
 // any benchmark model, with or without Ranger protection — the
-// TensorFI-equivalent tool of this reproduction.
+// TensorFI-equivalent tool of this reproduction, built entirely on the
+// public ranger facade.
+//
+// The fault model is selected from the scenario registry: bitflip
+// (single/multi independent flips), consecutive (a run of adjacent
+// bits), randomvalue (whole-word replacement), stuckat0/stuckat1
+// (forced bits).
 //
 // Usage:
 //
 //	rangerinject -model lenet -trials 1000
-//	rangerinject -model dave -trials 500 -bits 3 -ranger=false
-//	rangerinject -model vgg16 -format q16 -consecutive -bits 2
+//	rangerinject -model dave -trials 500 -faults 3 -ranger=false
+//	rangerinject -model vgg16 -format q16 -scenario consecutive -faults 2
+//	rangerinject -model alexnet -scenario randomvalue -progress
+//
+// Interrupting (Ctrl-C) cancels the campaign promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
 
-	"ranger/internal/core"
-	"ranger/internal/data"
-	"ranger/internal/experiments"
-	"ranger/internal/fixpoint"
-	"ranger/internal/graph"
-	"ranger/internal/inject"
-	"ranger/internal/models"
-	"ranger/internal/parallel"
-	"ranger/internal/stats"
-	"ranger/internal/train"
+	"ranger"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rangerinject:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rangerinject", flag.ContinueOnError)
 	model := fs.String("model", "lenet", "model name")
 	trials := fs.Int("trials", 500, "injections per input")
 	inputs := fs.Int("inputs", 4, "number of correctly-predicted inputs")
-	bits := fs.Int("bits", 1, "bit flips per execution")
-	consecutive := fs.Bool("consecutive", false, "multi-bit flips hit consecutive bits of one value")
+	scenario := fs.String("scenario", "bitflip",
+		"fault scenario: "+strings.Join(ranger.ScenarioNames(), ", "))
+	faults := fs.Int("faults", 1, "faults per execution (bit flips, replaced values, or stuck bits)")
 	format := fs.String("format", "q32", "fixed-point datatype: q32 or q16")
 	withRanger := fs.Bool("ranger", true, "also evaluate the Ranger-protected model")
 	profileSamples := fs.Int("profile", 120, "training samples for bound profiling")
 	seed := fs.Int64("seed", 1, "campaign seed")
 	workers := fs.Int("workers", 0, "worker-pool width (default from RANGER_WORKERS or the core count)")
+	progress := fs.Bool("progress", false, "stream per-trial progress while campaigns run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers > 0 {
-		parallel.SetWorkers(*workers)
+		ranger.SetWorkers(*workers)
 	}
 
-	var fmtFixed fixpoint.Format
+	var fmtFixed ranger.Format
 	switch *format {
 	case "q32":
-		fmtFixed = fixpoint.Q32
+		fmtFixed = ranger.Q32
 	case "q16":
-		fmtFixed = fixpoint.Q16
+		fmtFixed = ranger.Q16
 	default:
 		return fmt.Errorf("unknown format %q (want q32 or q16)", *format)
 	}
-	fault := inject.FaultModel{Format: fmtFixed, BitFlips: *bits, Consecutive: *consecutive}
+	scen, err := ranger.NewScenario(*scenario, *faults)
+	if err != nil {
+		return err
+	}
 
-	zoo := train.Default()
+	zoo := ranger.DefaultZoo()
 	zoo.Quiet = false
 	m, err := zoo.Get(*model)
 	if err != nil {
 		return err
 	}
-	ds, err := train.DatasetByName(m.Dataset)
+	ds, err := ranger.DatasetFor(m)
 	if err != nil {
 		return err
 	}
-	feeds, err := experiments.SelectInputs(m, ds, *inputs)
+	feeds, err := ranger.SelectInputs(m, ds, *inputs)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("campaign: %s, %d trials x %d inputs, %d-bit flips (%s, consecutive=%v), %d workers\n",
-		m.Name, *trials, *inputs, *bits, fmtFixed, *consecutive, parallel.Workers())
+	fmt.Printf("campaign: %s, %d trials x %d inputs, scenario=%s faults=%d (%s), %d workers\n",
+		m.Name, *trials, *inputs, scen.Name(), *faults, fmtFixed, ranger.WorkerCount())
 
-	report := func(label string, target *models.Model) error {
-		c := &inject.Campaign{Model: target, Fault: fault, Trials: *trials, Seed: *seed}
-		out, err := c.Run(feeds)
+	report := func(label string, target *ranger.Model) error {
+		c := &ranger.Campaign{Model: target, Format: fmtFixed, Scenario: scen, Trials: *trials, Seed: *seed}
+		if *progress {
+			total := int64(*trials * len(feeds))
+			var done atomic.Int64
+			c.OnTrial = func(ranger.TrialResult) {
+				if n := done.Add(1); n%100 == 0 || n == total {
+					fmt.Fprintf(os.Stderr, "\r%-10s %d/%d trials", label, n, total)
+					if n == total {
+						fmt.Fprintln(os.Stderr)
+					}
+				}
+			}
+		}
+		out, err := c.Run(ctx, feeds)
 		if err != nil {
 			return err
 		}
 		switch target.Kind {
-		case models.Classifier:
+		case ranger.Classifier:
 			fmt.Printf("%-10s top-1 SDC %s   top-5 SDC %s\n", label,
-				stats.NewProportion(out.Top1SDC, out.Trials).Percent(),
-				stats.NewProportion(out.Top5SDC, out.Trials).Percent())
-		case models.Regressor:
+				ranger.NewProportion(out.Top1SDC, out.Trials).Percent(),
+				ranger.NewProportion(out.Top5SDC, out.Trials).Percent())
+		case ranger.Regressor:
 			fmt.Printf("%-10s", label)
-			for _, th := range experiments.SteeringThresholds {
+			for _, th := range ranger.SteeringThresholds {
 				fmt.Printf("  thr=%g: %.2f%%", th, out.RateAbove(th)*100)
 			}
 			fmt.Println()
@@ -106,13 +130,11 @@ func run(args []string) error {
 	if !*withRanger {
 		return nil
 	}
-	bounds, err := core.ProfileModel(m, core.ProfileOptions{}, *profileSamples, func(i int) (graph.Feeds, error) {
-		return graph.Feeds{m.Input: ds.Sample(data.Train, i%ds.Len(data.Train)).X}, nil
-	})
+	bounds, err := ranger.Profile(m, *profileSamples)
 	if err != nil {
 		return err
 	}
-	pm, res, err := core.ProtectModel(m, bounds, core.Options{})
+	pm, res, err := ranger.Protect(m, bounds, ranger.ProtectOptions{})
 	if err != nil {
 		return err
 	}

@@ -15,10 +15,7 @@ import (
 	"os"
 	"sort"
 
-	"ranger/internal/core"
-	"ranger/internal/data"
-	"ranger/internal/graph"
-	"ranger/internal/train"
+	"ranger"
 )
 
 func main() {
@@ -36,13 +33,13 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	zoo := train.Default()
+	zoo := ranger.DefaultZoo()
 	zoo.Quiet = false
 	m, err := zoo.Get(*model)
 	if err != nil {
 		return err
 	}
-	ds, err := train.DatasetByName(m.Dataset)
+	ds, err := ranger.DatasetFor(m)
 	if err != nil {
 		return err
 	}
@@ -50,18 +47,18 @@ func run(args []string) error {
 	if *percentile < 100 {
 		reservoir = 200000
 	}
-	p := core.NewProfiler(m.Graph, core.ProfileOptions{
+	p := ranger.NewProfiler(m.Graph, ranger.ProfileOptions{
 		ReservoirSize:     reservoir,
 		Seed:              1,
 		UseInherentBounds: true,
 	})
 	n := *samples
-	if n > ds.Len(data.Train) {
-		n = ds.Len(data.Train)
+	if n > ds.Len(ranger.TrainSplit) {
+		n = ds.Len(ranger.TrainSplit)
 	}
 	for i := 0; i < n; i++ {
-		s := ds.Sample(data.Train, i)
-		if err := p.Observe(graph.Feeds{m.Input: s.X}, m.Output); err != nil {
+		s := ds.Sample(ranger.TrainSplit, i)
+		if err := p.Observe(ranger.Feeds{m.Input: s.X}, m.Output); err != nil {
 			return err
 		}
 	}
@@ -76,7 +73,7 @@ func run(args []string) error {
 		b := bounds[name]
 		fmt.Printf("  %-10s low=%-12.4f high=%-12.4f\n", name, b.Low, b.High)
 	}
-	res, err := core.Protect(m.Graph, bounds, core.Options{})
+	res, err := ranger.ProtectGraph(m.Graph, bounds, ranger.ProtectOptions{})
 	if err != nil {
 		return err
 	}

@@ -16,9 +16,7 @@ import (
 	"os"
 	"time"
 
-	"ranger/internal/data"
-	"ranger/internal/models"
-	"ranger/internal/train"
+	"ranger"
 )
 
 func main() {
@@ -36,12 +34,12 @@ func run(args []string) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		names = models.Names()
+		names = ranger.ModelNames()
 		if *variants {
 			names = append(names, "lenet-tanh", "alexnet-tanh", "vgg11-tanh", "dave-tanh", "comma-tanh", "dave-degrees")
 		}
 	}
-	zoo := train.Default()
+	zoo := ranger.DefaultZoo()
 	zoo.Quiet = false
 	for _, name := range names {
 		start := time.Now()
@@ -49,19 +47,19 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		ds, err := train.DatasetByName(m.Dataset)
+		ds, err := ranger.DatasetFor(m)
 		if err != nil {
 			return err
 		}
-		if m.Kind == models.Classifier {
-			acc, err := train.TopKAccuracy(m, ds, data.Val, 200, 1)
+		if m.Kind == ranger.Classifier {
+			acc, err := ranger.TopKAccuracy(m, ds, ranger.ValSplit, 200, 1)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("%-14s dataset=%-12s top1=%.3f  (%s)\n", name, m.Dataset, acc, time.Since(start).Round(time.Second))
 			continue
 		}
-		rmse, dev, err := train.SteeringMetrics(m, ds, data.Val, 100)
+		rmse, dev, err := ranger.SteeringMetrics(m, ds, ranger.ValSplit, 100)
 		if err != nil {
 			return err
 		}

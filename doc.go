@@ -1,6 +1,7 @@
 // Package ranger is a from-scratch Go reproduction of "A Low-cost Fault
 // Corrector for Deep Neural Networks through Range Restriction"
-// (Chen, Li, Pattabiraman — DSN 2021).
+// (Chen, Li, Pattabiraman — DSN 2021), exposed through a single public
+// facade.
 //
 // Ranger protects DNNs from hardware transient faults (soft errors) by
 // inserting range-restriction operators after activation layers and the
@@ -9,6 +10,42 @@
 // profiled range, turning critical faults into benign ones that the
 // DNN's inherent resilience absorbs, with no re-execution and negligible
 // overhead.
+//
+// # Public API
+//
+// This root package is the one supported surface; external programs (and
+// the cmd/ tools and examples/ in this repository) import only it:
+//
+//   - Models and data: LoadModel / BuildModel / DefaultZoo load the
+//     eight benchmark DNNs (trained and cached on first use);
+//     LoadDataset / DatasetFor return their deterministic synthetic
+//     datasets.
+//   - Protection: Profile derives restriction bounds from training data
+//     (§III-C step 1) and Protect inserts the Algorithm 1 clip operators.
+//   - Campaigns: Campaign runs TensorFI-style fault injection with a
+//     cancellable context; OnTrial or Stream deliver per-trial results
+//     while long campaigns run, and outcomes are byte-identical at every
+//     worker count for a fixed seed.
+//   - Fault scenarios: the fault model is pluggable. BitFlips,
+//     ConsecutiveBits, RandomValue, and StuckAt ship built in, live in a
+//     name-keyed registry (NewScenario / ScenarioNames), and new models
+//     register with RegisterScenario.
+//   - Protection techniques: Ranger and every Table VI baseline (TMR,
+//     selective duplication, symptom-based, ML-based, Tanh swap, ABFT)
+//     implement one Protector interface behind a second registry
+//     (NewProtector / ProtectorNames / RegisterProtector).
+//   - Experiments: RunExperiment regenerates any table or figure of the
+//     paper's evaluation by id (ExperimentIDs).
+//
+// A minimal protect-and-measure pipeline:
+//
+//	m, _ := ranger.LoadModel("lenet")
+//	bounds, _ := ranger.Profile(m, 32)
+//	protected, _, _ := ranger.Protect(m, bounds, ranger.ProtectOptions{})
+//	c := &ranger.Campaign{Model: protected, Trials: 1000}
+//	out, _ := c.Run(ctx, inputs)
+//
+// # Substrate
 //
 // The repository contains the full substrate stack the paper depends on,
 // implemented with the standard library only:
@@ -27,10 +64,11 @@
 //     training substrate (SGD/Adam) with a cached model zoo
 //   - internal/core: Ranger itself — bound profiling and the Algorithm 1
 //     graph transform
-//   - internal/inject: the TensorFI-style fault-injection campaign engine
-//   - internal/baselines: the Table VI comparator techniques
+//   - internal/inject: the fault-injection campaign engine and the
+//     scenario registry
+//   - internal/baselines: the Table VI comparator techniques and the
+//     Protector registry
 //   - internal/experiments: one entry point per paper table and figure
 //
-// See README.md for a walkthrough, DESIGN.md for the system inventory,
-// and EXPERIMENTS.md for measured-vs-paper results.
+// See README.md for a walkthrough.
 package ranger

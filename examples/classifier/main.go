@@ -2,73 +2,80 @@
 // on one classifier: it measures the SDC rate of an image classifier
 // under random single-bit transient faults, with and without Ranger, and
 // also demonstrates the accuracy-preservation property of Table II.
+// Campaign progress streams through the facade's Stream helper.
 //
 // Run with: go run ./examples/classifier [model]
 // (model defaults to alexnet; try vgg11, squeezenet, ...)
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"ranger/internal/core"
-	"ranger/internal/data"
-	"ranger/internal/experiments"
-	"ranger/internal/graph"
-	"ranger/internal/inject"
-	"ranger/internal/train"
+	"ranger"
 )
 
 func main() {
+	ctx := context.Background()
 	name := "alexnet"
 	if len(os.Args) > 1 {
 		name = os.Args[1]
 	}
-	zoo := train.Default()
-	zoo.Quiet = false
-	model, err := zoo.Get(name)
+	ranger.DefaultZoo().Quiet = false
+	model, err := ranger.LoadModel(name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := train.DatasetByName(model.Dataset)
+	ds, err := ranger.DatasetFor(model)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	bounds, err := core.ProfileModel(model, core.ProfileOptions{}, 32, func(i int) (graph.Feeds, error) {
-		return graph.Feeds{model.Input: ds.Sample(data.Train, i).X}, nil
-	})
+	bounds, err := ranger.Profile(model, 32)
 	if err != nil {
 		log.Fatal(err)
 	}
-	protected, _, err := core.ProtectModel(model, bounds, core.Options{})
+	protected, _, err := ranger.Protect(model, bounds, ranger.ProtectOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Accuracy check (Table II): Ranger must not hurt fault-free quality.
-	accO, err := train.TopKAccuracy(model, ds, data.Val, 200, 1)
+	accO, err := ranger.TopKAccuracy(model, ds, ranger.ValSplit, 200, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	accP, err := train.TopKAccuracy(protected, ds, data.Val, 200, 1)
+	accP, err := ranger.TopKAccuracy(protected, ds, ranger.ValSplit, 200, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: fault-free top-1 accuracy  original=%.3f  ranger=%.3f\n", name, accO, accP)
 
-	// SDC campaign (Fig. 6) on correctly predicted validation inputs.
-	inputs, err := experiments.SelectInputs(model, ds, 3)
+	// SDC campaign (Fig. 6) on correctly predicted validation inputs,
+	// streaming per-trial results as they complete.
+	inputs, err := ranger.SelectInputs(model, ds, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	const trials = 400
-	orig, err := (&inject.Campaign{Model: model, Fault: inject.DefaultFaultModel(), Trials: trials, Seed: 9}).Run(inputs)
+	campaign := func(m *ranger.Model) (ranger.Outcome, error) {
+		c := &ranger.Campaign{Model: m, Trials: trials, Seed: 9}
+		results, wait := ranger.Stream(ctx, c, inputs)
+		n := 0
+		for range results {
+			if n++; n%200 == 0 {
+				fmt.Printf("  ...%d/%d trials\n", n, trials*len(inputs))
+			}
+		}
+		return wait()
+	}
+	orig, err := campaign(model)
 	if err != nil {
 		log.Fatal(err)
 	}
-	prot, err := (&inject.Campaign{Model: protected, Fault: inject.DefaultFaultModel(), Trials: trials, Seed: 9}).Run(inputs)
+	prot, err := campaign(protected)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,67 +1,78 @@
-// Multibit explores the §VI-B fault model: several independent bit flips
-// per inference (a more aggressive transient-fault scenario). It sweeps
-// 1-5 simultaneous flips on one classifier and prints SDC rates with and
-// without Ranger, plus the same sweep under the 16-bit datatype (RQ4).
+// Multibit explores the extended fault models: it sweeps 1-5
+// independent bit flips per inference (§VI-B) on one classifier under
+// both datapath widths, then runs every other registered fault scenario
+// (consecutive bits, random-value replacement, stuck-at bits) through
+// the same campaign — the registry makes new scenarios one line to add.
 //
 // Run with: go run ./examples/multibit
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"ranger/internal/core"
-	"ranger/internal/data"
-	"ranger/internal/experiments"
-	"ranger/internal/fixpoint"
-	"ranger/internal/graph"
-	"ranger/internal/inject"
-	"ranger/internal/train"
+	"ranger"
 )
 
 func main() {
-	zoo := train.Default()
-	zoo.Quiet = false
-	model, err := zoo.Get("lenet")
+	ctx := context.Background()
+	ranger.DefaultZoo().Quiet = false
+	model, err := ranger.LoadModel("lenet")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := train.DatasetByName(model.Dataset)
+	ds, err := ranger.DatasetFor(model)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bounds, err := core.ProfileModel(model, core.ProfileOptions{}, 32, func(i int) (graph.Feeds, error) {
-		return graph.Feeds{model.Input: ds.Sample(data.Train, i).X}, nil
-	})
+	bounds, err := ranger.Profile(model, 32)
 	if err != nil {
 		log.Fatal(err)
 	}
-	protected, _, err := core.ProtectModel(model, bounds, core.Options{})
+	protected, _, err := ranger.Protect(model, bounds, ranger.ProtectOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	inputs, err := experiments.SelectInputs(model, ds, 3)
+	inputs, err := ranger.SelectInputs(model, ds, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	const trials = 250
-	for _, format := range []fixpoint.Format{fixpoint.Q32, fixpoint.Q16} {
-		fmt.Printf("\nfault model: %v\n", format)
+	pair := func(format ranger.Format, scen ranger.Scenario, seed int64) (orig, prot ranger.Outcome) {
+		o, err := (&ranger.Campaign{Model: model, Format: format, Scenario: scen, Trials: trials, Seed: seed}).Run(ctx, inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := (&ranger.Campaign{Model: protected, Format: format, Scenario: scen, Trials: trials, Seed: seed}).Run(ctx, inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return o, p
+	}
+
+	for _, format := range []ranger.Format{ranger.Q32, ranger.Q16} {
+		fmt.Printf("\nfault model: independent bit flips, %v\n", format)
 		fmt.Printf("%-6s %-12s %-12s\n", "bits", "original", "ranger")
 		for bits := 1; bits <= 5; bits++ {
-			fault := inject.FaultModel{Format: format, BitFlips: bits}
-			orig, err := (&inject.Campaign{Model: model, Fault: fault, Trials: trials, Seed: int64(bits)}).Run(inputs)
-			if err != nil {
-				log.Fatal(err)
-			}
-			prot, err := (&inject.Campaign{Model: protected, Fault: fault, Trials: trials, Seed: int64(bits)}).Run(inputs)
-			if err != nil {
-				log.Fatal(err)
-			}
+			orig, prot := pair(format, ranger.BitFlips{Flips: bits}, int64(bits))
 			fmt.Printf("%-6d %-12s %-12s\n", bits,
 				fmt.Sprintf("%.2f%%", orig.Top1Rate()*100),
 				fmt.Sprintf("%.2f%%", prot.Top1Rate()*100))
 		}
+	}
+
+	fmt.Printf("\nregistered scenarios at 2 faults/execution (%v):\n", ranger.Q32)
+	fmt.Printf("%-14s %-12s %-12s\n", "scenario", "original", "ranger")
+	for _, name := range ranger.ScenarioNames() {
+		scen, err := ranger.NewScenario(name, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		orig, prot := pair(ranger.Q32, scen, 11)
+		fmt.Printf("%-14s %-12s %-12s\n", name,
+			fmt.Sprintf("%.2f%%", orig.Top1Rate()*100),
+			fmt.Sprintf("%.2f%%", prot.Top1Rate()*100))
 	}
 }

@@ -1,4 +1,5 @@
-// Quickstart: protect a DNN with Ranger in a few lines.
+// Quickstart: protect a DNN with Ranger in a few lines of the public
+// facade.
 //
 // The pipeline is the paper's §III-C: train (or load) a model, profile
 // its activation value ranges on training data, transform the graph with
@@ -10,54 +11,51 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"ranger/internal/core"
-	"ranger/internal/data"
-	"ranger/internal/graph"
-	"ranger/internal/inject"
-	"ranger/internal/train"
+	"ranger"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. A trained model (the zoo trains LeNet in ~2s on first use and
 	// caches the weights).
-	zoo := train.Default()
-	zoo.Quiet = false
-	model, err := zoo.Get("lenet")
+	ranger.DefaultZoo().Quiet = false
+	model, err := ranger.LoadModel("lenet")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := train.DatasetByName(model.Dataset)
+	ds, err := ranger.DatasetFor(model)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 2. Profile restriction bounds from training data (§III-C step 1).
-	bounds, err := core.ProfileModel(model, core.ProfileOptions{}, 32, func(i int) (graph.Feeds, error) {
-		return graph.Feeds{model.Input: ds.Sample(data.Train, i).X}, nil
-	})
+	bounds, err := ranger.Profile(model, 32)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("profiled %d activation layers\n", len(bounds))
 
 	// 3. Insert Ranger (§III-C step 2, Algorithm 1).
-	protected, result, err := core.ProtectModel(model, bounds, core.Options{})
+	protected, result, err := ranger.Protect(model, bounds, ranger.ProtectOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("inserted %d range restrictions in %s\n", len(result.Protected), result.InsertionTime)
 
-	// 4. Compare SDC rates under a small fault-injection campaign.
-	sample := ds.Sample(data.Val, 0)
-	inputs := []graph.Feeds{{model.Input: sample.X}}
-	orig, err := (&inject.Campaign{Model: model, Fault: inject.DefaultFaultModel(), Trials: 300, Seed: 1}).Run(inputs)
+	// 4. Compare SDC rates under a small fault-injection campaign (the
+	// default scenario is the paper's single bit flip).
+	sample := ds.Sample(ranger.ValSplit, 0)
+	inputs := []ranger.Feeds{{model.Input: sample.X}}
+	orig, err := (&ranger.Campaign{Model: model, Trials: 300, Seed: 1}).Run(ctx, inputs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	prot, err := (&inject.Campaign{Model: protected, Fault: inject.DefaultFaultModel(), Trials: 300, Seed: 1}).Run(inputs)
+	prot, err := (&ranger.Campaign{Model: protected, Trials: 300, Seed: 1}).Run(ctx, inputs)
 	if err != nil {
 		log.Fatal(err)
 	}

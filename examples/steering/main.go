@@ -12,48 +12,40 @@ import (
 	"log"
 	"math"
 
-	"ranger/internal/core"
-	"ranger/internal/data"
-	"ranger/internal/fixpoint"
-	"ranger/internal/graph"
-	"ranger/internal/tensor"
-	"ranger/internal/train"
+	"ranger"
 )
 
 func main() {
-	zoo := train.Default()
-	zoo.Quiet = false
-	model, err := zoo.Get("comma")
+	ranger.DefaultZoo().Quiet = false
+	model, err := ranger.LoadModel("comma")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := train.DatasetByName(model.Dataset)
+	ds, err := ranger.DatasetFor(model)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bounds, err := core.ProfileModel(model, core.ProfileOptions{}, 32, func(i int) (graph.Feeds, error) {
-		return graph.Feeds{model.Input: ds.Sample(data.Train, i).X}, nil
-	})
+	bounds, err := ranger.Profile(model, 32)
 	if err != nil {
 		log.Fatal(err)
 	}
-	protected, _, err := core.ProtectModel(model, bounds, core.Options{})
+	protected, _, err := ranger.Protect(model, bounds, ranger.ProtectOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Find a sharp-turn validation frame so the effect is vivid.
-	var frame data.Sample
-	for i := 0; i < ds.Len(data.Val); i++ {
-		s := ds.Sample(data.Val, i)
+	var frame ranger.Sample
+	for i := 0; i < ds.Len(ranger.ValSplit); i++ {
+		s := ds.Sample(ranger.ValSplit, i)
 		if math.Abs(float64(s.Target)) > 100 {
 			frame = s
 			break
 		}
 	}
-	feeds := graph.Feeds{model.Input: frame.X}
+	feeds := ranger.Feeds{model.Input: frame.X}
 
-	var e graph.Executor
+	var e ranger.Executor
 	cleanOuts, err := e.Run(model.Graph, feeds, model.Output)
 	if err != nil {
 		log.Fatal(err)
@@ -62,13 +54,13 @@ func main() {
 
 	// Inject a high-order bit flip into a mid-network activation output
 	// (the paper's Fig. 1 fault), then run both models under it.
-	inject := func(g *graph.Graph, output string) float32 {
-		fe := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+	inject := func(g *ranger.Graph, output string) float32 {
+		fe := ranger.Executor{Hook: func(n *ranger.GraphNode, out *ranger.Tensor) *ranger.Tensor {
 			if n.Name() != "act2" {
 				return nil
 			}
 			repl := out.Clone()
-			v, err := fixpoint.Q32.FlipBit(repl.Data()[7], 29) // high-order magnitude bit
+			v, err := ranger.Q32.FlipBit(repl.Data()[7], 29) // high-order magnitude bit
 			if err == nil {
 				repl.Data()[7] = v
 			}

@@ -1,11 +1,13 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"ranger/internal/core"
 	"ranger/internal/data"
+	"ranger/internal/fixpoint"
 	"ranger/internal/graph"
 	"ranger/internal/inject"
 	"ranger/internal/models"
@@ -109,8 +111,8 @@ func TestSymptomDetectorFlagsSpikes(t *testing.T) {
 	m, feeds := lenetWithInputs(t, 3)
 	maxima := profiledMaxima(t, m, feeds)
 	det := NewSymptomDetector(maxima, 1.0)
-	c := &inject.Campaign{Model: m, Fault: inject.DefaultFaultModel(), Trials: 80, Seed: 4}
-	out, err := c.RunWithDetector(feeds[:1], det)
+	c := &inject.Campaign{Model: m, Trials: 80, Seed: 4}
+	out, err := c.RunWithDetector(context.Background(), feeds[:1], det)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,12 +134,11 @@ func TestDuplicationDetectorCatchesFaultAtDuplicatedNode(t *testing.T) {
 	det := NewDuplicationDetector([]string{"conv1"})
 	c := &inject.Campaign{
 		Model:       m,
-		Fault:       inject.DefaultFaultModel(),
 		Trials:      30,
 		Seed:        5,
 		TargetNodes: []string{"conv1"},
 	}
-	out, err := c.RunWithDetector(feeds, det)
+	out, err := c.RunWithDetector(context.Background(), feeds, det)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,12 +157,11 @@ func TestDuplicationDetectorMissesOtherNodes(t *testing.T) {
 	det := NewDuplicationDetector([]string{"conv1"})
 	c := &inject.Campaign{
 		Model:       m,
-		Fault:       inject.DefaultFaultModel(),
 		Trials:      30,
 		Seed:        6,
 		TargetNodes: []string{"act9"}, // fc activation far from conv1
 	}
-	out, err := c.RunWithDetector(feeds, det)
+	out, err := c.RunWithDetector(context.Background(), feeds, det)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,12 +175,11 @@ func TestABFTDetectorCatchesConvFaults(t *testing.T) {
 	det := NewABFTDetector(1e-3)
 	c := &inject.Campaign{
 		Model:       m,
-		Fault:       inject.DefaultFaultModel(),
 		Trials:      40,
 		Seed:        7,
 		TargetNodes: []string{"conv1", "conv2"},
 	}
-	out, err := c.RunWithDetector(feeds, det)
+	out, err := c.RunWithDetector(context.Background(), feeds, det)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,12 +198,11 @@ func TestABFTDetectorIgnoresNonConvFaults(t *testing.T) {
 	det := NewABFTDetector(1e-3)
 	c := &inject.Campaign{
 		Model:       m,
-		Fault:       inject.DefaultFaultModel(),
 		Trials:      30,
 		Seed:        8,
 		TargetNodes: []string{"act9"},
 	}
-	out, err := c.RunWithDetector(feeds, det)
+	out, err := c.RunWithDetector(context.Background(), feeds, det)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,15 +214,15 @@ func TestABFTDetectorIgnoresNonConvFaults(t *testing.T) {
 func TestMLDetectorTrainsAndDetects(t *testing.T) {
 	m, feeds := lenetWithInputs(t, 2)
 	maxima := profiledMaxima(t, m, feeds)
-	det, err := TrainMLDetector(m, feeds, maxima, inject.DefaultFaultModel(), 40, 9)
+	det, err := TrainMLDetector(context.Background(), m, feeds, maxima, fixpoint.Q32, inject.DefaultScenario(), 40, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(det.Weights) != len(det.Layers) || len(det.Layers) == 0 {
 		t.Fatalf("detector shape: %d layers, %d weights", len(det.Layers), len(det.Weights))
 	}
-	c := &inject.Campaign{Model: m, Fault: inject.DefaultFaultModel(), Trials: 60, Seed: 10}
-	out, err := c.RunWithDetector(feeds, det)
+	c := &inject.Campaign{Model: m, Trials: 60, Seed: 10}
+	out, err := c.RunWithDetector(context.Background(), feeds, det)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +234,7 @@ func TestMLDetectorTrainsAndDetects(t *testing.T) {
 
 func TestSelectDuplicationSetRespectsBudget(t *testing.T) {
 	m, feeds := lenetWithInputs(t, 1)
-	set, overhead, err := SelectDuplicationSet(m, feeds[0], inject.DefaultFaultModel(), 6, 11, 0.3)
+	set, overhead, err := SelectDuplicationSet(context.Background(), m, feeds[0], fixpoint.Q32, inject.DefaultScenario(), 6, 11, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +244,7 @@ func TestSelectDuplicationSetRespectsBudget(t *testing.T) {
 	if overhead > 0.3+1e-9 {
 		t.Fatalf("overhead %v exceeds budget", overhead)
 	}
-	if _, _, err := SelectDuplicationSet(m, feeds[0], inject.DefaultFaultModel(), 6, 11, 0); err == nil {
+	if _, _, err := SelectDuplicationSet(context.Background(), m, feeds[0], fixpoint.Q32, inject.DefaultScenario(), 6, 11, 0); err == nil {
 		t.Fatal("want budget error")
 	}
 }

@@ -1,0 +1,105 @@
+package baselines
+
+import (
+	"context"
+	"testing"
+
+	"ranger/internal/core"
+	"ranger/internal/models"
+)
+
+// testZoo resolves untrained models by architecture name, standing in
+// for the trained zoo in mechanics tests.
+type testZoo struct{}
+
+func (testZoo) Get(name string) (*models.Model, error) { return models.Build(name) }
+
+func testProtectContext(t *testing.T) ProtectContext {
+	t.Helper()
+	m, feeds := lenetWithInputs(t, 2)
+	maxima := profiledMaxima(t, m, feeds)
+	bounds := make(core.Bounds, len(maxima))
+	for name, high := range maxima {
+		bounds[name] = core.Bound{Low: 0, High: high}
+	}
+	return ProtectContext{
+		Model:     m,
+		Zoo:       testZoo{},
+		Bounds:    bounds,
+		ActMaxima: maxima,
+		Inputs:    feeds,
+		Trials:    20,
+		Seed:      13,
+	}
+}
+
+func TestProtectorRegistryCoversTableVI(t *testing.T) {
+	names := ProtectorNames()
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"ranger", "tmr", "dup", "symptom", "ml", "tanh", "abft"} {
+		if !have[want] {
+			t.Fatalf("protector %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := NewProtector("no-such-protector"); err == nil {
+		t.Fatal("want unknown-protector error")
+	}
+}
+
+// TestEveryProtectorPrepares exercises Protect for every registered
+// technique on an untrained LeNet: each must yield exactly one of the
+// three protection shapes with sane overhead accounting.
+func TestEveryProtectorPrepares(t *testing.T) {
+	ctx := context.Background()
+	pc := testProtectContext(t)
+	for _, name := range ProtectorNames() {
+		p, err := NewProtector(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Fatalf("protector %q reports name %q", name, p.Name())
+		}
+		prot, err := p.Protect(ctx, pc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prot.Technique == "" {
+			t.Fatalf("%s: empty technique display name", name)
+		}
+		shapes := 0
+		if prot.Model != nil {
+			shapes++
+		}
+		if prot.Detector != nil {
+			shapes++
+		}
+		if prot.AnalyticCoverage != nil {
+			shapes++
+		}
+		if shapes != 1 {
+			t.Fatalf("%s: protection has %d shapes, want exactly 1 (%+v)", name, shapes, prot)
+		}
+		if prot.Overhead < 0 {
+			t.Fatalf("%s: negative overhead %v", name, prot.Overhead)
+		}
+	}
+}
+
+func TestProtectorsValidateMissingContext(t *testing.T) {
+	ctx := context.Background()
+	m, _ := lenetWithInputs(t, 1)
+	empty := ProtectContext{Model: m}
+	for _, name := range []string{"ranger", "dup", "symptom", "ml", "tanh", "abft"} {
+		p, err := NewProtector(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Protect(ctx, empty); err == nil {
+			t.Fatalf("%s: want missing-context error", name)
+		}
+	}
+}

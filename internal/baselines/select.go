@@ -1,9 +1,11 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"ranger/internal/fixpoint"
 	"ranger/internal/flops"
 	"ranger/internal/graph"
 	"ranger/internal/inject"
@@ -18,11 +20,15 @@ import (
 // packs the most vulnerability-per-FLOP nodes until the duplication budget
 // (relative to total model FLOPs, e.g. 0.3 for the ~30% overhead the
 // technique reports) is exhausted. It returns the chosen node names and
-// the achieved relative overhead.
+// the achieved relative overhead. format and scen configure the
+// vulnerability campaigns (zero values mean Q32, single bit flip);
+// cancelling ctx aborts them.
 func SelectDuplicationSet(
+	ctx context.Context,
 	m *models.Model,
 	input graph.Feeds,
-	fault inject.FaultModel,
+	format fixpoint.Format,
+	scen inject.Scenario,
 	trialsPerNode int,
 	seed int64,
 	budget float64,
@@ -67,13 +73,14 @@ func SelectDuplicationSet(
 		n := targets[i]
 		c := &inject.Campaign{
 			Model:       m,
-			Fault:       fault,
+			Format:      format,
+			Scenario:    scen,
 			Trials:      trialsPerNode,
 			Seed:        seed + int64(n.ID()),
 			TargetNodes: []string{n.Name()},
 			Workers:     1,
 		}
-		out, err := c.Run(inputs)
+		out, err := c.Run(ctx, inputs)
 		if err != nil {
 			return fmt.Errorf("baselines: vulnerability of %q: %w", n.Name(), err)
 		}

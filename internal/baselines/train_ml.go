@@ -1,10 +1,12 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"ranger/internal/fixpoint"
 	"ranger/internal/graph"
 	"ranger/internal/inject"
 	"ranger/internal/models"
@@ -15,12 +17,16 @@ import (
 // labelled fault-injection campaign and fitting a logistic regression on
 // per-layer activation-ratio features. This mirrors the technique's real
 // cost structure: it needs FI-generated training data before deployment
-// (the paper's critique in §VII).
+// (the paper's critique in §VII). format and scen configure the training
+// campaign (zero values mean Q32, single bit flip); cancelling ctx
+// aborts it.
 func TrainMLDetector(
+	ctx context.Context,
 	m *models.Model,
 	inputs []graph.Feeds,
 	profiledMax map[string]float64,
-	fault inject.FaultModel,
+	format fixpoint.Format,
+	scen inject.Scenario,
 	trialsPerInput int,
 	seed int64,
 ) (*MLDetector, error) {
@@ -40,8 +46,8 @@ func TrainMLDetector(
 		Threshold:   0.5,
 	}
 	collector := &featureCollector{det: det}
-	c := &inject.Campaign{Model: m, Fault: fault, Trials: trialsPerInput, Seed: seed}
-	out, err := c.RunWithDetector(inputs, collector)
+	c := &inject.Campaign{Model: m, Format: format, Scenario: scen, Trials: trialsPerInput, Seed: seed}
+	out, err := c.RunWithDetector(ctx, inputs, collector)
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"ranger/internal/data"
+	"ranger/internal/fixpoint"
 	"ranger/internal/inject"
 	"ranger/internal/models"
 	"ranger/internal/train"
@@ -86,7 +88,7 @@ func TestFig4Convergence(t *testing.T) {
 		t.Skip("short mode")
 	}
 	r := testRunner(t)
-	res, err := Fig4(r)
+	res, err := Fig4(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +122,7 @@ func TestFig6ShapeOnSubset(t *testing.T) {
 		t.Skip("short mode")
 	}
 	r := testRunner(t)
-	rows, err := classifierSDC(r, "lenet", defaultFault())
+	rows, err := classifierSDC(context.Background(), r, "lenet", fixpoint.Q32, inject.DefaultScenario())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestSteeringSDCShape(t *testing.T) {
 		t.Skip("short mode")
 	}
 	r := testRunner(t)
-	rows, err := steeringSDC(r, "comma", defaultFault())
+	rows, err := steeringSDC(context.Background(), r, "comma", fixpoint.Q32, inject.DefaultScenario())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +160,7 @@ func TestTable2NoAccuracyLoss(t *testing.T) {
 		t.Skip("short mode")
 	}
 	r := testRunner(t)
-	res, err := Table2(r)
+	res, err := Table2(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +188,7 @@ func TestTable2NoAccuracyLoss(t *testing.T) {
 
 func TestTable3InsertionTimes(t *testing.T) {
 	r := testRunner(t)
-	res, err := Table3(r)
+	res, err := Table3(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +204,7 @@ func TestTable3InsertionTimes(t *testing.T) {
 
 func TestTable4OverheadSmall(t *testing.T) {
 	r := testRunner(t)
-	res, err := Table4(r)
+	res, err := Table4(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +225,7 @@ func TestAlternativesZeroPolicyHurtsAccuracy(t *testing.T) {
 		t.Skip("short mode")
 	}
 	r := testRunner(t)
-	res, err := Alternatives(r)
+	res, err := Alternatives(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,5 +255,3 @@ func TestRenderersProduceOutput(t *testing.T) {
 		}
 	}
 }
-
-func defaultFault() inject.FaultModel { return inject.DefaultFaultModel() }

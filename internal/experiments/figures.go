@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,7 +29,7 @@ type Fig4Result struct {
 }
 
 // Fig4 profiles VGG16 with tracing enabled and reports bound convergence.
-func Fig4(r *Runner) (*Fig4Result, error) {
+func Fig4(ctx context.Context, r *Runner) (*Fig4Result, error) {
 	m, err := r.Model("vgg16")
 	if err != nil {
 		return nil, err
@@ -41,6 +42,9 @@ func Fig4(r *Runner) (*Fig4Result, error) {
 	p.EnableTrace()
 	n := r.cfg.ProfileSamples
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := ds.Sample(data.Train, i)
 		if err := p.Observe(graph.Feeds{m.Input: s.X}, m.Output); err != nil {
 			return nil, err
@@ -108,9 +112,9 @@ type Fig6Result struct {
 }
 
 // Fig6 runs the classifier campaigns, one model per pool worker.
-func Fig6(r *Runner) (*Fig6Result, error) {
+func Fig6(ctx context.Context, r *Runner) (*Fig6Result, error) {
 	perModel, err := forEachModel(r, models.ClassifierNames(), func(name string) ([]SDCRow, error) {
-		rows, err := classifierSDC(r, name, inject.DefaultFaultModel())
+		rows, err := classifierSDC(ctx, r, name, fixpoint.Q32, inject.DefaultScenario())
 		if err != nil {
 			return nil, fmt.Errorf("fig6 %s: %w", name, err)
 		}
@@ -127,7 +131,7 @@ func Fig6(r *Runner) (*Fig6Result, error) {
 }
 
 // classifierSDC measures original-vs-protected SDC rates for one model.
-func classifierSDC(r *Runner, name string, fault inject.FaultModel) ([]SDCRow, error) {
+func classifierSDC(ctx context.Context, r *Runner, name string, format fixpoint.Format, scen inject.Scenario) ([]SDCRow, error) {
 	m, err := r.Model(name)
 	if err != nil {
 		return nil, err
@@ -140,11 +144,11 @@ func classifierSDC(r *Runner, name string, fault inject.FaultModel) ([]SDCRow, e
 	if err != nil {
 		return nil, err
 	}
-	orig, err := r.campaign(m, fault, 0).Run(feeds)
+	orig, err := r.campaign(m, format, scen, 0).Run(ctx, feeds)
 	if err != nil {
 		return nil, err
 	}
-	prot, err := r.campaign(pm, fault, 0).Run(rekey(feeds))
+	prot, err := r.campaign(pm, format, scen, 0).Run(ctx, feeds)
 	if err != nil {
 		return nil, err
 	}
@@ -199,9 +203,9 @@ type Fig7Result struct {
 }
 
 // Fig7 runs the Dave and Comma campaigns, one model per pool worker.
-func Fig7(r *Runner) (*Fig7Result, error) {
+func Fig7(ctx context.Context, r *Runner) (*Fig7Result, error) {
 	perModel, err := forEachModel(r, []string{"dave", "comma"}, func(name string) ([]SDCRow, error) {
-		rows, err := steeringSDC(r, name, inject.DefaultFaultModel())
+		rows, err := steeringSDC(ctx, r, name, fixpoint.Q32, inject.DefaultScenario())
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s: %w", name, err)
 		}
@@ -219,7 +223,7 @@ func Fig7(r *Runner) (*Fig7Result, error) {
 
 // steeringSDC measures original-vs-protected threshold SDC rates for one
 // steering model.
-func steeringSDC(r *Runner, name string, fault inject.FaultModel) ([]SDCRow, error) {
+func steeringSDC(ctx context.Context, r *Runner, name string, format fixpoint.Format, scen inject.Scenario) ([]SDCRow, error) {
 	m, err := r.Model(name)
 	if err != nil {
 		return nil, err
@@ -232,11 +236,11 @@ func steeringSDC(r *Runner, name string, fault inject.FaultModel) ([]SDCRow, err
 	if err != nil {
 		return nil, err
 	}
-	orig, err := r.campaign(m, fault, 0).Run(feeds)
+	orig, err := r.campaign(m, format, scen, 0).Run(ctx, feeds)
 	if err != nil {
 		return nil, err
 	}
-	prot, err := r.campaign(pm, fault, 0).Run(rekey(feeds))
+	prot, err := r.campaign(pm, format, scen, 0).Run(ctx, feeds)
 	if err != nil {
 		return nil, err
 	}
@@ -276,13 +280,13 @@ type Fig8Result struct {
 
 // Fig8 compares Ranger with the Tanh-swap defense, one base model (and
 // its -tanh variant) per pool worker.
-func Fig8(r *Runner) (*Fig8Result, error) {
+func Fig8(ctx context.Context, r *Runner) (*Fig8Result, error) {
 	rows, err := forEachModel(r, []string{"lenet", "alexnet", "vgg11", "dave", "comma"}, func(base string) (Fig8Row, error) {
-		reluSDC, reluRangerSDC, err := avgSDC(r, base)
+		reluSDC, reluRangerSDC, err := avgSDC(ctx, r, base)
 		if err != nil {
 			return Fig8Row{}, fmt.Errorf("fig8 %s: %w", base, err)
 		}
-		tanhSDC, tanhRangerSDC, err := avgSDC(r, base+"-tanh")
+		tanhSDC, tanhRangerSDC, err := avgSDC(ctx, r, base+"-tanh")
 		if err != nil {
 			return Fig8Row{}, fmt.Errorf("fig8 %s-tanh: %w", base, err)
 		}
@@ -304,19 +308,19 @@ func Fig8(r *Runner) (*Fig8Result, error) {
 // avgSDC returns a model's SDC rate without and with Ranger: top-1 rate
 // for classifiers, threshold-averaged rate for steering models (the
 // paper's Fig. 8 averages the steering thresholds).
-func avgSDC(r *Runner, name string) (orig, withRanger float64, err error) {
+func avgSDC(ctx context.Context, r *Runner, name string) (orig, withRanger float64, err error) {
 	m, err := r.Model(name)
 	if err != nil {
 		return 0, 0, err
 	}
 	if m.Kind == models.Classifier {
-		rows, err := classifierSDC(r, name, inject.DefaultFaultModel())
+		rows, err := classifierSDC(ctx, r, name, fixpoint.Q32, inject.DefaultScenario())
 		if err != nil {
 			return 0, 0, err
 		}
 		return rows[0].Original.Rate, rows[0].WithRanger.Rate, nil
 	}
-	rows, err := steeringSDC(r, name, inject.DefaultFaultModel())
+	rows, err := steeringSDC(ctx, r, name, fixpoint.Q32, inject.DefaultScenario())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -357,21 +361,20 @@ type Fig9Result struct {
 }
 
 // Fig9 runs the reduced-precision campaigns, one model per pool worker.
-func Fig9(r *Runner) (*Fig9Result, error) {
-	fault := inject.FaultModel{Format: fixpoint.Q16, BitFlips: 1}
+func Fig9(ctx context.Context, r *Runner) (*Fig9Result, error) {
 	rows, err := forEachModel(r, models.Names(), func(name string) (SDCRow, error) {
 		m, err := r.Model(name)
 		if err != nil {
 			return SDCRow{}, err
 		}
 		if m.Kind == models.Classifier {
-			rows, err := classifierSDC(r, name, fault)
+			rows, err := classifierSDC(ctx, r, name, fixpoint.Q16, inject.DefaultScenario())
 			if err != nil {
 				return SDCRow{}, fmt.Errorf("fig9 %s: %w", name, err)
 			}
 			return rows[0], nil
 		}
-		rows, err := steeringSDC(r, name, fault)
+		rows, err := steeringSDC(ctx, r, name, fixpoint.Q16, inject.DefaultScenario())
 		if err != nil {
 			return SDCRow{}, fmt.Errorf("fig9 %s: %w", name, err)
 		}
@@ -417,7 +420,7 @@ var Fig10Percentiles = []float64{100, 99.9, 99, 98}
 
 // Fig10 sweeps restriction-bound percentiles on the retrained
 // degrees-output Dave model.
-func Fig10(r *Runner) (*Fig10Result, error) {
+func Fig10(ctx context.Context, r *Runner) (*Fig10Result, error) {
 	const name = "dave-degrees"
 	m, err := r.Model(name)
 	if err != nil {
@@ -431,7 +434,7 @@ func Fig10(r *Runner) (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	orig, err := r.campaign(m, inject.DefaultFaultModel(), 0).Run(feeds)
+	orig, err := r.campaign(m, fixpoint.Q32, inject.DefaultScenario(), 0).Run(ctx, feeds)
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +452,7 @@ func Fig10(r *Runner) (*Fig10Result, error) {
 		if err != nil {
 			return err
 		}
-		out, err := r.campaign(pm, inject.DefaultFaultModel(), 0).Run(rekey(feeds))
+		out, err := r.campaign(pm, fixpoint.Q32, inject.DefaultScenario(), 0).Run(ctx, feeds)
 		if err != nil {
 			return err
 		}
@@ -530,7 +533,7 @@ func multiBitCases(names []string) []struct {
 
 // Fig11 runs multi-bit campaigns on the LeNet and ResNet classifiers, one
 // (model, bits) campaign pair per pool worker.
-func Fig11(r *Runner) (*MultiBitResult, error) {
+func Fig11(ctx context.Context, r *Runner) (*MultiBitResult, error) {
 	cases := multiBitCases([]string{"lenet", "resnet18"})
 	res := &MultiBitResult{
 		Title: "Fig 11: classifier SDC rates under multi-bit flips",
@@ -538,8 +541,7 @@ func Fig11(r *Runner) (*MultiBitResult, error) {
 	}
 	err := parallel.ForEach(r.cfg.Workers, len(cases), func(i int) error {
 		name, bits := cases[i].name, cases[i].bits
-		fault := inject.FaultModel{Format: fixpoint.Q32, BitFlips: bits}
-		rows, err := classifierSDC(r, name, fault)
+		rows, err := classifierSDC(ctx, r, name, fixpoint.Q32, inject.BitFlips{Flips: bits})
 		if err != nil {
 			return fmt.Errorf("fig11 %s/%d: %w", name, bits, err)
 		}
@@ -557,7 +559,7 @@ func Fig11(r *Runner) (*MultiBitResult, error) {
 
 // Fig12 runs multi-bit campaigns on the steering models, reporting the
 // threshold-averaged SDC rate; one (model, bits) pair per pool worker.
-func Fig12(r *Runner) (*MultiBitResult, error) {
+func Fig12(ctx context.Context, r *Runner) (*MultiBitResult, error) {
 	cases := multiBitCases([]string{"dave", "comma"})
 	res := &MultiBitResult{
 		Title: "Fig 12: steering-model SDC rates under multi-bit flips",
@@ -565,8 +567,7 @@ func Fig12(r *Runner) (*MultiBitResult, error) {
 	}
 	err := parallel.ForEach(r.cfg.Workers, len(cases), func(i int) error {
 		name, bits := cases[i].name, cases[i].bits
-		fault := inject.FaultModel{Format: fixpoint.Q32, BitFlips: bits}
-		rows, err := steeringSDC(r, name, fault)
+		rows, err := steeringSDC(ctx, r, name, fixpoint.Q32, inject.BitFlips{Flips: bits})
 		if err != nil {
 			return fmt.Errorf("fig12 %s/%d: %w", name, bits, err)
 		}

@@ -18,6 +18,7 @@ import (
 
 	"ranger/internal/core"
 	"ranger/internal/data"
+	"ranger/internal/fixpoint"
 	"ranger/internal/graph"
 	"ranger/internal/inject"
 	"ranger/internal/models"
@@ -357,19 +358,18 @@ func SelectInputs(m *models.Model, ds data.Dataset, n int) ([]graph.Feeds, error
 	return out, nil
 }
 
-// rekey rewrites input feeds for a model that shares the original's
-// placeholder names (protected duplicates do), returning them unchanged;
-// it exists to document the invariant at call sites.
-func rekey(feeds []graph.Feeds) []graph.Feeds { return feeds }
-
 // campaign builds a campaign against a model with the runner's settings.
-func (r *Runner) campaign(m *models.Model, fault inject.FaultModel, seedOffset int64) *inject.Campaign {
+// Protected duplicates share the original's placeholder names, so input
+// feeds selected for a model work unchanged against its protected
+// variant.
+func (r *Runner) campaign(m *models.Model, format fixpoint.Format, scen inject.Scenario, seedOffset int64) *inject.Campaign {
 	return &inject.Campaign{
-		Model:   m,
-		Fault:   fault,
-		Trials:  r.cfg.Trials,
-		Seed:    r.cfg.Seed + seedOffset,
-		Workers: r.cfg.Workers,
+		Model:    m,
+		Format:   format,
+		Scenario: scen,
+		Trials:   r.cfg.Trials,
+		Seed:     r.cfg.Seed + seedOffset,
+		Workers:  r.cfg.Workers,
 	}
 }
 

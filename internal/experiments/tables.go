@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"ranger/internal/baselines"
 	"ranger/internal/core"
 	"ranger/internal/data"
+	"ranger/internal/fixpoint"
 	"ranger/internal/flops"
 	"ranger/internal/graph"
 	"ranger/internal/inject"
@@ -15,7 +17,6 @@ import (
 	"ranger/internal/ops"
 	"ranger/internal/parallel"
 	"ranger/internal/stats"
-	"ranger/internal/tensor"
 	"ranger/internal/train"
 )
 
@@ -37,9 +38,12 @@ type Table2Result struct {
 
 // Table2 evaluates every model on its validation split, one model per
 // pool worker.
-func Table2(r *Runner) (*Table2Result, error) {
+func Table2(ctx context.Context, r *Runner) (*Table2Result, error) {
 	n := r.cfg.EvalSamples
 	perModel, err := forEachModel(r, models.Names(), func(name string) ([]Table2Row, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m, err := r.Model(name)
 		if err != nil {
 			return nil, err
@@ -126,9 +130,12 @@ type Table3Result struct {
 }
 
 // Table3 times the Algorithm 1 transform on every model.
-func Table3(r *Runner) (*Table3Result, error) {
+func Table3(ctx context.Context, r *Runner) (*Table3Result, error) {
 	res := &Table3Result{}
 	for _, name := range models.Names() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m, err := r.Model(name)
 		if err != nil {
 			return nil, err
@@ -177,8 +184,11 @@ type Table4Result struct {
 
 // Table4 counts FLOPs for every model with and without Ranger, one model
 // per pool worker.
-func Table4(r *Runner) (*Table4Result, error) {
+func Table4(ctx context.Context, r *Runner) (*Table4Result, error) {
 	rows, err := forEachModel(r, models.Names(), func(name string) (Table4Row, error) {
+		if err := ctx.Err(); err != nil {
+			return Table4Row{}, err
+		}
 		m, err := r.Model(name)
 		if err != nil {
 			return Table4Row{}, err
@@ -238,7 +248,7 @@ type Table5Result struct {
 }
 
 // Table5 sweeps bound percentiles and measures fault-free accuracy.
-func Table5(r *Runner) (*Table5Result, error) {
+func Table5(ctx context.Context, r *Runner) (*Table5Result, error) {
 	const name = "dave-degrees"
 	m, err := r.Model(name)
 	if err != nil {
@@ -261,6 +271,9 @@ func Table5(r *Runner) (*Table5Result, error) {
 	res.RMSE = append(res.RMSE, rmse)
 	res.AvgDev = append(res.AvgDev, dev)
 	for _, pct := range Fig10Percentiles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bounds := prof.PercentileBounds(pct)
 		pm, _, err := core.ProtectModel(m, bounds, core.Options{})
 		if err != nil {
@@ -313,10 +326,19 @@ type Table6Result struct {
 	Rows        []Table6Row
 }
 
-// Table6 measures every technique on the AlexNet benchmark (a mid-size
-// classifier keeps the many-technique campaign tractable; the paper's
-// table likewise aggregates to one number per technique).
-func Table6(r *Runner) (*Table6Result, error) {
+// Table6Protectors fixes the presentation order of the registry-driven
+// technique comparison (the paper's Table VI row order). Every entry is
+// a key in the baselines protector registry.
+var Table6Protectors = []string{"tmr", "dup", "symptom", "ml", "tanh", "abft", "ranger"}
+
+// Table6 measures every registered protection technique on the AlexNet
+// benchmark (a mid-size classifier keeps the many-technique campaign
+// tractable; the paper's table likewise aggregates to one number per
+// technique). Each technique is prepared through the unified Protector
+// interface and evaluated by shape: transformed models run a campaign
+// directly, detectors run under the detect-and-re-execute recovery
+// model, and analytic techniques (TMR) report closed-form coverage.
+func Table6(ctx context.Context, r *Runner) (*Table6Result, error) {
 	const name = "alexnet"
 	m, err := r.Model(name)
 	if err != nil {
@@ -330,122 +352,82 @@ func Table6(r *Runner) (*Table6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	fault := inject.DefaultFaultModel()
-	orig, err := r.campaign(m, fault, 0).Run(feeds)
+	bounds, err := r.Bounds(name)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := r.campaign(m, fixpoint.Q32, inject.DefaultScenario(), 0).Run(ctx, feeds)
 	if err != nil {
 		return nil, err
 	}
 	base := stats.NewProportion(orig.Top1SDC, orig.Trials)
 	res := &Table6Result{Model: name, BaselineSDC: base}
-	modelFLOPs, err := flops.CountGraph(m.Graph, feeds[0], m.Output)
-	if err != nil {
-		return nil, err
+	pc := baselines.ProtectContext{
+		Model:     m,
+		Zoo:       r.cfg.Zoo,
+		Bounds:    bounds,
+		ActMaxima: maxima,
+		Inputs:    feeds,
+		Trials:    r.cfg.Trials,
+		Seed:      r.cfg.Seed,
+		Workers:   r.cfg.Workers,
 	}
-
-	// 1. TMR: full redundancy; under the single-fault model the majority
-	// vote always restores the fault-free output.
-	res.Rows = append(res.Rows, Table6Row{
-		Technique:      "TMR",
-		Coverage:       1,
-		Overhead:       baselines.TMROverhead,
-		NeedsRecompute: false,
-	})
-
-	// 2. Selective duplication (Mahmoud et al.) at a ~30% FLOP budget.
-	dupSet, dupOverhead, err := baselines.SelectDuplicationSet(m, feeds[0], fault, 10, r.cfg.Seed, 0.3)
-	if err != nil {
-		return nil, err
+	for _, key := range Table6Protectors {
+		p, err := baselines.NewProtector(key)
+		if err != nil {
+			return nil, err
+		}
+		prot, err := p.Protect(ctx, pc)
+		if err != nil {
+			return nil, fmt.Errorf("table6 %s: %w", key, err)
+		}
+		row, err := r.evaluateProtection(ctx, m, prot, feeds, base.Rate)
+		if err != nil {
+			return nil, fmt.Errorf("table6 %s: %w", key, err)
+		}
+		res.Rows = append(res.Rows, row)
 	}
-	dupOut, err := r.campaign(m, fault, 0).RunWithDetector(feeds, baselines.NewDuplicationDetector(dupSet))
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, Table6Row{
-		Technique:         "selective duplication",
-		Coverage:          dupOut.CoverageOfSDCs(),
-		Overhead:          dupOverhead,
-		FalsePositiveRate: fpRate(dupOut),
-		NeedsRecompute:    true,
-	})
-
-	// 3. Symptom-based detection (Li et al.): threshold checks on every
-	// activation; overhead is one comparison per monitored element.
-	symOut, err := r.campaign(m, fault, 0).RunWithDetector(feeds, baselines.NewSymptomDetector(maxima, 1))
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, Table6Row{
-		Technique:         "symptom-based detector",
-		Coverage:          symOut.CoverageOfSDCs(),
-		Overhead:          detectorCheckOverhead(m, maxima, feeds[0], modelFLOPs.Total),
-		FalsePositiveRate: fpRate(symOut),
-		NeedsRecompute:    true,
-	})
-
-	// 4. ML-based detection (Schorn et al.): logistic regression over
-	// activation statistics, trained on a separate FI campaign.
-	mlDet, err := baselines.TrainMLDetector(m, feeds, maxima, fault, r.cfg.Trials/2+10, r.cfg.Seed+77)
-	if err != nil {
-		return nil, err
-	}
-	mlOut, err := r.campaign(m, fault, 0).RunWithDetector(feeds, mlDet)
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, Table6Row{
-		Technique:         "ML-based detector",
-		Coverage:          mlOut.CoverageOfSDCs(),
-		Overhead:          detectorCheckOverhead(m, maxima, feeds[0], modelFLOPs.Total),
-		FalsePositiveRate: fpRate(mlOut),
-		NeedsRecompute:    true,
-	})
-
-	// 5. Hong et al.: Tanh swap (retrained model); zero overhead.
-	tanhSDC, _, err := avgSDC(r, name+"-tanh")
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, Table6Row{
-		Technique:      "Hong et al. (Tanh swap)",
-		Coverage:       stats.RelativeReduction(base.Rate, tanhSDC),
-		Overhead:       0,
-		NeedsRecompute: false,
-	})
-
-	// 6. ABFT conv checksums (Zhao et al.): only conv-output faults are
-	// detectable; overhead is one extra output channel per conv.
-	abftOut, err := r.campaign(m, fault, 0).RunWithDetector(feeds, baselines.NewABFTDetector(2e-3))
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, Table6Row{
-		Technique:         "ABFT conv checksums",
-		Coverage:          abftOut.CoverageOfSDCs(),
-		Overhead:          abftOverhead(m, feeds[0]),
-		FalsePositiveRate: fpRate(abftOut),
-		NeedsRecompute:    true,
-	})
-
-	// 7. Ranger.
-	pm, err := r.Protected(name)
-	if err != nil {
-		return nil, err
-	}
-	prot, err := r.campaign(pm, fault, 0).Run(rekey(feeds))
-	if err != nil {
-		return nil, err
-	}
-	pmFLOPs, err := flops.CountGraph(pm.Graph, feeds[0], pm.Output)
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, Table6Row{
-		Technique:      "Ranger",
-		Coverage:       stats.RelativeReduction(base.Rate, prot.Top1Rate()),
-		Overhead:       flops.Overhead(modelFLOPs, pmFLOPs),
-		NeedsRecompute: false,
-	})
 	return res, nil
+}
+
+// evaluateProtection measures one prepared protection under the runner's
+// campaign configuration and produces its Table VI row.
+func (r *Runner) evaluateProtection(ctx context.Context, m *models.Model, prot *baselines.Protection, feeds []graph.Feeds, baseSDC float64) (Table6Row, error) {
+	row := Table6Row{
+		Technique:      prot.Technique,
+		Overhead:       prot.Overhead,
+		NeedsRecompute: prot.NeedsRecompute,
+	}
+	switch {
+	case prot.AnalyticCoverage != nil:
+		row.Coverage = *prot.AnalyticCoverage
+	case prot.Detector != nil:
+		out, err := r.campaign(m, fixpoint.Q32, inject.DefaultScenario(), 0).RunWithDetector(ctx, feeds, prot.Detector)
+		if err != nil {
+			return Table6Row{}, err
+		}
+		row.Coverage = out.CoverageOfSDCs()
+		row.FalsePositiveRate = fpRate(out)
+	case prot.Model != nil:
+		campaignFeeds := feeds
+		if prot.SelectOwnInputs {
+			// Retrained variants predict differently; evaluate them on
+			// inputs they classify correctly, as the paper does.
+			own, err := r.Inputs(prot.Model.Name)
+			if err != nil {
+				return Table6Row{}, err
+			}
+			campaignFeeds = own
+		}
+		out, err := r.campaign(prot.Model, fixpoint.Q32, inject.DefaultScenario(), 0).Run(ctx, campaignFeeds)
+		if err != nil {
+			return Table6Row{}, err
+		}
+		row.Coverage = stats.RelativeReduction(baseSDC, out.Top1Rate())
+	default:
+		return Table6Row{}, fmt.Errorf("protection %q has no evaluable shape", prot.Technique)
+	}
+	return row, nil
 }
 
 func fpRate(out inject.DetectorOutcome) float64 {
@@ -453,50 +435,6 @@ func fpRate(out inject.DetectorOutcome) float64 {
 		return 0
 	}
 	return float64(out.FalsePositives) / float64(out.CleanRuns)
-}
-
-// detectorCheckOverhead estimates the FLOP cost of comparing every
-// monitored activation element against a threshold (one comparison per
-// element) relative to the model.
-func detectorCheckOverhead(m *models.Model, maxima map[string]float64, feeds graph.Feeds, total int64) float64 {
-	var checks int64
-	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
-		if _, ok := maxima[n.Name()]; ok {
-			checks += int64(out.Size())
-		}
-		return nil
-	}}
-	if _, err := e.Run(m.Graph, feeds, m.Output); err != nil || total == 0 {
-		return 0
-	}
-	return float64(checks) / float64(total)
-}
-
-// abftOverhead is the checksum cost: one extra output channel per conv,
-// i.e. convFLOPs/outC summed, relative to the model total.
-func abftOverhead(m *models.Model, feeds graph.Feeds) float64 {
-	count, err := flops.CountGraph(m.Graph, feeds, m.Output)
-	if err != nil {
-		return 0
-	}
-	var extra int64
-	for _, n := range m.Graph.Nodes() {
-		if _, ok := n.Op().(*ops.Conv2DOp); !ok {
-			continue
-		}
-		wVar, ok := n.Inputs()[1].Op().(*graph.Variable)
-		if !ok {
-			continue
-		}
-		outC := int64(wVar.Value.Dim(3))
-		if outC > 0 {
-			extra += count.ByNode[n.Name()] / outC
-		}
-	}
-	if count.Total == 0 {
-		return 0
-	}
-	return float64(extra) / float64(count.Total)
 }
 
 // Render formats Table VI.
@@ -527,7 +465,7 @@ type AlternativesResult struct {
 
 // Alternatives evaluates the three restriction policies on VGG16, the
 // model §VI-C uses.
-func Alternatives(r *Runner) (*AlternativesResult, error) {
+func Alternatives(ctx context.Context, r *Runner) (*AlternativesResult, error) {
 	const name = "vgg16"
 	m, err := r.Model(name)
 	if err != nil {
@@ -550,7 +488,7 @@ func Alternatives(r *Runner) (*AlternativesResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	orig, err := r.campaign(m, inject.DefaultFaultModel(), 0).Run(feeds)
+	orig, err := r.campaign(m, fixpoint.Q32, inject.DefaultScenario(), 0).Run(ctx, feeds)
 	if err != nil {
 		return nil, err
 	}
@@ -567,7 +505,7 @@ func Alternatives(r *Runner) (*AlternativesResult, error) {
 		if err != nil {
 			return err
 		}
-		out, err := r.campaign(pm, inject.DefaultFaultModel(), 0).Run(rekey(feeds))
+		out, err := r.campaign(pm, fixpoint.Q32, inject.DefaultScenario(), 0).Run(ctx, feeds)
 		if err != nil {
 			return err
 		}

@@ -1,7 +1,9 @@
 package inject
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"ranger/internal/graph"
 	"ranger/internal/parallel"
@@ -78,13 +80,14 @@ func (d DetectorOutcome) CoverageOfSDCs() float64 {
 // clone per worker); otherwise they run sequentially. Either way each
 // trial samples from its own hash(Seed, input, trial) stream and results
 // fold in trial order, so the DetectorOutcome is identical at every
-// worker count.
-func (c *Campaign) RunWithDetector(inputs []graph.Feeds, det Detector) (DetectorOutcome, error) {
+// worker count. Cancelling ctx makes the call return promptly with
+// ctx.Err(); OnTrial streams each trial with Detected filled in.
+func (c *Campaign) RunWithDetector(ctx context.Context, inputs []graph.Feeds, det Detector) (DetectorOutcome, error) {
 	if det == nil {
 		return DetectorOutcome{}, fmt.Errorf("inject: nil detector")
 	}
-	if c.Trials <= 0 || c.Fault.BitFlips <= 0 || len(inputs) == 0 {
-		return DetectorOutcome{}, fmt.Errorf("inject: invalid campaign config")
+	if err := c.validate(inputs); err != nil {
+		return DetectorOutcome{}, err
 	}
 	workers := 1
 	cloneable, ok := det.(CloneableDetector)
@@ -93,7 +96,11 @@ func (c *Campaign) RunWithDetector(inputs []graph.Feeds, det Detector) (Detector
 	}
 	var out DetectorOutcome
 	var clean graph.Executor
+	var cbMu sync.Mutex
 	for ii, feeds := range inputs {
+		if err := ctx.Err(); err != nil {
+			return DetectorOutcome{}, err
+		}
 		fs, err := buildFaultSpace(c.Model, feeds, c.Exclude, c.TargetNodes)
 		if err != nil {
 			return DetectorOutcome{}, err
@@ -131,6 +138,10 @@ func (c *Campaign) RunWithDetector(inputs []graph.Feeds, det Detector) (Detector
 			}
 			arena := graph.NewArena()
 			for trial := lo; trial < hi; trial++ {
+				if err := ctx.Err(); err != nil {
+					errs[trial] = err
+					return
+				}
 				sites := c.sampleFaultSites(fs, trialRNG(c.Seed, ii, trial))
 				d.Reset()
 				faulty, err := c.runWithFaultsObserved(arena, feeds, sites, d)
@@ -141,6 +152,13 @@ func (c *Campaign) RunWithDetector(inputs []graph.Feeds, det Detector) (Detector
 				verdicts[trial] = detVerdict{
 					trialVerdict: c.judgeTrial(ref, faulty),
 					detected:     d.Detected(),
+				}
+				if c.OnTrial != nil {
+					tr := verdicts[trial].result(ii, trial)
+					tr.Detected = verdicts[trial].detected
+					cbMu.Lock()
+					c.OnTrial(tr)
+					cbMu.Unlock()
 				}
 			}
 		})
@@ -173,20 +191,25 @@ func (c *Campaign) RunWithDetector(inputs []graph.Feeds, det Detector) (Detector
 
 // runWithFaultsObserved is runWithFaults with a detector observing every
 // node output after fault application.
-func (c *Campaign) runWithFaultsObserved(arena *graph.Arena, feeds graph.Feeds, sites map[string][]site, det Detector) (*tensor.Tensor, error) {
+func (c *Campaign) runWithFaultsObserved(arena *graph.Arena, feeds graph.Feeds, sites map[string][]Site, det Detector) (*tensor.Tensor, error) {
+	scen, format := c.scenario(), c.format()
+	var hookErr error
 	e := graph.Executor{Arena: arena, Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
 		result := out
-		if ss, ok := sites[n.Name()]; ok {
+		if ss, ok := sites[n.Name()]; ok && hookErr == nil {
 			repl := out.Clone()
 			for _, s := range ss {
-				idx := s.elem
-				if idx >= repl.Size() {
-					idx = repl.Size() - 1
+				if s.Elem < 0 || s.Elem >= repl.Size() {
+					hookErr = fmt.Errorf("inject: fault site %s[%d] outside tensor of %d elements (fault-space/shape mismatch)",
+						s.Node, s.Elem, repl.Size())
+					return nil
 				}
-				v, err := c.Fault.Format.FlipBit(repl.Data()[idx], s.bit)
-				if err == nil {
-					repl.Data()[idx] = v
+				v, err := scen.Corrupt(format, repl.Data()[s.Elem], s)
+				if err != nil {
+					hookErr = fmt.Errorf("inject: corrupt %s[%d]: %w", s.Node, s.Elem, err)
+					return nil
 				}
+				repl.Data()[s.Elem] = v
 			}
 			result = repl
 		}
@@ -197,6 +220,9 @@ func (c *Campaign) runWithFaultsObserved(arena *graph.Arena, feeds graph.Feeds, 
 		return nil
 	}}
 	outs, err := e.Run(c.Model.Graph, feeds, c.Model.Output)
+	if hookErr != nil {
+		return nil, hookErr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("inject: faulty run: %w", err)
 	}

@@ -1,15 +1,21 @@
 // Package inject implements the paper's fault-injection methodology
-// (§V-A): random single-bit (and, for §VI-B, multi-bit) flips in the
-// fixed-point encoding of operator output values, injected during graph
-// execution, with SDC classification for both classifier models
+// (§V-A): random bit flips (and the pluggable extended fault scenarios)
+// in the fixed-point encoding of operator output values, injected during
+// graph execution, with SDC classification for both classifier models
 // (misclassification) and steering models (angle deviation thresholds).
 // It is the TensorFI counterpart in this reproduction.
+//
+// The fault model is a Scenario: site sampling plus value corruption,
+// selected from a name-keyed registry (see scenario.go). Campaigns are
+// context-cancellable and can stream per-trial results through OnTrial.
 package inject
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"ranger/internal/fixpoint"
 	"ranger/internal/graph"
@@ -17,34 +23,6 @@ import (
 	"ranger/internal/parallel"
 	"ranger/internal/tensor"
 )
-
-// FaultModel configures the hardware fault being simulated.
-type FaultModel struct {
-	// Format is the fixed-point datatype of the simulated datapath
-	// (fixpoint.Q32 for RQ1-3, fixpoint.Q16 for RQ4).
-	Format fixpoint.Format
-	// BitFlips is the number of bit flips per execution (1 = the paper's
-	// primary single-bit model; 2-5 for §VI-B).
-	BitFlips int
-	// Consecutive selects §VI-B's alternative multi-bit model: all
-	// BitFlips land in consecutive bit positions of a single value,
-	// instead of independent flips across multiple values (the default,
-	// which the paper argues is the more damaging and hence conservative
-	// choice).
-	Consecutive bool
-}
-
-// DefaultFaultModel returns the paper's primary fault model.
-func DefaultFaultModel() FaultModel {
-	return FaultModel{Format: fixpoint.Q32, BitFlips: 1}
-}
-
-// site is one (node, element, bit) fault location.
-type site struct {
-	node string
-	elem int
-	bit  int
-}
 
 // newCampaignRNG builds a deterministic site-sampling stream; retained
 // for single-stream sampling helpers and their tests.
@@ -66,7 +44,14 @@ func trialRNG(seed int64, input, trial int) *rand.Rand {
 // Campaign runs fault-injection trials against one model.
 type Campaign struct {
 	Model *models.Model
-	Fault FaultModel
+	// Format is the fixed-point datatype of the simulated datapath
+	// (fixpoint.Q32 for RQ1-3, fixpoint.Q16 for RQ4). The zero value
+	// means Q32.
+	Format fixpoint.Format
+	// Scenario is the fault model: site sampling plus value corruption.
+	// nil means the paper's primary model, one random bit flip per
+	// execution (DefaultScenario).
+	Scenario Scenario
 	// Trials is the number of injections per input.
 	Trials int
 	// Seed drives site sampling.
@@ -84,8 +69,28 @@ type Campaign struct {
 	TargetNodes []string
 	// Workers caps the trial-level parallelism; 0 uses the process
 	// default (RANGER_WORKERS or the core count). Outcomes are identical
-	// at every worker count for a fixed Seed.
+	// at every worker count.
 	Workers int
+	// OnTrial, when non-nil, streams each trial's judged result as it
+	// completes. Calls are serialized but arrive in scheduling order, not
+	// trial order; the final Outcome is still folded deterministically.
+	OnTrial func(TrialResult)
+}
+
+// format returns the effective datapath encoding.
+func (c *Campaign) format() fixpoint.Format {
+	if c.Format == (fixpoint.Format{}) {
+		return fixpoint.Q32
+	}
+	return c.Format
+}
+
+// scenario returns the effective fault scenario.
+func (c *Campaign) scenario() Scenario {
+	if c.Scenario == nil {
+		return DefaultScenario()
+	}
+	return c.Scenario
 }
 
 // regSDCThreshold returns the effective regressor SDC threshold.
@@ -94,6 +99,34 @@ func (c *Campaign) regSDCThreshold() float64 {
 		return c.RegSDCThresholdDeg
 	}
 	return 15
+}
+
+// validate rejects unrunnable campaign configurations.
+func (c *Campaign) validate(inputs []graph.Feeds) error {
+	if c.Trials <= 0 {
+		return fmt.Errorf("inject: trials = %d", c.Trials)
+	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("inject: no inputs")
+	}
+	return c.scenario().Validate(c.format())
+}
+
+// TrialResult is one completed trial's judged result, streamed through
+// Campaign.OnTrial while the campaign runs.
+type TrialResult struct {
+	// Input and Trial locate the trial in the campaign grid.
+	Input int
+	Trial int
+	// Top1SDC / Top5SDC report classifier misclassification.
+	Top1SDC bool
+	Top5SDC bool
+	// Deviation is the regressor output deviation in degrees.
+	Deviation float64
+	// IsRegression marks regressor trials (Deviation is meaningful).
+	IsRegression bool
+	// Detected reports detector-attached runs (RunWithDetector only).
+	Detected bool
 }
 
 // Outcome aggregates a campaign's results. For classifiers Top1SDC and
@@ -139,19 +172,11 @@ func (o Outcome) RateAbove(thresholdDeg float64) float64 {
 	return float64(n) / float64(len(o.Deviations))
 }
 
-// faultSpace describes the sampleable output elements of a graph for one
-// input shape: the evaluated, non-excluded operator outputs.
-type faultSpace struct {
-	nodes []string
-	sizes []int
-	total int64
-}
-
 // buildFaultSpace runs the graph once to discover which nodes execute for
 // the model output and how many output elements each produces. Sites are
 // then sampled uniformly over *elements* (not ops), matching the paper's
 // state-space accounting (its last-FC exclusion argument counts elements).
-func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNodes []string) (*faultSpace, error) {
+func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNodes []string) (*FaultSpace, error) {
 	excluded := make(map[string]bool, len(m.ExcludeFI)+len(extraExclude))
 	for _, n := range m.ExcludeFI {
 		excluded[n] = true
@@ -166,7 +191,7 @@ func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNod
 			targets[n] = true
 		}
 	}
-	fs := &faultSpace{}
+	fs := &FaultSpace{}
 	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
 		switch n.Op().(type) {
 		case *graph.Placeholder, *graph.Variable:
@@ -192,42 +217,16 @@ func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNod
 	return fs, nil
 }
 
-// sampleFaultSites draws the fault locations for one execution according
-// to the campaign's fault model: BitFlips independent (node, element, bit)
-// sites by default, or BitFlips consecutive bits of one element under the
-// Consecutive model.
-func (c *Campaign) sampleFaultSites(fs *faultSpace, rng *rand.Rand) map[string][]site {
-	sites := make(map[string][]site, c.Fault.BitFlips)
-	width := c.Fault.Format.Bits()
-	if c.Fault.Consecutive && c.Fault.BitFlips > 1 {
-		k := c.Fault.BitFlips
-		if k > width {
-			k = width
-		}
-		s := fs.sampleSite(rng, width-k+1)
-		for b := 0; b < k; b++ {
-			sites[s.node] = append(sites[s.node], site{node: s.node, elem: s.elem, bit: s.bit + b})
-		}
-		return sites
-	}
-	for b := 0; b < c.Fault.BitFlips; b++ {
-		s := fs.sampleSite(rng, width)
-		sites[s.node] = append(sites[s.node], s)
+// sampleFaultSites draws one execution's fault sites from the campaign's
+// scenario and groups them by node for the executor hook, preserving
+// sampling order within each node.
+func (c *Campaign) sampleFaultSites(fs *FaultSpace, rng *rand.Rand) map[string][]Site {
+	drawn := c.scenario().Sample(fs, c.format(), rng)
+	sites := make(map[string][]Site, len(drawn))
+	for _, s := range drawn {
+		sites[s.Node] = append(sites[s.Node], s)
 	}
 	return sites
-}
-
-// sampleSite draws a fault location uniformly over output elements.
-func (fs *faultSpace) sampleSite(rng *rand.Rand, bits int) site {
-	k := rng.Int63n(fs.total)
-	for i, sz := range fs.sizes {
-		if k < int64(sz) {
-			return site{node: fs.nodes[i], elem: int(k), bit: rng.Intn(bits)}
-		}
-		k -= int64(sz)
-	}
-	// Unreachable if sizes sum to total.
-	return site{node: fs.nodes[len(fs.nodes)-1], elem: 0, bit: rng.Intn(bits)}
 }
 
 // Run executes the campaign over the given inputs. Each input's fault-free
@@ -237,21 +236,20 @@ func (fs *faultSpace) sampleSite(rng *rand.Rand, bits int) site {
 // Trials are sharded across workers, each trial sampling from its own
 // hash(Seed, input, trial) stream and judged into an index slot, then
 // reduced in trial order — the Outcome is byte-identical at every worker
-// count.
-func (c *Campaign) Run(inputs []graph.Feeds) (Outcome, error) {
-	if c.Trials <= 0 {
-		return Outcome{}, fmt.Errorf("inject: trials = %d", c.Trials)
-	}
-	if c.Fault.BitFlips <= 0 {
-		return Outcome{}, fmt.Errorf("inject: bit flips = %d", c.Fault.BitFlips)
-	}
-	if len(inputs) == 0 {
-		return Outcome{}, fmt.Errorf("inject: no inputs")
+// count. Cancelling ctx makes Run return promptly with ctx.Err();
+// workers observe the context between trials.
+func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, error) {
+	if err := c.validate(inputs); err != nil {
+		return Outcome{}, err
 	}
 	workers := parallel.Resolve(c.Workers)
 	var out Outcome
 	var clean graph.Executor
+	var cbMu sync.Mutex
 	for ii, feeds := range inputs {
+		if err := ctx.Err(); err != nil {
+			return Outcome{}, err
+		}
 		fs, err := buildFaultSpace(c.Model, feeds, c.Exclude, c.TargetNodes)
 		if err != nil {
 			return Outcome{}, err
@@ -266,6 +264,10 @@ func (c *Campaign) Run(inputs []graph.Feeds) (Outcome, error) {
 		parallel.Shard(workers, c.Trials, func(lo, hi int) {
 			arena := graph.NewArena()
 			for trial := lo; trial < hi; trial++ {
+				if err := ctx.Err(); err != nil {
+					errs[trial] = err
+					return
+				}
 				sites := c.sampleFaultSites(fs, trialRNG(c.Seed, ii, trial))
 				faulty, err := c.runWithFaults(arena, feeds, sites)
 				if err != nil {
@@ -273,6 +275,11 @@ func (c *Campaign) Run(inputs []graph.Feeds) (Outcome, error) {
 					continue
 				}
 				verdicts[trial] = c.judgeTrial(ref, faulty)
+				if c.OnTrial != nil {
+					cbMu.Lock()
+					c.OnTrial(verdicts[trial].result(ii, trial))
+					cbMu.Unlock()
+				}
 			}
 		})
 		for trial := 0; trial < c.Trials; trial++ {
@@ -288,27 +295,36 @@ func (c *Campaign) Run(inputs []graph.Feeds) (Outcome, error) {
 // runWithFaults executes the model with the given fault sites applied to
 // operator outputs. The arena recycles node buffers across a worker's
 // trials; the returned output is only valid until the next call with the
-// same arena.
-func (c *Campaign) runWithFaults(arena *graph.Arena, feeds graph.Feeds, sites map[string][]site) (*tensor.Tensor, error) {
+// same arena. A sampled element index past the struck tensor's size is a
+// fault-space/shape mismatch and surfaces as an error.
+func (c *Campaign) runWithFaults(arena *graph.Arena, feeds graph.Feeds, sites map[string][]Site) (*tensor.Tensor, error) {
+	scen, format := c.scenario(), c.format()
+	var hookErr error
 	e := graph.Executor{Arena: arena, Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
 		ss, ok := sites[n.Name()]
-		if !ok {
+		if !ok || hookErr != nil {
 			return nil
 		}
 		repl := out.Clone()
 		for _, s := range ss {
-			idx := s.elem
-			if idx >= repl.Size() {
-				idx = repl.Size() - 1
+			if s.Elem < 0 || s.Elem >= repl.Size() {
+				hookErr = fmt.Errorf("inject: fault site %s[%d] outside tensor of %d elements (fault-space/shape mismatch)",
+					s.Node, s.Elem, repl.Size())
+				return nil
 			}
-			v, err := c.Fault.Format.FlipBit(repl.Data()[idx], s.bit)
-			if err == nil {
-				repl.Data()[idx] = v
+			v, err := scen.Corrupt(format, repl.Data()[s.Elem], s)
+			if err != nil {
+				hookErr = fmt.Errorf("inject: corrupt %s[%d]: %w", s.Node, s.Elem, err)
+				return nil
 			}
+			repl.Data()[s.Elem] = v
 		}
 		return repl
 	}}
 	outs, err := e.Run(c.Model.Graph, feeds, c.Model.Output)
+	if hookErr != nil {
+		return nil, hookErr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("inject: faulty run: %w", err)
 	}
@@ -335,6 +351,18 @@ func (v trialVerdict) apply(out *Outcome) {
 		out.Deviations = append(out.Deviations, v.dev)
 	}
 	out.Trials++
+}
+
+// result converts the verdict into a streamable TrialResult.
+func (v trialVerdict) result(input, trial int) TrialResult {
+	return TrialResult{
+		Input:        input,
+		Trial:        trial,
+		Top1SDC:      v.top1,
+		Top5SDC:      v.top5,
+		Deviation:    v.dev,
+		IsRegression: v.isReg,
+	}
 }
 
 // judgeTrial compares the faulty output against the fault-free reference.

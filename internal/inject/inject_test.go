@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -31,22 +32,23 @@ func lenetInputs(t *testing.T, n int) (*models.Model, []graph.Feeds) {
 }
 
 func TestCampaignValidation(t *testing.T) {
+	ctx := context.Background()
 	m, feeds := lenetInputs(t, 1)
-	if _, err := (&Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 0}).Run(feeds); err == nil {
+	if _, err := (&Campaign{Model: m, Trials: 0}).Run(ctx, feeds); err == nil {
 		t.Fatal("want trials error")
 	}
-	if _, err := (&Campaign{Model: m, Fault: FaultModel{Format: fixpoint.Q32}, Trials: 1}).Run(feeds); err == nil {
-		t.Fatal("want bitflips error")
+	if _, err := (&Campaign{Model: m, Scenario: BitFlips{}, Trials: 1}).Run(ctx, feeds); err == nil {
+		t.Fatal("want scenario validation error")
 	}
-	if _, err := (&Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 1}).Run(nil); err == nil {
+	if _, err := (&Campaign{Model: m, Trials: 1}).Run(ctx, nil); err == nil {
 		t.Fatal("want inputs error")
 	}
 }
 
 func TestCampaignRunsAndCounts(t *testing.T) {
 	m, feeds := lenetInputs(t, 2)
-	c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 25, Seed: 1}
-	out, err := c.Run(feeds)
+	c := &Campaign{Model: m, Trials: 25, Seed: 1}
+	out, err := c.Run(context.Background(), feeds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,8 +67,8 @@ func TestCampaignRunsAndCounts(t *testing.T) {
 func TestCampaignDeterministicAcrossRuns(t *testing.T) {
 	m, feeds := lenetInputs(t, 1)
 	run := func() Outcome {
-		c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 30, Seed: 42}
-		out, err := c.Run(feeds)
+		c := &Campaign{Model: m, Scenario: DefaultScenario(), Trials: 30, Seed: 42}
+		out, err := c.Run(context.Background(), feeds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +90,7 @@ func TestFaultSpaceExcludesLastFC(t *testing.T) {
 	for _, n := range m.ExcludeFI {
 		excluded[n] = true
 	}
-	for _, name := range fs.nodes {
+	for _, name := range fs.Nodes() {
 		if excluded[name] {
 			t.Fatalf("excluded node %q in fault space", name)
 		}
@@ -98,7 +100,7 @@ func TestFaultSpaceExcludesLastFC(t *testing.T) {
 			t.Fatalf("non-operator %q in fault space", name)
 		}
 	}
-	if fs.total <= 0 {
+	if fs.Total() <= 0 {
 		t.Fatal("empty space")
 	}
 }
@@ -119,17 +121,17 @@ func TestFaultSpaceExtraExclude(t *testing.T) {
 }
 
 func TestSampleSiteUniformOverElements(t *testing.T) {
-	fs := &faultSpace{nodes: []string{"a", "b"}, sizes: []int{10, 90}, total: 100}
+	fs := &FaultSpace{nodes: []string{"a", "b"}, sizes: []int{10, 90}, total: 100}
 	rng := rand.New(rand.NewSource(3))
 	counts := map[string]int{}
 	for i := 0; i < 5000; i++ {
-		s := fs.sampleSite(rng, 32)
-		counts[s.node]++
-		if s.bit < 0 || s.bit >= 32 {
-			t.Fatalf("bit %d", s.bit)
+		s := fs.SampleSite(rng, 32)
+		counts[s.Node]++
+		if s.Bit < 0 || s.Bit >= 32 {
+			t.Fatalf("bit %d", s.Bit)
 		}
-		if s.node == "a" && s.elem >= 10 {
-			t.Fatalf("elem %d out of a's range", s.elem)
+		if s.Node == "a" && s.Elem >= 10 {
+			t.Fatalf("elem %d out of a's range", s.Elem)
 		}
 	}
 	// Element-weighted: node b (90% of elements) should dominate.
@@ -141,8 +143,8 @@ func TestSampleSiteUniformOverElements(t *testing.T) {
 
 func TestMultiBitAppliesMultipleFlips(t *testing.T) {
 	m, feeds := lenetInputs(t, 1)
-	c := &Campaign{Model: m, Fault: FaultModel{Format: fixpoint.Q32, BitFlips: 5}, Trials: 10, Seed: 9}
-	out, err := c.Run(feeds)
+	c := &Campaign{Model: m, Scenario: BitFlips{Flips: 5}, Trials: 10, Seed: 9}
+	out, err := c.Run(context.Background(), feeds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,8 +160,8 @@ func TestRegressorDeviations(t *testing.T) {
 	}
 	ds := data.NewDriving()
 	feeds := []graph.Feeds{{m.Input: ds.Sample(data.Train, 0).X}}
-	c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 20, Seed: 2}
-	out, err := c.Run(feeds)
+	c := &Campaign{Model: m, Trials: 20, Seed: 2}
+	out, err := c.Run(context.Background(), feeds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,8 +194,8 @@ func TestRadianModelDeviationsInDegrees(t *testing.T) {
 	}
 	ds := data.NewDrivingRadians()
 	feeds := []graph.Feeds{{m.Input: ds.Sample(data.Train, 0).X}}
-	c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 30, Seed: 5}
-	out, err := c.Run(feeds)
+	c := &Campaign{Model: m, Trials: 30, Seed: 5}
+	out, err := c.Run(context.Background(), feeds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,6 +212,7 @@ func TestRadianModelDeviationsInDegrees(t *testing.T) {
 // drop under the same campaign seeds. This is the paper's core claim in
 // miniature (full-scale campaigns are in the experiments package).
 func TestProtectedModelHasFewerSDCs(t *testing.T) {
+	ctx := context.Background()
 	m, feeds := lenetInputs(t, 2)
 	// Profile bounds on a handful of training samples.
 	ds := data.NewDigits()
@@ -224,7 +227,7 @@ func TestProtectedModelHasFewerSDCs(t *testing.T) {
 		t.Fatal(err)
 	}
 	trials := 150
-	origOut, err := (&Campaign{Model: m, Fault: DefaultFaultModel(), Trials: trials, Seed: 11}).Run(feeds)
+	origOut, err := (&Campaign{Model: m, Trials: trials, Seed: 11}).Run(ctx, feeds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +235,7 @@ func TestProtectedModelHasFewerSDCs(t *testing.T) {
 	for i, f := range feeds {
 		protFeeds[i] = graph.Feeds{pm.Input: f[m.Input]}
 	}
-	protOut, err := (&Campaign{Model: pm, Fault: DefaultFaultModel(), Trials: trials, Seed: 11}).Run(protFeeds)
+	protOut, err := (&Campaign{Model: pm, Trials: trials, Seed: 11}).Run(ctx, protFeeds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,12 +299,12 @@ func TestOutcomeRatesEmpty(t *testing.T) {
 func TestConsecutiveMultiBitFaults(t *testing.T) {
 	m, feeds := lenetInputs(t, 1)
 	c := &Campaign{
-		Model:  m,
-		Fault:  FaultModel{Format: fixpoint.Q32, BitFlips: 3, Consecutive: true},
-		Trials: 15,
-		Seed:   21,
+		Model:    m,
+		Scenario: ConsecutiveBits{Flips: 3},
+		Trials:   15,
+		Seed:     21,
 	}
-	out, err := c.Run(feeds)
+	out, err := c.Run(context.Background(), feeds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +319,7 @@ func TestConsecutiveSitesShareOneElement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := &Campaign{Model: m, Fault: FaultModel{Format: fixpoint.Q16, BitFlips: 4, Consecutive: true}}
+	c := &Campaign{Model: m, Format: fixpoint.Q16, Scenario: ConsecutiveBits{Flips: 4}}
 	rng := newCampaignRNG(3)
 	for trial := 0; trial < 100; trial++ {
 		sites := c.sampleFaultSites(fs, rng)
@@ -328,11 +331,11 @@ func TestConsecutiveSitesShareOneElement(t *testing.T) {
 				t.Fatalf("got %d flips, want 4", len(ss))
 			}
 			for i := 1; i < len(ss); i++ {
-				if ss[i].elem != ss[0].elem || ss[i].bit != ss[i-1].bit+1 {
+				if ss[i].Elem != ss[0].Elem || ss[i].Bit != ss[i-1].Bit+1 {
 					t.Fatalf("bits not consecutive on one element: %+v", ss)
 				}
 			}
-			if ss[len(ss)-1].bit >= c.Fault.Format.Bits() {
+			if ss[len(ss)-1].Bit >= c.format().Bits() {
 				t.Fatalf("bit out of range: %+v", ss)
 			}
 		}
@@ -345,13 +348,13 @@ func TestIndependentSitesSampleWholeWidth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := &Campaign{Model: m, Fault: FaultModel{Format: fixpoint.Q16, BitFlips: 1}}
+	c := &Campaign{Model: m, Format: fixpoint.Q16, Scenario: BitFlips{Flips: 1}}
 	rng := newCampaignRNG(4)
 	seenHigh := false
 	for trial := 0; trial < 300; trial++ {
 		for _, ss := range c.sampleFaultSites(fs, rng) {
 			for _, s := range ss {
-				if s.bit >= 12 {
+				if s.Bit >= 12 {
 					seenHigh = true
 				}
 			}

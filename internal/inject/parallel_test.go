@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -43,8 +44,8 @@ var _ CloneableDetector = (*countingDetector)(nil)
 func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 	m, feeds := lenetInputs(t, 2)
 	run := func(workers int) Outcome {
-		c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 20, Seed: 77, Workers: workers}
-		out, err := c.Run(feeds)
+		c := &Campaign{Model: m, Trials: 20, Seed: 77, Workers: workers}
+		out, err := c.Run(context.Background(), feeds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,6 +63,24 @@ func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestCampaignOutcomePinnedToPreRedesignValues pins the default
+// single-bit campaign Outcome to the exact values the pre-Scenario
+// FaultModel engine produced at this seed (captured before the API
+// redesign). It is the determinism contract across the refactor: the
+// pluggable scenario path must consume the per-trial RNG stream in the
+// same order the closed struct did.
+func TestCampaignOutcomePinnedToPreRedesignValues(t *testing.T) {
+	m, feeds := lenetInputs(t, 2)
+	c := &Campaign{Model: m, Trials: 40, Seed: 123, Workers: 3}
+	out, err := c.Run(context.Background(), feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 80 || out.Top1SDC != 22 || out.Top5SDC != 4 {
+		t.Fatalf("outcome drifted from pre-redesign reference: %+v (want Trials:80 Top1SDC:22 Top5SDC:4)", out)
+	}
+}
+
 func TestRegressorCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 	m, err := models.Build("comma")
 	if err != nil {
@@ -73,8 +92,8 @@ func TestRegressorCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 		{m.Input: ds.Sample(data.Train, 1).X},
 	}
 	run := func(workers int) Outcome {
-		c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 12, Seed: 5, Workers: workers}
-		out, err := c.Run(feeds)
+		c := &Campaign{Model: m, Trials: 12, Seed: 5, Workers: workers}
+		out, err := c.Run(context.Background(), feeds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,8 +116,8 @@ func TestRegressorCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestRunWithDetectorDeterministicAcrossWorkerCounts(t *testing.T) {
 	m, feeds := lenetInputs(t, 2)
 	run := func(workers int) DetectorOutcome {
-		c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 15, Seed: 33, Workers: workers}
-		out, err := c.RunWithDetector(feeds, &countingDetector{threshold: 1e6})
+		c := &Campaign{Model: m, Trials: 15, Seed: 33, Workers: workers}
+		out, err := c.RunWithDetector(context.Background(), feeds, &countingDetector{threshold: 1e6})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,8 +149,8 @@ func (d *uncloneableDetector) Detected() bool                      { return fals
 func TestRunWithDetectorSequentialFallback(t *testing.T) {
 	m, feeds := lenetInputs(t, 1)
 	det := &uncloneableDetector{}
-	c := &Campaign{Model: m, Fault: DefaultFaultModel(), Trials: 5, Seed: 1, Workers: 4}
-	out, err := c.RunWithDetector(feeds, det)
+	c := &Campaign{Model: m, Trials: 5, Seed: 1, Workers: 4}
+	out, err := c.RunWithDetector(context.Background(), feeds, det)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,302 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ranger/internal/fixpoint"
+)
+
+// Site is one sampled fault location: an element of a node's output
+// tensor and a bit position in its fixed-point encoding. Payload carries
+// scenario-specific randomness drawn at sampling time (for example the
+// replacement word of a random-value fault), so that applying the
+// corruption during graph execution is fully deterministic.
+type Site struct {
+	Node string
+	Elem int
+	Bit  int
+	// Payload is scenario-defined extra state; bit-flip scenarios leave
+	// it zero.
+	Payload uint64
+}
+
+// FaultSpace describes the sampleable output elements of a graph for one
+// input: the evaluated, non-excluded operator outputs. Scenarios draw
+// sites from it uniformly over elements, matching the paper's
+// state-space accounting.
+type FaultSpace struct {
+	nodes []string
+	sizes []int
+	total int64
+}
+
+// Nodes returns the node names in the space, in execution order.
+func (fs *FaultSpace) Nodes() []string { return fs.nodes }
+
+// Total returns the number of sampleable output elements.
+func (fs *FaultSpace) Total() int64 { return fs.total }
+
+// SampleSite draws a fault location uniformly over output elements, with
+// the bit position drawn uniformly from [0, bits). The draw consumes
+// exactly one Int63n and one Intn from the stream; custom scenarios that
+// reuse it inherit the determinism contract for free.
+func (fs *FaultSpace) SampleSite(rng *rand.Rand, bits int) Site {
+	k := rng.Int63n(fs.total)
+	for i, sz := range fs.sizes {
+		if k < int64(sz) {
+			return Site{Node: fs.nodes[i], Elem: int(k), Bit: rng.Intn(bits)}
+		}
+		k -= int64(sz)
+	}
+	// Unreachable if sizes sum to total.
+	return Site{Node: fs.nodes[len(fs.nodes)-1], Elem: 0, Bit: rng.Intn(bits)}
+}
+
+// Scenario is a pluggable hardware-fault model: it decides where faults
+// strike (site sampling) and how a struck value is corrupted. The
+// paper's single-bit, independent multi-bit, and consecutive multi-bit
+// flip models are Scenario implementations, as are the extended models
+// (random-value replacement, stuck-at bits); external packages can
+// implement and register their own.
+//
+// A scenario must be stateless across trials: Sample is called once per
+// trial with that trial's private RNG stream, and Corrupt must depend
+// only on its arguments. That keeps campaign trials embarrassingly
+// parallel and bit-reproducible at every worker count.
+type Scenario interface {
+	// Name identifies the scenario in reports and the registry.
+	Name() string
+	// Validate rejects configurations that cannot run under the format.
+	Validate(format fixpoint.Format) error
+	// Sample draws the fault sites for one execution.
+	Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site
+	// Corrupt maps a clean value to the faulty value at one site.
+	Corrupt(format fixpoint.Format, v float32, s Site) (float32, error)
+}
+
+// DefaultScenario returns the paper's primary fault model: one random
+// bit flip per execution.
+func DefaultScenario() Scenario { return BitFlips{Flips: 1} }
+
+// BitFlips is the paper's primary fault model (§V-A) and its §VI-B
+// independent multi-bit extension: Flips independent (node, element,
+// bit) sites per execution, each flipping one bit. Independent draws may
+// collide on the same (element, bit); two flips of one bit cancel, which
+// is the faithful XOR semantics of independent upsets (pinned by
+// TestIndependentFlipsMayCollide).
+type BitFlips struct {
+	// Flips is the number of independent bit flips per execution
+	// (1 = the paper's primary single-bit model; 2-5 for §VI-B).
+	Flips int
+}
+
+// Name implements Scenario.
+func (b BitFlips) Name() string { return "bitflip" }
+
+// Validate implements Scenario.
+func (b BitFlips) Validate(fixpoint.Format) error {
+	if b.Flips <= 0 {
+		return fmt.Errorf("inject: bit flips = %d", b.Flips)
+	}
+	return nil
+}
+
+// Sample implements Scenario.
+func (b BitFlips) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
+	sites := make([]Site, b.Flips)
+	for i := range sites {
+		sites[i] = space.SampleSite(rng, format.Bits())
+	}
+	return sites
+}
+
+// Corrupt implements Scenario.
+func (b BitFlips) Corrupt(format fixpoint.Format, v float32, s Site) (float32, error) {
+	return format.FlipBit(v, s.Bit)
+}
+
+// ConsecutiveBits is §VI-B's alternative multi-bit model: all Flips land
+// in consecutive bit positions of a single value, instead of independent
+// flips across multiple values (the model the paper argues is the more
+// damaging and hence conservative choice). Flips is clamped to the
+// format width, and the start bit is drawn so the run never crosses the
+// word boundary.
+type ConsecutiveBits struct {
+	// Flips is the length of the consecutive bit run.
+	Flips int
+}
+
+// Name implements Scenario.
+func (c ConsecutiveBits) Name() string { return "consecutive" }
+
+// Validate implements Scenario.
+func (c ConsecutiveBits) Validate(fixpoint.Format) error {
+	if c.Flips <= 0 {
+		return fmt.Errorf("inject: bit flips = %d", c.Flips)
+	}
+	return nil
+}
+
+// Sample implements Scenario.
+func (c ConsecutiveBits) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
+	width := format.Bits()
+	k := c.Flips
+	if k > width {
+		k = width
+	}
+	s := space.SampleSite(rng, width-k+1)
+	sites := make([]Site, k)
+	for b := 0; b < k; b++ {
+		sites[b] = Site{Node: s.Node, Elem: s.Elem, Bit: s.Bit + b}
+	}
+	return sites
+}
+
+// Corrupt implements Scenario.
+func (c ConsecutiveBits) Corrupt(format fixpoint.Format, v float32, s Site) (float32, error) {
+	return format.FlipBit(v, s.Bit)
+}
+
+// RandomValue models a fault that destroys a whole word: each struck
+// element is replaced by a uniformly random bit pattern of the format
+// (the "random value replacement" corruption used by several
+// fault-injection frameworks as a coarser upper bound on bit flips).
+type RandomValue struct {
+	// Faults is the number of values replaced per execution.
+	Faults int
+}
+
+// Name implements Scenario.
+func (r RandomValue) Name() string { return "randomvalue" }
+
+// Validate implements Scenario.
+func (r RandomValue) Validate(fixpoint.Format) error {
+	if r.Faults <= 0 {
+		return fmt.Errorf("inject: random-value faults = %d", r.Faults)
+	}
+	return nil
+}
+
+// Sample implements Scenario. The replacement word is drawn here, into
+// the site payload, so Corrupt stays deterministic.
+func (r RandomValue) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
+	sites := make([]Site, r.Faults)
+	for i := range sites {
+		s := space.SampleSite(rng, format.Bits())
+		s.Payload = uint64(rng.Int63())
+		sites[i] = s
+	}
+	return sites
+}
+
+// Corrupt implements Scenario.
+func (r RandomValue) Corrupt(format fixpoint.Format, _ float32, s Site) (float32, error) {
+	mask := uint64(1)<<format.Bits() - 1
+	return format.Decode(s.Payload & mask), nil
+}
+
+// StuckAt models a permanent-style fault surfacing transiently: the
+// sampled bit of the struck value is forced to Value (0 or 1) instead of
+// toggled. Stuck-at-1 on a high-order bit mirrors the paper's worst-case
+// amplification; stuck-at-0 is frequently benign, which makes the pair
+// useful for coverage-asymmetry studies.
+type StuckAt struct {
+	// Faults is the number of stuck bits per execution.
+	Faults int
+	// Value is the level the bit is forced to: 0 or 1.
+	Value int
+}
+
+// Name implements Scenario.
+func (s StuckAt) Name() string { return fmt.Sprintf("stuckat%d", s.Value) }
+
+// Validate implements Scenario.
+func (s StuckAt) Validate(fixpoint.Format) error {
+	if s.Faults <= 0 {
+		return fmt.Errorf("inject: stuck-at faults = %d", s.Faults)
+	}
+	if s.Value != 0 && s.Value != 1 {
+		return fmt.Errorf("inject: stuck-at value = %d, want 0 or 1", s.Value)
+	}
+	return nil
+}
+
+// Sample implements Scenario.
+func (s StuckAt) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
+	sites := make([]Site, s.Faults)
+	for i := range sites {
+		sites[i] = space.SampleSite(rng, format.Bits())
+	}
+	return sites
+}
+
+// Corrupt implements Scenario.
+func (s StuckAt) Corrupt(format fixpoint.Format, v float32, site Site) (float32, error) {
+	if site.Bit < 0 || site.Bit >= format.Bits() {
+		return 0, fmt.Errorf("inject: bit %d out of range for %d-bit format", site.Bit, format.Bits())
+	}
+	raw := format.Encode(v)
+	if s.Value == 1 {
+		raw |= 1 << uint(site.Bit)
+	} else {
+		raw &^= 1 << uint(site.Bit)
+	}
+	return format.Decode(raw), nil
+}
+
+// ScenarioFactory builds a Scenario from the per-execution fault
+// multiplicity (bit flips, replaced values, or stuck bits, depending on
+// the scenario).
+type ScenarioFactory func(faults int) (Scenario, error)
+
+var (
+	scenarioMu       sync.RWMutex
+	scenarioRegistry = map[string]ScenarioFactory{}
+)
+
+// RegisterScenario adds a named scenario factory. Registering a name
+// twice panics: scenario names select fault models on the command line,
+// so a silent override would corrupt experiment provenance.
+func RegisterScenario(name string, f ScenarioFactory) {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarioRegistry[name]; dup {
+		panic(fmt.Sprintf("inject: scenario %q registered twice", name))
+	}
+	scenarioRegistry[name] = f
+}
+
+// NewScenario builds a registered scenario by name. faults is the
+// per-execution fault multiplicity (most callers pass 1).
+func NewScenario(name string, faults int) (Scenario, error) {
+	scenarioMu.RLock()
+	f, ok := scenarioRegistry[name]
+	scenarioMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("inject: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+	return f(faults)
+}
+
+// ScenarioNames returns the registered scenario names, sorted.
+func ScenarioNames() []string {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	names := make([]string, 0, len(scenarioRegistry))
+	for name := range scenarioRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterScenario("bitflip", func(n int) (Scenario, error) { return BitFlips{Flips: n}, nil })
+	RegisterScenario("consecutive", func(n int) (Scenario, error) { return ConsecutiveBits{Flips: n}, nil })
+	RegisterScenario("randomvalue", func(n int) (Scenario, error) { return RandomValue{Faults: n}, nil })
+	RegisterScenario("stuckat0", func(n int) (Scenario, error) { return StuckAt{Faults: n, Value: 0}, nil })
+	RegisterScenario("stuckat1", func(n int) (Scenario, error) { return StuckAt{Faults: n, Value: 1}, nil })
+}

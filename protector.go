@@ -1,0 +1,70 @@
+// Facade: the unified protection-technique interface and registry.
+package ranger
+
+import (
+	"context"
+
+	"ranger/internal/baselines"
+	"ranger/internal/fixpoint"
+	"ranger/internal/inject"
+)
+
+// Protector is one protection technique — Ranger itself or any of the
+// paper's Table VI comparators — behind a single prepare-then-evaluate
+// interface. Implementations register by name; see RegisterProtector.
+type Protector = baselines.Protector
+
+// Protection is a prepared technique: a transformed model, an attached
+// detector, or an analytic-coverage entry, plus overhead accounting.
+type Protection = baselines.Protection
+
+// ProtectContext carries the model and profiled context a Protector may
+// need (bounds, activation maxima, representative inputs, fault
+// configuration, model zoo).
+type ProtectContext = baselines.ProtectContext
+
+// NewProtector builds a registered protection technique by name. The
+// built-ins are ranger, tmr, dup, symptom, ml, tanh, and abft.
+func NewProtector(name string) (Protector, error) { return baselines.NewProtector(name) }
+
+// RegisterProtector adds a named protection technique to the registry.
+func RegisterProtector(name string, f func() Protector) { baselines.RegisterProtector(name, f) }
+
+// ProtectorNames returns the registered protector names, sorted.
+func ProtectorNames() []string { return baselines.ProtectorNames() }
+
+// Detector constructors for the individual baseline techniques, for
+// callers composing campaigns directly rather than through Protectors.
+
+// NewSymptomDetector builds the Li et al. activation-spike detector from
+// profiled maxima.
+func NewSymptomDetector(maxima map[string]float64, slack float64) Detector {
+	return baselines.NewSymptomDetector(maxima, slack)
+}
+
+// NewDuplicationDetector builds the Mahmoud et al. selective-duplication
+// detector over the given node names.
+func NewDuplicationDetector(duplicated []string) Detector {
+	return baselines.NewDuplicationDetector(duplicated)
+}
+
+// NewABFTDetector builds the Zhao et al. conv-checksum detector.
+func NewABFTDetector(tolerance float64) Detector { return baselines.NewABFTDetector(tolerance) }
+
+// TrainMLDetector trains the Schorn et al. learned detector on a
+// labelled fault-injection campaign.
+func TrainMLDetector(ctx context.Context, m *Model, inputs []Feeds, profiledMax map[string]float64, format Format, scen Scenario, trialsPerInput int, seed int64) (Detector, error) {
+	return baselines.TrainMLDetector(ctx, m, inputs, profiledMax, format, scen, trialsPerInput, seed)
+}
+
+// SelectDuplicationSet chooses the nodes to duplicate for the selective
+// duplication baseline under a FLOP budget.
+func SelectDuplicationSet(ctx context.Context, m *Model, input Feeds, format fixpoint.Format, scen inject.Scenario, trialsPerNode int, seed int64, budget float64) ([]string, float64, error) {
+	return baselines.SelectDuplicationSet(ctx, m, input, format, scen, trialsPerNode, seed, budget)
+}
+
+// TMRVote returns the elementwise majority of three redundant outputs.
+func TMRVote(a, b, c *Tensor) (*Tensor, error) { return baselines.TMRVote(a, b, c) }
+
+// TMROverhead is the compute overhead of triple modular redundancy.
+const TMROverhead = baselines.TMROverhead

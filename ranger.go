@@ -1,0 +1,187 @@
+// Facade: models, datasets, profiling, and Ranger protection.
+//
+// This file is the entry half of the public API: load a (zoo-trained or
+// freshly built) model, profile its activation ranges, and insert range
+// restriction. Campaigns, fault scenarios, protection techniques, and
+// experiment regeneration live in the sibling facade files.
+package ranger
+
+import (
+	"ranger/internal/core"
+	"ranger/internal/data"
+	"ranger/internal/fixpoint"
+	"ranger/internal/graph"
+	"ranger/internal/models"
+	"ranger/internal/parallel"
+	"ranger/internal/stats"
+	"ranger/internal/tensor"
+	"ranger/internal/train"
+)
+
+// Model is a benchmark DNN: a static graph plus the metadata campaigns
+// and training need (input/output node names, dataset, FI exclusions).
+type Model = models.Model
+
+// ModelKind distinguishes classifiers from steering regressors.
+type ModelKind = models.Kind
+
+// Model kinds.
+const (
+	Classifier = models.Classifier
+	Regressor  = models.Regressor
+)
+
+// ModelNames lists the eight paper benchmarks.
+func ModelNames() []string { return models.Names() }
+
+// ClassifierNames lists the six classifier benchmarks.
+func ClassifierNames() []string { return models.ClassifierNames() }
+
+// BuildModel constructs an untrained benchmark model by name (including
+// the -tanh and dave-degrees variants).
+func BuildModel(name string) (*Model, error) { return models.Build(name) }
+
+// Zoo trains benchmark models on first use and caches their weights
+// under $RANGER_CACHE (or the OS user cache dir).
+type Zoo = train.Zoo
+
+// DefaultZoo returns the process-wide shared model zoo.
+func DefaultZoo() *Zoo { return train.Default() }
+
+// LoadModel returns the named model from the default zoo, training it on
+// first use. Set DefaultZoo().Quiet = false for training progress.
+func LoadModel(name string) (*Model, error) { return train.Default().Get(name) }
+
+// Dataset is a deterministic synthetic stand-in for one of the paper's
+// five datasets.
+type Dataset = data.Dataset
+
+// Sample is one dataset element: input tensor plus label or regression
+// target.
+type Sample = data.Sample
+
+// Split selects a dataset partition.
+type Split = data.Split
+
+// Dataset splits.
+const (
+	TrainSplit = data.Train
+	ValSplit   = data.Val
+)
+
+// LoadDataset returns a dataset by name (mnist, cifar10, gtsrb,
+// imagenet, driving, ...).
+func LoadDataset(name string) (Dataset, error) { return train.DatasetByName(name) }
+
+// DatasetFor returns the dataset a model trains on.
+func DatasetFor(m *Model) (Dataset, error) { return train.DatasetByName(m.Dataset) }
+
+// Tensor is a dense float32 tensor.
+type Tensor = tensor.Tensor
+
+// Graph is a TF1-style static dataflow graph.
+type Graph = graph.Graph
+
+// GraphNode is one operator in a Graph.
+type GraphNode = graph.Node
+
+// Executor evaluates a graph; its Hook intercepts every node output,
+// which is how faults are injected and detectors observe.
+type Executor = graph.Executor
+
+// Feeds maps placeholder names to input tensors.
+type Feeds = graph.Feeds
+
+// Format is a signed fixed-point encoding, the datatype of the simulated
+// fault model.
+type Format = fixpoint.Format
+
+// The datapath formats evaluated in the paper.
+var (
+	Q32 = fixpoint.Q32
+	Q16 = fixpoint.Q16
+)
+
+// Bound is a per-activation restriction range.
+type Bound = core.Bound
+
+// Bounds maps activation node names to restriction ranges.
+type Bounds = core.Bounds
+
+// Profiler accumulates activation value ranges over observed inputs
+// (§III-C step 1), optionally keeping reservoir samples for percentile
+// bounds.
+type Profiler = core.Profiler
+
+// ProfileOptions configures a Profiler.
+type ProfileOptions = core.ProfileOptions
+
+// NewProfiler builds a profiler over a model graph.
+func NewProfiler(g *Graph, opts ProfileOptions) *Profiler { return core.NewProfiler(g, opts) }
+
+// ProfileModel derives restriction bounds by running nBatches of feeds
+// through the model; feedsFn returns the feeds for batch i.
+func ProfileModel(m *Model, opts ProfileOptions, nBatches int, feedsFn func(i int) (Feeds, error)) (Bounds, error) {
+	return core.ProfileModel(m, opts, nBatches, feedsFn)
+}
+
+// Profile derives max restriction bounds for a model from the first
+// samples of its training split — the §III-C step-1 default most callers
+// want.
+func Profile(m *Model, samples int) (Bounds, error) {
+	ds, err := DatasetFor(m)
+	if err != nil {
+		return nil, err
+	}
+	if n := ds.Len(data.Train); samples > n {
+		samples = n
+	}
+	return core.ProfileModel(m, core.ProfileOptions{}, samples, func(i int) (Feeds, error) {
+		return Feeds{m.Input: ds.Sample(data.Train, i).X}, nil
+	})
+}
+
+// ProtectOptions configures the Algorithm 1 transform (restriction
+// policy, ACT-only ablation).
+type ProtectOptions = core.Options
+
+// ProtectReport describes what a protection transform did.
+type ProtectReport = core.Result
+
+// Protect applies Algorithm 1 to a model: it duplicates the graph,
+// inserts a range-restriction operator after every bounded activation
+// and its downstream consumers, and returns the protected model view.
+func Protect(m *Model, bounds Bounds, opts ProtectOptions) (*Model, *ProtectReport, error) {
+	return core.ProtectModel(m, bounds, opts)
+}
+
+// ProtectGraph is Protect for a bare graph.
+func ProtectGraph(g *Graph, bounds Bounds, opts ProtectOptions) (*ProtectReport, error) {
+	return core.Protect(g, bounds, opts)
+}
+
+// TopKAccuracy evaluates a classifier's top-k accuracy over n samples of
+// a split.
+func TopKAccuracy(m *Model, ds Dataset, split Split, n, k int) (float64, error) {
+	return train.TopKAccuracy(m, ds, split, n, k)
+}
+
+// SteeringMetrics evaluates a steering model's RMSE and average
+// deviation (degrees) over n samples of a split.
+func SteeringMetrics(m *Model, ds Dataset, split Split, n int) (rmse, avgDev float64, err error) {
+	return train.SteeringMetrics(m, ds, split, n)
+}
+
+// Proportion is a counted rate with its sample size, for reporting.
+type Proportion = stats.Proportion
+
+// NewProportion builds a Proportion from k successes in n trials.
+func NewProportion(k, n int) Proportion { return stats.NewProportion(k, n) }
+
+// SetWorkers fixes the process-wide worker-pool width used by kernels,
+// campaigns, and experiment sweeps (overriding RANGER_WORKERS). Results
+// are identical at every width.
+func SetWorkers(n int) { parallel.SetWorkers(n) }
+
+// WorkerCount returns the effective process-wide worker-pool width.
+func WorkerCount() int { return parallel.Workers() }

@@ -5,11 +5,17 @@
 //
 //	rangerbench -exp all
 //	rangerbench -exp fig6,fig7 -trials 500 -inputs 8
+//	rangerbench -exp overhead
+//	rangerbench -exp tab6 -cpuprofile bench.pprof
 //
 // Experiment ids: fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 tab2 tab3
-// tab4 tab5 tab6 alt. Models are trained on first use and cached under
-// $RANGER_CACHE (or the user cache dir), so the first run is slower.
-// Interrupting (Ctrl-C) cancels the in-flight campaign promptly.
+// tab4 tab5 tab6 alt overhead. The overhead experiment reports
+// protected-vs-unprotected inference latency under the legacy executor
+// and under compiled plans with fusion disabled and enabled. Models are
+// trained on first use and cached under $RANGER_CACHE (or the user
+// cache dir), so the first run is slower. -cpuprofile writes a pprof
+// CPU profile for local hot-path analysis. Interrupting (Ctrl-C)
+// cancels the in-flight campaign promptly.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -41,8 +48,20 @@ func run(ctx context.Context, args []string) error {
 	inputs := fs.Int("inputs", 0, "inputs per model (default from RANGER_INPUTS or 4)")
 	seed := fs.Int64("seed", 1234, "campaign seed")
 	workers := fs.Int("workers", 0, "worker-pool width (default from RANGER_WORKERS or the core count)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (for go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	if *workers > 0 {
 		ranger.SetWorkers(*workers)

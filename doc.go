@@ -34,8 +34,15 @@
 //     selective duplication, symptom-based, ML-based, Tanh swap, ABFT)
 //     implement one Protector interface behind a second registry
 //     (NewProtector / ProtectorNames / RegisterProtector).
+//   - Compiled plans: Model.Compile / CompileGraph build an immutable
+//     execution Plan — fetch-restricted schedule, fused elementwise
+//     chains (MatMul/Conv + BiasAdd + activation + RangerClip in one
+//     loop), and liveness-planned buffers — run via CompiledModel.Run /
+//     RunBatch with per-worker PlanStates. Mis-shaped feeds fail early
+//     with ErrFeedShape.
 //   - Experiments: RunExperiment regenerates any table or figure of the
-//     paper's evaluation by id (ExperimentIDs).
+//     paper's evaluation by id (ExperimentIDs), plus the fused-vs-unfused
+//     protection-overhead measurement ("overhead").
 //
 // A minimal protect-and-measure pipeline:
 //
@@ -45,6 +52,21 @@
 //	c := &ranger.Campaign{Model: protected, Trials: 1000}
 //	out, _ := c.Run(ctx, inputs)
 //
+// # Compile/run lifecycle and fusion rules
+//
+// Graph execution is compile-once/run-many. Compiling analyses the
+// graph a single time — topological schedule restricted to the fetch
+// ancestors, output-shape inference, liveness-based buffer-slot
+// assignment — and a fusion pass folds chains of elementwise operators
+// into their producer's kernel so the activation and Ranger's clamp run
+// in the same loop. A node is non-fusable (kept materialized, its exact
+// value delivered to hooks) when it is a fault-injection target, an
+// observation/hook subject, a profiled bounds-collection output, a
+// fetch, or has multiple consumers. Campaign.Run, RunWithDetector,
+// profiling, RunBatch, and the experiment harness all execute through
+// plans; fused and unfused execution are bit-identical to the per-call
+// Executor at every worker count.
+//
 // # Substrate
 //
 // The repository contains the full substrate stack the paper depends on,
@@ -52,7 +74,9 @@
 //
 //   - internal/tensor, internal/ops, internal/graph: a TensorFlow-1.x-style
 //     static dataflow graph with forward and backward operator kernels,
-//     reusable output-buffer arenas, and a concurrent RunBatch entry point
+//     reusable output-buffer arenas, compiled execution plans (fused
+//     elementwise epilogues, static liveness-planned buffers), and a
+//     concurrent RunBatch entry point
 //   - internal/parallel: the shared worker pool — deterministic contiguous
 //     work-sharding sized by RANGER_WORKERS (default: the core count) that
 //     the kernels, the executor, the fault injector, and the experiment

@@ -60,10 +60,15 @@ var experimentFns = map[string]experimentEntry{
 	"tab5":  wrapExperiment(experiments.Table5),
 	"tab6":  wrapExperiment(experiments.Table6),
 	"alt":   wrapExperiment(experiments.Alternatives),
+	// overhead is not a paper artifact: it measures protected-model
+	// inference latency under the legacy executor and compiled plans
+	// (fused and unfused), quantifying the negligible-overhead claim on
+	// this substrate.
+	"overhead": wrapExperiment(experiments.Overhead),
 }
 
 // experimentOrder fixes the paper's presentation order.
-var experimentOrder = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt"}
+var experimentOrder = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt", "overhead"}
 
 // ExperimentIDs lists every experiment id in the paper's presentation
 // order.
@@ -74,7 +79,8 @@ func ExperimentIDs() []string {
 }
 
 // RunExperiment regenerates one paper artifact by id (fig4..fig12,
-// tab2..tab6, alt). Cancelling ctx aborts its campaigns promptly.
+// tab2..tab6, alt), or runs the fused-vs-unfused protection-overhead
+// measurement (overhead). Cancelling ctx aborts its campaigns promptly.
 func RunExperiment(ctx context.Context, r *ExperimentRunner, id string) (ExperimentResult, error) {
 	f, ok := experimentFns[id]
 	if !ok {

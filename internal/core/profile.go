@@ -59,6 +59,18 @@ type Profiler struct {
 	trace      [][]float64
 	traceOrder []string
 	traceOn    bool
+	// plans caches one compiled plan per observed output node. The ACT
+	// layers are the plan's observation points, so they stay unfused and
+	// the profiler records exactly the values the legacy executor
+	// produced; everything else fuses and reuses planned buffers across
+	// Observe calls.
+	plans map[string]*profilerPlan
+}
+
+// profilerPlan couples a compiled plan with its reusable state.
+type profilerPlan struct {
+	plan  *graph.Plan
+	state *graph.PlanState
 }
 
 // NewProfiler prepares a profiler for the graph's activation layers.
@@ -75,6 +87,7 @@ func NewProfiler(g *graph.Graph, opts ProfileOptions) *Profiler {
 		samples: make(map[string][]float64),
 		seen:    make(map[string]int64),
 		rng:     rand.New(rand.NewSource(opts.Seed + 1)),
+		plans:   make(map[string]*profilerPlan),
 	}
 	for _, name := range g.NamesByType(opts.ActTypes...) {
 		p.actSet[name] = true
@@ -100,16 +113,28 @@ func (p *Profiler) Trace() [][]float64 { return p.trace }
 
 // Observe runs the graph on feeds and accumulates activation statistics.
 // output names the node whose evaluation forces the full forward pass
-// (typically the model output).
+// (typically the model output). The graph is compiled once per output
+// into a plan whose observation points are the ACT layers, so repeated
+// Observe calls reuse planned buffers while recording values identical
+// to the legacy executor's.
 func (p *Profiler) Observe(feeds graph.Feeds, output string) error {
-	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+	pp, ok := p.plans[output]
+	if !ok {
+		plan, err := graph.CompileWith(p.g, graph.CompileOptions{Observe: p.traceOrder}, output)
+		if err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		pp = &profilerPlan{plan: plan, state: plan.NewState()}
+		p.plans[output] = pp
+	}
+	hook := func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
 		if !p.actSet[n.Name()] {
 			return nil
 		}
 		p.record(n.Name(), out)
 		return nil
-	}}
-	if _, err := e.Run(p.g, feeds, output); err != nil {
+	}
+	if _, err := pp.plan.RunHook(pp.state, feeds, hook); err != nil {
 		return fmt.Errorf("profile: %w", err)
 	}
 	if p.traceOn {

@@ -7,30 +7,37 @@ import (
 )
 
 // RunBatch evaluates the graph once per feed set, sharding the feeds
-// across workers (0 means the process default). Each worker owns a
-// private arena-backed Executor, so node buffers are reused within a
-// worker and never shared between workers; fetched outputs are cloned out
-// of the arenas and safe to retain. outs[i][j] is fetch j of feeds[i].
+// across workers (0 means the process default). The graph is compiled
+// once into a fused execution plan shared by every worker; each worker
+// owns a private PlanState, so buffers are reused within a worker and
+// never shared between workers. Fetched outputs are cloned out of the
+// states and safe to retain. outs[i][j] is fetch j of feeds[i].
 //
 // Feeds must be independent (the usual case: one sample or minibatch
 // each) and the graph's operators must be safe for concurrent evaluation,
 // which holds for every op in this repository. Results are identical at
-// every worker count. The first error by feed index is returned.
+// every worker count and bit-identical to Executor.Run. The first error
+// by feed index is returned.
 func RunBatch(g *Graph, feeds []Feeds, workers int, fetches ...string) ([][]*tensor.Tensor, error) {
+	plan, err := Compile(g, fetches...)
+	if err != nil {
+		return nil, err
+	}
 	outs := make([][]*tensor.Tensor, len(feeds))
 	errs := make([]error, len(feeds))
 	parallel.Shard(parallel.Resolve(workers), len(feeds), func(lo, hi int) {
-		e := &Executor{Arena: NewArena()}
+		st := plan.NewState()
 		for i := lo; i < hi; i++ {
-			res, err := e.Run(g, feeds[i], fetches...)
+			res, err := plan.Run(st, feeds[i])
 			if err != nil {
 				errs[i] = err
 				continue
 			}
+			cloned := make([]*tensor.Tensor, len(res))
 			for j, t := range res {
-				res[j] = t.Clone()
+				cloned[j] = t.Clone()
 			}
-			outs[i] = res
+			outs[i] = cloned
 		}
 	})
 	for _, err := range errs {

@@ -63,20 +63,13 @@ func (v *Variable) Eval([]*tensor.Tensor) (*tensor.Tensor, error) {
 // the requested fetch nodes. Only the ancestors of the fetches are
 // evaluated. Node outputs are cached for the duration of the call.
 func (e *Executor) Run(g *Graph, feeds Feeds, fetches ...string) ([]*tensor.Tensor, error) {
-	needed, err := e.markNeeded(g, fetches)
+	needed, err := neededFor(g, fetches)
 	if err != nil {
 		return nil, err
 	}
-	cache := make([]*tensor.Tensor, g.Len())
-	for _, n := range g.nodes {
-		if !needed[n.id] {
-			continue
-		}
-		out, err := e.evalNode(n, feeds, cache)
-		if err != nil {
-			return nil, err
-		}
-		cache[n.id] = out
+	cache, err := e.exec(g, feeds, needed)
+	if err != nil {
+		return nil, err
 	}
 	outs := make([]*tensor.Tensor, len(fetches))
 	for i, f := range fetches {
@@ -89,8 +82,22 @@ func (e *Executor) Run(g *Graph, feeds Feeds, fetches ...string) ([]*tensor.Tens
 // RunAll evaluates every node and returns the full output cache indexed by
 // node ID; the trainer uses this to run a backward pass.
 func (e *Executor) RunAll(g *Graph, feeds Feeds) ([]*tensor.Tensor, error) {
+	return e.exec(g, feeds, nil)
+}
+
+// exec is the shared evaluation path behind Run and RunAll: it validates
+// feeds, then evaluates the graph's nodes in topological order (all of
+// them when needed is nil), so hook and arena behavior cannot drift
+// between the two entry points.
+func (e *Executor) exec(g *Graph, feeds Feeds, needed []bool) ([]*tensor.Tensor, error) {
+	if err := validateFeeds(g, feeds, needed); err != nil {
+		return nil, err
+	}
 	cache := make([]*tensor.Tensor, g.Len())
 	for _, n := range g.nodes {
+		if needed != nil && !needed[n.id] {
+			continue
+		}
 		out, err := e.evalNode(n, feeds, cache)
 		if err != nil {
 			return nil, err
@@ -98,6 +105,31 @@ func (e *Executor) RunAll(g *Graph, feeds Feeds) ([]*tensor.Tensor, error) {
 		cache[n.id] = out
 	}
 	return cache, nil
+}
+
+// validateFeeds checks every supplied feed against its placeholder's
+// declared shape before any kernel runs, returning a typed error
+// (wrapping ErrFeedShape) instead of panicking deep inside a kernel on
+// mis-shaped input. Placeholders with no declared shape accept anything;
+// missing feeds surface later as ErrMissingFeed only if actually needed.
+func validateFeeds(g *Graph, feeds Feeds, needed []bool) error {
+	for _, n := range g.nodes {
+		if needed != nil && !needed[n.id] {
+			continue
+		}
+		p, ok := n.op.(*Placeholder)
+		if !ok {
+			continue
+		}
+		t, ok := feeds[n.name]
+		if !ok || t == nil {
+			continue
+		}
+		if err := p.CheckShape(t.Shape()); err != nil {
+			return fmt.Errorf("feed %q: %w", n.name, err)
+		}
+	}
+	return nil
 }
 
 func (e *Executor) evalNode(n *Node, feeds Feeds, cache []*tensor.Tensor) (*tensor.Tensor, error) {
@@ -139,7 +171,9 @@ func (e *Executor) evalNode(n *Node, feeds Feeds, cache []*tensor.Tensor) (*tens
 	return out, nil
 }
 
-func (e *Executor) markNeeded(g *Graph, fetches []string) ([]bool, error) {
+// neededFor marks the ancestors of the fetch nodes (the executed
+// subgraph), shared by the per-call executor and the plan compiler.
+func neededFor(g *Graph, fetches []string) ([]bool, error) {
 	needed := make([]bool, g.Len())
 	var stack []*Node
 	for _, f := range fetches {

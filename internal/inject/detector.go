@@ -94,8 +94,15 @@ func (c *Campaign) RunWithDetector(ctx context.Context, inputs []graph.Feeds, de
 	if ok {
 		workers = parallel.Resolve(c.Workers)
 	}
+	// Detectors observe every operator output, so the campaign plan marks
+	// every node as an observation point (no fusion); the plan still
+	// provides the static buffer assignment and is shared by all workers.
+	plan, err := graph.CompileWith(c.Model.Graph, graph.CompileOptions{ObserveAll: true}, c.Model.Output)
+	if err != nil {
+		return DetectorOutcome{}, fmt.Errorf("inject: compile %s: %w", c.Model.Name, err)
+	}
 	var out DetectorOutcome
-	var clean graph.Executor
+	cleanState := plan.NewState()
 	var cbMu sync.Mutex
 	for ii, feeds := range inputs {
 		if err := ctx.Err(); err != nil {
@@ -105,19 +112,18 @@ func (c *Campaign) RunWithDetector(ctx context.Context, inputs []graph.Feeds, de
 		if err != nil {
 			return DetectorOutcome{}, err
 		}
-		refOuts, err := clean.Run(c.Model.Graph, feeds, c.Model.Output)
+		refOuts, err := plan.Run(cleanState, feeds)
 		if err != nil {
 			return DetectorOutcome{}, fmt.Errorf("inject: clean run: %w", err)
 		}
-		ref := refOuts[0]
+		ref := refOuts[0].Clone()
 
 		// False-positive check on the clean execution.
 		det.Reset()
-		fpExec := graph.Executor{Hook: func(n *graph.Node, t *tensor.Tensor) *tensor.Tensor {
+		if _, err := plan.RunHook(cleanState, feeds, func(n *graph.Node, t *tensor.Tensor) *tensor.Tensor {
 			det.Observe(n, t)
 			return nil
-		}}
-		if _, err := fpExec.Run(c.Model.Graph, feeds, c.Model.Output); err != nil {
+		}); err != nil {
 			return DetectorOutcome{}, err
 		}
 		out.CleanRuns++
@@ -136,7 +142,7 @@ func (c *Campaign) RunWithDetector(ctx context.Context, inputs []graph.Feeds, de
 			if workers > 1 {
 				d = cloneable.CloneDetector()
 			}
-			arena := graph.NewArena()
+			st := plan.NewState()
 			for trial := lo; trial < hi; trial++ {
 				if err := ctx.Err(); err != nil {
 					errs[trial] = err
@@ -144,7 +150,7 @@ func (c *Campaign) RunWithDetector(ctx context.Context, inputs []graph.Feeds, de
 				}
 				sites := c.sampleFaultSites(fs, trialRNG(c.Seed, ii, trial))
 				d.Reset()
-				faulty, err := c.runWithFaultsObserved(arena, feeds, sites, d)
+				faulty, err := c.runWithFaultsObserved(plan, st, feeds, sites, d)
 				if err != nil {
 					errs[trial] = err
 					continue
@@ -191,10 +197,10 @@ func (c *Campaign) RunWithDetector(ctx context.Context, inputs []graph.Feeds, de
 
 // runWithFaultsObserved is runWithFaults with a detector observing every
 // node output after fault application.
-func (c *Campaign) runWithFaultsObserved(arena *graph.Arena, feeds graph.Feeds, sites map[string][]Site, det Detector) (*tensor.Tensor, error) {
+func (c *Campaign) runWithFaultsObserved(plan *graph.Plan, st *graph.PlanState, feeds graph.Feeds, sites map[string][]Site, det Detector) (*tensor.Tensor, error) {
 	scen, format := c.scenario(), c.format()
 	var hookErr error
-	e := graph.Executor{Arena: arena, Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+	hook := func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
 		result := out
 		if ss, ok := sites[n.Name()]; ok && hookErr == nil {
 			repl := out.Clone()
@@ -218,8 +224,8 @@ func (c *Campaign) runWithFaultsObserved(arena *graph.Arena, feeds graph.Feeds, 
 			return result
 		}
 		return nil
-	}}
-	outs, err := e.Run(c.Model.Graph, feeds, c.Model.Output)
+	}
+	outs, err := plan.RunHook(st, feeds, hook)
 	if hookErr != nil {
 		return nil, hookErr
 	}

@@ -172,11 +172,14 @@ func (o Outcome) RateAbove(thresholdDeg float64) float64 {
 	return float64(n) / float64(len(o.Deviations))
 }
 
-// buildFaultSpace runs the graph once to discover which nodes execute for
-// the model output and how many output elements each produces. Sites are
-// then sampled uniformly over *elements* (not ops), matching the paper's
-// state-space accounting (its last-FC exclusion argument counts elements).
-func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNodes []string) (*FaultSpace, error) {
+// corruptibleFilter returns the predicate deciding whether a node is a
+// potential fault-injection target: no placeholders or variables, no
+// excluded nodes (the model's ExcludeFI plus the campaign's extras),
+// and the TargetNodes restriction when set. buildFaultSpace and the
+// plan's observation points share this single predicate, which is what
+// keeps plan-backed campaign outcomes byte-identical: every node a site
+// can land on is guaranteed to be an observation point.
+func corruptibleFilter(m *models.Model, extraExclude, targetNodes []string) func(*graph.Node) bool {
 	excluded := make(map[string]bool, len(m.ExcludeFI)+len(extraExclude))
 	for _, n := range m.ExcludeFI {
 		excluded[n] = true
@@ -191,16 +194,30 @@ func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNod
 			targets[n] = true
 		}
 	}
-	fs := &FaultSpace{}
-	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+	return func(n *graph.Node) bool {
 		switch n.Op().(type) {
 		case *graph.Placeholder, *graph.Variable:
-			return nil
+			return false
 		}
 		if excluded[n.Name()] {
-			return nil
+			return false
 		}
 		if targets != nil && !targets[n.Name()] {
+			return false
+		}
+		return true
+	}
+}
+
+// buildFaultSpace runs the graph once to discover which nodes execute for
+// the model output and how many output elements each produces. Sites are
+// then sampled uniformly over *elements* (not ops), matching the paper's
+// state-space accounting (its last-FC exclusion argument counts elements).
+func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNodes []string) (*FaultSpace, error) {
+	corruptible := corruptibleFilter(m, extraExclude, targetNodes)
+	fs := &FaultSpace{}
+	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+		if !corruptible(n) {
 			return nil
 		}
 		fs.nodes = append(fs.nodes, n.Name())
@@ -215,6 +232,33 @@ func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNod
 		return nil, fmt.Errorf("inject: empty fault space for %s", m.Name)
 	}
 	return fs, nil
+}
+
+// observeNames returns the node names a campaign plan must treat as
+// observation points: every potential fault-injection target, decided
+// by the same corruptibleFilter predicate buildFaultSpace samples from.
+// Marking them non-fusable keeps every corruptible intermediate value
+// identical to the legacy executor's, so plan-backed campaign outcomes
+// are byte-identical.
+func (c *Campaign) observeNames() []string {
+	corruptible := corruptibleFilter(c.Model, c.Exclude, c.TargetNodes)
+	var out []string
+	for _, n := range c.Model.Graph.Nodes() {
+		if corruptible(n) {
+			out = append(out, n.Name())
+		}
+	}
+	return out
+}
+
+// compile builds the campaign's shared execution plan: compiled once per
+// Run, reused across every trial and worker.
+func (c *Campaign) compile() (*graph.Plan, error) {
+	plan, err := graph.CompileWith(c.Model.Graph, graph.CompileOptions{Observe: c.observeNames()}, c.Model.Output)
+	if err != nil {
+		return nil, fmt.Errorf("inject: compile %s: %w", c.Model.Name, err)
+	}
+	return plan, nil
 }
 
 // sampleFaultSites draws one execution's fault sites from the campaign's
@@ -233,18 +277,25 @@ func (c *Campaign) sampleFaultSites(fs *FaultSpace, rng *rand.Rand) map[string][
 // output is the SDC reference, as in the paper (inputs are chosen so the
 // fault-free prediction is correct; see experiments.SelectInputs).
 //
-// Trials are sharded across workers, each trial sampling from its own
-// hash(Seed, input, trial) stream and judged into an index slot, then
-// reduced in trial order — the Outcome is byte-identical at every worker
-// count. Cancelling ctx makes Run return promptly with ctx.Err();
+// The model is compiled once into an execution plan (excluded nodes fuse;
+// every corruptible node stays an observation point) and the plan is
+// reused across all trials and workers. Trials are sharded across
+// workers, each trial sampling from its own hash(Seed, input, trial)
+// stream and judged into an index slot, then reduced in trial order — the
+// Outcome is byte-identical at every worker count and to the pre-plan
+// executor. Cancelling ctx makes Run return promptly with ctx.Err();
 // workers observe the context between trials.
 func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, error) {
 	if err := c.validate(inputs); err != nil {
 		return Outcome{}, err
 	}
+	plan, err := c.compile()
+	if err != nil {
+		return Outcome{}, err
+	}
 	workers := parallel.Resolve(c.Workers)
 	var out Outcome
-	var clean graph.Executor
+	cleanState := plan.NewState()
 	var cbMu sync.Mutex
 	for ii, feeds := range inputs {
 		if err := ctx.Err(); err != nil {
@@ -254,22 +305,22 @@ func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, erro
 		if err != nil {
 			return Outcome{}, err
 		}
-		refOuts, err := clean.Run(c.Model.Graph, feeds, c.Model.Output)
+		refOuts, err := plan.Run(cleanState, feeds)
 		if err != nil {
 			return Outcome{}, fmt.Errorf("inject: clean run: %w", err)
 		}
-		ref := refOuts[0]
+		ref := refOuts[0].Clone()
 		verdicts := make([]trialVerdict, c.Trials)
 		errs := make([]error, c.Trials)
 		parallel.Shard(workers, c.Trials, func(lo, hi int) {
-			arena := graph.NewArena()
+			st := plan.NewState()
 			for trial := lo; trial < hi; trial++ {
 				if err := ctx.Err(); err != nil {
 					errs[trial] = err
 					return
 				}
 				sites := c.sampleFaultSites(fs, trialRNG(c.Seed, ii, trial))
-				faulty, err := c.runWithFaults(arena, feeds, sites)
+				faulty, err := c.runWithFaults(plan, st, feeds, sites)
 				if err != nil {
 					errs[trial] = err
 					continue
@@ -292,15 +343,15 @@ func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, erro
 	return out, nil
 }
 
-// runWithFaults executes the model with the given fault sites applied to
-// operator outputs. The arena recycles node buffers across a worker's
-// trials; the returned output is only valid until the next call with the
-// same arena. A sampled element index past the struck tensor's size is a
-// fault-space/shape mismatch and surfaces as an error.
-func (c *Campaign) runWithFaults(arena *graph.Arena, feeds graph.Feeds, sites map[string][]Site) (*tensor.Tensor, error) {
+// runWithFaults executes the model's plan with the given fault sites
+// applied to operator outputs. The state's buffers recycle across a
+// worker's trials; the returned output is only valid until the next call
+// with the same state. A sampled element index past the struck tensor's
+// size is a fault-space/shape mismatch and surfaces as an error.
+func (c *Campaign) runWithFaults(plan *graph.Plan, st *graph.PlanState, feeds graph.Feeds, sites map[string][]Site) (*tensor.Tensor, error) {
 	scen, format := c.scenario(), c.format()
 	var hookErr error
-	e := graph.Executor{Arena: arena, Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+	hook := func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
 		ss, ok := sites[n.Name()]
 		if !ok || hookErr != nil {
 			return nil
@@ -320,8 +371,8 @@ func (c *Campaign) runWithFaults(arena *graph.Arena, feeds graph.Feeds, sites ma
 			repl.Data()[s.Elem] = v
 		}
 		return repl
-	}}
-	outs, err := e.Run(c.Model.Graph, feeds, c.Model.Output)
+	}
+	outs, err := plan.RunHook(st, feeds, hook)
 	if hookErr != nil {
 		return nil, hookErr
 	}

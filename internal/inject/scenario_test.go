@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ranger/internal/fixpoint"
+	"ranger/internal/graph"
 )
 
 func singleElementSpace() *FaultSpace {
@@ -217,11 +218,19 @@ func TestShapeMismatchSurfacesError(t *testing.T) {
 	bogus := map[string][]Site{
 		fs.Nodes()[0]: {{Node: fs.Nodes()[0], Elem: 1 << 30, Bit: 0}},
 	}
-	if _, err := c.runWithFaults(nil, feeds[0], bogus); err == nil {
+	plan, err := c.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.runWithFaults(plan, plan.NewState(), feeds[0], bogus); err == nil {
 		t.Fatal("want fault-space/shape mismatch error")
 	}
+	allPlan, err := graph.CompileWith(m.Graph, graph.CompileOptions{ObserveAll: true}, m.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
 	det := &uncloneableDetector{}
-	if _, err := c.runWithFaultsObserved(nil, feeds[0], bogus, det); err == nil {
+	if _, err := c.runWithFaultsObserved(allPlan, allPlan.NewState(), feeds[0], bogus, det); err == nil {
 		t.Fatal("want fault-space/shape mismatch error (detector path)")
 	}
 }

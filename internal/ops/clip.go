@@ -92,6 +92,12 @@ func (c *ClipOp) eval(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, er
 	} else {
 		out = tensor.New(x.Shape()...)
 	}
+	c.fill(x, out)
+	return out, nil
+}
+
+// fill clips x into out (same size; every element is written).
+func (c *ClipOp) fill(x, out *tensor.Tensor) {
 	xd, od := x.Data(), out.Data()
 	switch c.Policy {
 	case PolicyZero:
@@ -124,7 +130,6 @@ func (c *ClipOp) eval(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, er
 			}
 		}
 	}
-	return out, nil
 }
 
 // Grad implements graph.GradOp: gradient passes through where the value is

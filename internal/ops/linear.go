@@ -196,11 +196,17 @@ func biasAddEval(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor, error) 
 	} else {
 		out = tensor.New(x.Shape()...)
 	}
+	biasAddFill(x, b, out)
+	return out, nil
+}
+
+// biasAddFill writes x + broadcast(b) into out (same size as x).
+func biasAddFill(x, b, out *tensor.Tensor) {
+	c := x.Dim(x.Rank() - 1)
 	xd, od, bd := x.Data(), out.Data(), b.Data()
 	for i, v := range xd {
 		od[i] = v + bd[i%c]
 	}
-	return out, nil
 }
 
 // Grad implements graph.GradOp.

@@ -162,10 +162,20 @@ func (p *AvgPoolOp) eval(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor,
 	var out *tensor.Tensor
 	if s != nil {
 		out = s.Get(n, oh, ow, c)
-		clear(out.Data()) // scratch buffers hold stale data
 	} else {
 		out = tensor.New(n, oh, ow, c)
 	}
+	p.fill(x, out)
+	return out, nil
+}
+
+// fill average-pools x into out, clearing it first (reused buffers hold
+// stale data).
+func (p *AvgPoolOp) fill(x, out *tensor.Tensor) {
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g := p.Geom
+	oh, ow := g.OutDims(h, w)
+	clear(out.Data())
 	xd, od := x.Data(), out.Data()
 	for b := 0; b < n; b++ {
 		for oy := 0; oy < oh; oy++ {
@@ -194,7 +204,6 @@ func (p *AvgPoolOp) eval(in []*tensor.Tensor, s *graph.Scratch) (*tensor.Tensor,
 			}
 		}
 	}
-	return out, nil
 }
 
 // Grad implements graph.GradOp: each window distributes its gradient

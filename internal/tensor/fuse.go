@@ -1,0 +1,151 @@
+package tensor
+
+// Fused epilogues. A compiled execution plan collapses chains of
+// elementwise operators (BiasAdd, activations, RangerClip, Scale) into
+// the evaluation of their producer: the producer's kernel writes its
+// output buffer once, and the chain is then applied as a single in-place
+// pass over that buffer — the clamp runs in the same loop as the
+// activation instead of costing a full extra read-modify-write pass per
+// operator. Each stage reproduces the corresponding operator's scalar
+// arithmetic exactly, so fused and unfused execution are bit-identical.
+
+// StageKind enumerates the elementwise transforms a fused epilogue can
+// apply.
+type StageKind uint8
+
+// Stage kinds.
+const (
+	// StageBias adds a vector broadcast over the last dimension:
+	// v += Vec[i%C] (the BiasAdd loop).
+	StageBias StageKind = iota + 1
+	// StageRelu applies max(v, 0). ReLU is special-cased so the hottest
+	// activation needs no per-element indirect call.
+	StageRelu
+	// StageMap applies an arbitrary scalar function F (Tanh, Sigmoid,
+	// Elu, Atan).
+	StageMap
+	// StageClamp truncates into [Lo, Hi] (the RangerClip default policy).
+	StageClamp
+	// StageScale multiplies by A.
+	StageScale
+)
+
+// Stage is one elementwise transform of a fused epilogue. Which fields
+// are meaningful depends on Kind; the zero value is invalid.
+type Stage struct {
+	Kind StageKind
+	// Vec and C configure StageBias: v += Vec[i%C]. C must equal
+	// len(Vec) and the output's last dimension.
+	Vec []float32
+	C   int
+	// F configures StageMap.
+	F func(float32) float32
+	// Lo and Hi configure StageClamp.
+	Lo, Hi float32
+	// A configures StageScale.
+	A float32
+}
+
+// Epilogue is an ordered sequence of stages applied in one pass.
+type Epilogue []Stage
+
+// canon is the specialized form of the dominant epilogue shape
+// (bias? → relu? → clamp?), covering MatMul/Conv + BiasAdd + ReLU +
+// RangerClip chains without per-element stage dispatch.
+type canon struct {
+	vec    []float32
+	c      int
+	relu   bool
+	clamp  bool
+	lo, hi float32
+}
+
+// canonical reports whether the epilogue is a subsequence of
+// [bias, relu, clamp] and returns its specialized form.
+func (e Epilogue) canonical() (canon, bool) {
+	var cn canon
+	next := 0 // 0: bias allowed, 1: relu allowed, 2: clamp allowed, 3: done
+	for _, st := range e {
+		switch st.Kind {
+		case StageBias:
+			if next > 0 {
+				return cn, false
+			}
+			cn.vec, cn.c = st.Vec, st.C
+			next = 1
+		case StageRelu:
+			if next > 1 {
+				return cn, false
+			}
+			cn.relu = true
+			next = 2
+		case StageClamp:
+			if next > 2 {
+				return cn, false
+			}
+			cn.clamp, cn.lo, cn.hi = true, st.Lo, st.Hi
+			next = 3
+		default:
+			return cn, false
+		}
+	}
+	return cn, true
+}
+
+// Apply runs every stage over data in place, reading and writing each
+// element exactly once regardless of the number of stages.
+func (e Epilogue) Apply(data []float32) {
+	if len(e) == 0 {
+		return
+	}
+	if cn, ok := e.canonical(); ok {
+		cn.apply(data)
+		return
+	}
+	for i, v := range data {
+		for si := range e {
+			st := &e[si]
+			switch st.Kind {
+			case StageBias:
+				v += st.Vec[i%st.C]
+			case StageRelu:
+				// !(v > 0), not v < 0: NaN and -0.0 must map to +0
+				// exactly like the unfused ReLU kernel.
+				if !(v > 0) {
+					v = 0
+				}
+			case StageMap:
+				v = st.F(v)
+			case StageClamp:
+				if v < st.Lo {
+					v = st.Lo
+				} else if v > st.Hi {
+					v = st.Hi
+				}
+			case StageScale:
+				v *= st.A
+			}
+		}
+		data[i] = v
+	}
+}
+
+func (cn canon) apply(data []float32) {
+	vec, c := cn.vec, cn.c
+	for i, v := range data {
+		if vec != nil {
+			v += vec[i%c]
+		}
+		if cn.relu && !(v > 0) {
+			v = 0
+		}
+		if cn.clamp {
+			if v < cn.lo {
+				v = cn.lo
+			} else if v > cn.hi {
+				v = cn.hi
+			}
+		}
+		data[i] = v
+	}
+}

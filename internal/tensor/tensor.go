@@ -119,9 +119,12 @@ func (t *Tensor) Clone() *Tensor {
 	return &Tensor{shape: s, data: d}
 }
 
-// Reshape returns a view-copy of t with a new shape holding the same
-// elements. A single -1 dimension is inferred.
-func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+// ResolveShape resolves a requested shape against an element count: a
+// single -1 dimension is inferred, negative dimensions are rejected,
+// and the resolved shape's element count must equal total. It is the
+// single definition of reshape semantics, shared by Tensor.Reshape and
+// compile-time shape inference.
+func ResolveShape(total int, shape []int) ([]int, error) {
 	s := make([]int, len(shape))
 	copy(s, shape)
 	infer := -1
@@ -140,14 +143,24 @@ func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
 		}
 	}
 	if infer >= 0 {
-		if known == 0 || len(t.data)%known != 0 {
-			return nil, fmt.Errorf("%w: cannot infer dim for %v from %d elements", ErrShape, shape, len(t.data))
+		if known == 0 || total%known != 0 {
+			return nil, fmt.Errorf("%w: cannot infer dim for %v from %d elements", ErrShape, shape, total)
 		}
-		s[infer] = len(t.data) / known
+		s[infer] = total / known
 		known *= s[infer]
 	}
-	if known != len(t.data) {
-		return nil, fmt.Errorf("%w: reshape %v to %v", ErrShape, t.shape, shape)
+	if known != total {
+		return nil, fmt.Errorf("%w: reshape %d elements to %v", ErrShape, total, shape)
+	}
+	return s, nil
+}
+
+// Reshape returns a view-copy of t with a new shape holding the same
+// elements. A single -1 dimension is inferred.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	s, err := ResolveShape(len(t.data), shape)
+	if err != nil {
+		return nil, err
 	}
 	return &Tensor{shape: s, data: t.data}, nil
 }

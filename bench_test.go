@@ -462,6 +462,82 @@ func BenchmarkCompiledInferenceLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkQuantizedInferenceLatency measures one protected-model
+// inference through the int8 quantized plan, reporting its latency
+// relative to the fused fp32 plan on the same model (int8_ratio) and to
+// the quantized unprotected model (restricted_overhead_ratio — the
+// restriction clamps live inside the int8 saturating requantization, so
+// this ratio should sit at ~1.0).
+func BenchmarkQuantizedInferenceLatency(b *testing.B) {
+	skipIfShort(b)
+	r := benchRunner(b)
+	m, err := train.Default().Get("lenet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm, err := r.Protected("lenet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	feeds, err := r.Inputs("lenet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	calib, err := r.Calibration(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcalib, err := r.Calibration(pm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const probes = 50
+	probe := func(f func() error) time.Duration {
+		if err := f(); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < probes; i++ {
+			if err := f(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start) / probes
+	}
+	cm, err := pm.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp32Per := probe(func() error {
+		_, err := cm.Run(feeds[0])
+		return err
+	})
+	qm, err := m.Quantize(calib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	int8Per := probe(func() error {
+		_, err := qm.Run(feeds[0])
+		return err
+	})
+	qpm, err := pm.Quantize(pcalib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qpm.Run(feeds[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		per := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(per)/float64(fp32Per), "int8_ratio")
+		b.ReportMetric(float64(per)/float64(int8Per), "restricted_overhead_ratio")
+	}
+}
+
 // planBenchGraph builds a conv+bias+relu+clip stack, the canonical
 // fusion target, on an untrained graph (weights deterministic).
 func planBenchGraph(b *testing.B) (*graph.Graph, graph.Feeds, string) {

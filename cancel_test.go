@@ -1,0 +1,84 @@
+// Satellite: campaign-cancellation leak tests. Cancelling a streaming
+// campaign mid-flight must close the results channel promptly and leave
+// no campaign goroutines behind.
+package ranger_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"ranger"
+)
+
+// waitForGoroutines polls until the goroutine count drops back to at
+// most base (+slack for runtime helpers), or the deadline passes.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d now vs %d before cancel\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestStreamCancelClosesChannelAndLeaksNoGoroutines(t *testing.T) {
+	m, feeds := facadeModel(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// A campaign far too large to finish: cancellation must end it.
+	c := &ranger.Campaign{Model: m, Trials: 1_000_000, Seed: 11, Workers: 4}
+	results, wait := ranger.Stream(ctx, c, feeds)
+
+	seen := 0
+	for range results {
+		if seen++; seen == 5 {
+			cancel()
+		}
+	}
+	// The range loop above only exits because the channel closed.
+	if _, ok := <-results; ok {
+		t.Fatal("results channel still open after close")
+	}
+	out, err := wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("wait() err = %v, want context.Canceled", err)
+	}
+	if out.Trials != 0 {
+		t.Fatalf("cancelled campaign reported %d folded trials", out.Trials)
+	}
+	// Workers observe the context between trials; every campaign
+	// goroutine (shard workers + the Stream runner) must wind down.
+	waitForGoroutines(t, before)
+}
+
+// TestStreamAbandonedConsumerCancel pins the harder leak case: the
+// consumer stops reading without draining, then cancels. wait() must
+// still unblock the campaign and return.
+func TestStreamAbandonedConsumerCancel(t *testing.T) {
+	m, feeds := facadeModel(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &ranger.Campaign{Model: m, Trials: 1_000_000, Seed: 12, Workers: 2}
+	results, wait := ranger.Stream(ctx, c, feeds)
+	<-results // read one result, then abandon the channel
+	cancel()
+	if _, err := wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("wait() err = %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, before)
+}

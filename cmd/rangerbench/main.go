@@ -9,13 +9,15 @@
 //	rangerbench -exp tab6 -cpuprofile bench.pprof
 //
 // Experiment ids: fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 tab2 tab3
-// tab4 tab5 tab6 alt overhead. The overhead experiment reports
-// protected-vs-unprotected inference latency under the legacy executor
-// and under compiled plans with fusion disabled and enabled. Models are
-// trained on first use and cached under $RANGER_CACHE (or the user
-// cache dir), so the first run is slower. -cpuprofile writes a pprof
-// CPU profile for local hot-path analysis. Interrupting (Ctrl-C)
-// cancels the in-flight campaign promptly.
+// tab4 tab5 tab6 alt overhead quantoverhead. The overhead experiment
+// reports protected-vs-unprotected inference latency under the legacy
+// executor and under compiled plans with fusion disabled and enabled;
+// quantoverhead reports fp32 vs int8 vs int8+restriction latency and
+// bitflip-int8 campaign outcomes on the post-training-quantized
+// backend. Models are trained on first use and cached under
+// $RANGER_CACHE (or the user cache dir), so the first run is slower.
+// -cpuprofile writes a pprof CPU profile for local hot-path analysis.
+// Interrupting (Ctrl-C) cancels the in-flight campaign promptly.
 package main
 
 import (

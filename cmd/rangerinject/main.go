@@ -6,7 +6,13 @@
 // The fault model is selected from the scenario registry: bitflip
 // (single/multi independent flips), consecutive (a run of adjacent
 // bits), randomvalue (whole-word replacement), stuckat0/stuckat1
-// (forced bits).
+// (forced bits), and the int8 scenarios bitflip-int8/stuckat-int8,
+// which require the quantized backend (-int8).
+//
+// With -int8 the model is post-training quantized (calibrated on
+// training samples) and faults strike the stored int8 representation —
+// the deployed numeric format; the default scenario then becomes
+// bitflip-int8.
 //
 // Usage:
 //
@@ -14,6 +20,7 @@
 //	rangerinject -model dave -trials 500 -faults 3 -ranger=false
 //	rangerinject -model vgg16 -format q16 -scenario consecutive -faults 2
 //	rangerinject -model alexnet -scenario randomvalue -progress
+//	rangerinject -model lenet -int8 -trials 1000
 //
 // Interrupting (Ctrl-C) cancels the campaign promptly.
 package main
@@ -49,6 +56,7 @@ func run(ctx context.Context, args []string) error {
 		"fault scenario: "+strings.Join(ranger.ScenarioNames(), ", "))
 	faults := fs.Int("faults", 1, "faults per execution (bit flips, replaced values, or stuck bits)")
 	format := fs.String("format", "q32", "fixed-point datatype: q32 or q16")
+	int8Backend := fs.Bool("int8", false, "run campaigns on the post-training-quantized int8 backend")
 	withRanger := fs.Bool("ranger", true, "also evaluate the Ranger-protected model")
 	profileSamples := fs.Int("profile", 120, "training samples for bound profiling")
 	seed := fs.Int64("seed", 1, "campaign seed")
@@ -69,6 +77,9 @@ func run(ctx context.Context, args []string) error {
 		fmtFixed = ranger.Q16
 	default:
 		return fmt.Errorf("unknown format %q (want q32 or q16)", *format)
+	}
+	if *int8Backend && *scenario == "bitflip" {
+		*scenario = "bitflip-int8"
 	}
 	scen, err := ranger.NewScenario(*scenario, *faults)
 	if err != nil {
@@ -94,6 +105,13 @@ func run(ctx context.Context, args []string) error {
 
 	report := func(label string, target *ranger.Model) error {
 		c := &ranger.Campaign{Model: target, Format: fmtFixed, Scenario: scen, Trials: *trials, Seed: *seed}
+		if *int8Backend {
+			calib, err := ranger.Calibrate(target, *profileSamples)
+			if err != nil {
+				return fmt.Errorf("calibrate %s: %w", target.Name, err)
+			}
+			c.Calibration = calib
+		}
 		if *progress {
 			total := int64(*trials * len(feeds))
 			var done atomic.Int64

@@ -40,9 +40,14 @@
 //     loop), and liveness-planned buffers — run via CompiledModel.Run /
 //     RunBatch with per-worker PlanStates. Mis-shaped feeds fail early
 //     with ErrFeedShape.
+//   - Quantization: Calibrate profiles per-operator value ranges and
+//     Model.Quantize compiles the model to an int8 plan (QuantizedModel)
+//     — the deployed numeric format, with bitflip-int8 / stuckat-int8
+//     fault scenarios striking the stored int8 words.
 //   - Experiments: RunExperiment regenerates any table or figure of the
 //     paper's evaluation by id (ExperimentIDs), plus the fused-vs-unfused
-//     protection-overhead measurement ("overhead").
+//     protection-overhead measurement ("overhead") and the int8-backend
+//     measurement ("quantoverhead").
 //
 // A minimal protect-and-measure pipeline:
 //
@@ -66,6 +71,41 @@
 // profiling, RunBatch, and the experiment harness all execute through
 // plans; fused and unfused execution are bit-identical to the per-call
 // Executor at every worker count.
+//
+// # Quantization lifecycle
+//
+// The int8 backend turns a profiled (optionally protected) model into a
+// post-training-quantized deployment in three steps:
+//
+//	bounds, _ := ranger.Profile(m, 32)                  // 1. profile ACT bounds
+//	protected, _, _ := ranger.Protect(m, bounds, ...)   //    and insert Ranger
+//	calib, _ := ranger.Calibrate(protected, 32)         // 2. calibrate every op
+//	qm, _ := protected.Quantize(calib)                  // 3. compile to int8
+//	out, _ := qm.Run(feeds)                             // float in, float out
+//
+// Calibrate is the Profiler pointed at every operator: the per-node
+// min/max become per-tensor int8 scale/zero-point. Quantize rewrites
+// the compiled plan — weights pre-quantized symmetric, activations
+// asymmetric, MatMul/Conv2D as int8 GEMMs with int32 accumulation, and
+// every other operator as a 256-entry lookup table — with
+// quantize/dequantize nodes at the graph boundaries, reusing the float
+// plan's shape layouts and liveness-based buffer reuse.
+//
+// The fused epilogue folds into the requantization that writes each
+// int8 output: bias becomes an int32 accumulator offset, and ReLU and
+// RangerClip become the clamp limits of the saturating write-back. A
+// profiled ACT bound therefore maps to a pair of int8 clamp limits
+// computed once at quantize time — range restriction in the quantized
+// domain costs literally nothing at run time (rangerbench
+// -exp quantoverhead measures it at ~0% over the plain int8 plan).
+//
+// Campaigns switch to the int8 backend by setting Campaign.Calibration;
+// the scenario must then be an Int8Scenario (bitflip-int8,
+// stuckat-int8), and faults flip bits of the stored int8 words — the
+// fault model the deployed format actually faces. Because a bit flip in
+// an int8 word is bounded by the tensor's quantization range,
+// quantization itself acts as a mild range restriction, and measured
+// SDC rates are accordingly lower than fp32's.
 //
 // # Substrate
 //

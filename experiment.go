@@ -65,10 +65,14 @@ var experimentFns = map[string]experimentEntry{
 	// (fused and unfused), quantifying the negligible-overhead claim on
 	// this substrate.
 	"overhead": wrapExperiment(experiments.Overhead),
+	// quantoverhead extends that claim to the int8 PTQ backend: fp32 vs
+	// int8 vs int8+restriction latency, plus bitflip-int8 campaign SDC
+	// rates with and without restriction.
+	"quantoverhead": wrapExperiment(experiments.QuantOverhead),
 }
 
 // experimentOrder fixes the paper's presentation order.
-var experimentOrder = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt", "overhead"}
+var experimentOrder = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt", "overhead", "quantoverhead"}
 
 // ExperimentIDs lists every experiment id in the paper's presentation
 // order.

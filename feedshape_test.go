@@ -1,0 +1,95 @@
+// Satellite: ErrFeedShape must surface on every entry point that
+// accepts feeds — the per-call executor (Run and RunAll), compiled
+// plans, the quantized plan, batch evaluation, the compiled-model
+// facade, and campaigns — so the up-front validation cannot regress on
+// one path while holding on another.
+package ranger_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ranger"
+	"ranger/internal/core"
+	"ranger/internal/graph"
+	"ranger/internal/models"
+	"ranger/internal/tensor"
+)
+
+// badFeeds returns lenet feeds whose input tensor contradicts the
+// placeholder's declared (0, 28, 28, 1) shape.
+func badFeedModel(t *testing.T) (*models.Model, graph.Feeds, graph.Feeds) {
+	t.Helper()
+	m, err := models.Build("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := graph.Feeds{m.Input: tensor.New(1, 28, 28, 1)}
+	bad := graph.Feeds{m.Input: tensor.New(1, 27, 27, 1)}
+	return m, good, bad
+}
+
+func wantFeedShape(t *testing.T, entry string, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s accepted a mis-shaped feed", entry)
+	}
+	if !errors.Is(err, graph.ErrFeedShape) {
+		t.Fatalf("%s: error %v does not wrap ErrFeedShape", entry, err)
+	}
+}
+
+func TestErrFeedShapeOnEveryEntryPoint(t *testing.T) {
+	m, good, bad := badFeedModel(t)
+
+	var e graph.Executor
+	_, err := e.Run(m.Graph, bad, m.Output)
+	wantFeedShape(t, "Executor.Run", err)
+	_, err = e.RunAll(m.Graph, bad)
+	wantFeedShape(t, "Executor.RunAll", err)
+
+	plan, err := graph.Compile(m.Graph, m.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = plan.Run(plan.NewState(), bad)
+	wantFeedShape(t, "Plan.Run", err)
+	_, err = plan.InferredShapes(bad)
+	wantFeedShape(t, "Plan.InferredShapes", err)
+
+	_, err = graph.RunBatch(m.Graph, []graph.Feeds{good, bad}, 0, m.Output)
+	wantFeedShape(t, "graph.RunBatch", err)
+
+	cm, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cm.Run(bad)
+	wantFeedShape(t, "Compiled.Run", err)
+	_, err = cm.RunBatch([]graph.Feeds{good, bad}, 2)
+	wantFeedShape(t, "Compiled.RunBatch", err)
+
+	// Campaigns validate feeds before sampling a single fault.
+	c := &ranger.Campaign{Model: m, Trials: 3, Seed: 1}
+	_, err = c.Run(context.Background(), []graph.Feeds{bad})
+	wantFeedShape(t, "Campaign.Run", err)
+
+	// The quantized plan validates through the same layout signature.
+	calib, err := core.CalibrateModel(m, 1, func(int) (graph.Feeds, error) { return good, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := m.Quantize(calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = qm.Run(bad)
+	wantFeedShape(t, "Quantized.Run", err)
+	_, err = qm.RunBatch([]graph.Feeds{good, bad}, 2)
+	wantFeedShape(t, "Quantized.RunBatch", err)
+
+	qc := &ranger.Campaign{Model: m, Trials: 3, Seed: 1, Calibration: calib, Scenario: ranger.BitFlipInt8{Flips: 1}}
+	_, err = qc.Run(context.Background(), []graph.Feeds{bad})
+	wantFeedShape(t, "quantized Campaign.Run", err)
+}

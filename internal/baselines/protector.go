@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -94,6 +95,10 @@ type Protector interface {
 	Protect(ctx context.Context, pc ProtectContext) (*Protection, error)
 }
 
+// ErrUnknownProtector reports a protector name absent from the
+// registry; NewProtector wraps it so callers can branch with errors.Is.
+var ErrUnknownProtector = errors.New("baselines: unknown protector")
+
 var (
 	protectorMu       sync.RWMutex
 	protectorRegistry = map[string]func() Protector{}
@@ -117,7 +122,7 @@ func NewProtector(name string) (Protector, error) {
 	f, ok := protectorRegistry[name]
 	protectorMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("baselines: unknown protector %q (have %v)", name, ProtectorNames())
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownProtector, name, ProtectorNames())
 	}
 	return f(), nil
 }

@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+)
+
+// Satellite: protector-registry contract tests, mirroring the scenario
+// registry's.
+
+type registryTestProtector struct{}
+
+func (registryTestProtector) Name() string { return "registry-test-dup" }
+func (registryTestProtector) Protect(context.Context, ProtectContext) (*Protection, error) {
+	return &Protection{}, nil
+}
+
+func TestRegisterProtectorDuplicatePanics(t *testing.T) {
+	const name = "registry-test-dup"
+	RegisterProtector(name, func() Protector { return registryTestProtector{} })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second registration did not panic")
+		}
+		protectorMu.Lock()
+		delete(protectorRegistry, name)
+		protectorMu.Unlock()
+	}()
+	RegisterProtector(name, func() Protector { return registryTestProtector{} })
+}
+
+func TestNewProtectorUnknownTypedError(t *testing.T) {
+	_, err := NewProtector("no-such-protector")
+	if err == nil {
+		t.Fatal("want error for unknown protector")
+	}
+	if !errors.Is(err, ErrUnknownProtector) {
+		t.Fatalf("error %v does not wrap ErrUnknownProtector", err)
+	}
+}
+
+func TestProtectorNamesSortedAndComplete(t *testing.T) {
+	names := ProtectorNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("protector names not sorted: %v", names)
+	}
+	for _, want := range []string{"ranger", "tmr", "dup", "symptom", "ml", "tanh", "abft"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("built-in protector %q missing from %v", want, names)
+		}
+	}
+	for _, n := range names {
+		p, err := NewProtector(n)
+		if err != nil {
+			t.Fatalf("NewProtector(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Fatalf("NewProtector(%q).Name() = %q", n, p.Name())
+		}
+	}
+}

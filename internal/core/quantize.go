@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ranger/internal/graph"
+	"ranger/internal/models"
+	"ranger/internal/ops"
+)
+
+// Post-training-quantization calibration. The PTQ calibrator is the
+// existing Profiler pointed at every inference-path operator instead of
+// just the ACT layers: the per-node min/max it accumulates over
+// representative inputs become the int8 quantization ranges of
+// graph.Quantize. Protected models calibrate the same way — their
+// RangerClip outputs are profiled too, so the restriction bounds land in
+// the quantized clamp limits for free.
+
+// CalibrationTypes returns the op types whose outputs the calibrator
+// profiles: every operator the quantized backend executes, plus the
+// input placeholder.
+func CalibrationTypes() []string {
+	return []string{
+		"Placeholder",
+		ops.TypeConv2D, ops.TypeDense, ops.TypeBiasAdd, ops.TypeAdd, ops.TypeScale,
+		ops.TypeRelu, ops.TypeTanh, ops.TypeSigmoid, ops.TypeElu, ops.TypeAtan,
+		ops.TypeClip, ops.TypeMaxPool, ops.TypeAvgPool, ops.TypeReshape, ops.TypeConcat,
+	}
+}
+
+// CalibrateModel profiles nBatches of feeds through the model and
+// returns the per-node value ranges the quantization pass needs.
+// feedsFn must return the feeds for batch i. Nodes outside the model's
+// inference path (losses, label placeholders) are simply absent from
+// the result.
+func CalibrateModel(m *models.Model, nBatches int, feedsFn func(i int) (graph.Feeds, error)) (graph.Calibration, error) {
+	p := NewProfiler(m.Graph, ProfileOptions{ActTypes: CalibrationTypes()})
+	for i := 0; i < nBatches; i++ {
+		feeds, err := feedsFn(i)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Observe(feeds, m.Output); err != nil {
+			return nil, fmt.Errorf("core: calibrate %s: %w", m.Name, err)
+		}
+	}
+	calib := make(graph.Calibration)
+	for name, b := range p.Bounds() {
+		if math.IsInf(b.Low, 0) || math.IsInf(b.High, 0) || b.Low > b.High {
+			continue // node never executed (loss path, labels)
+		}
+		calib[name] = graph.QRange{Lo: b.Low, Hi: b.High}
+	}
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("core: calibrate %s: no nodes observed", m.Name)
+	}
+	return calib, nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"ranger/internal/fixpoint"
+	"ranger/internal/graph"
+	"ranger/internal/inject"
+	"ranger/internal/models"
+)
+
+// QuantOverheadRow reports one model's fp32-vs-int8 story: inference
+// latency under the fused fp32 plan, the plain int8 plan, and the int8
+// plan with Ranger's range restriction folded into the requantization
+// clamps; plus SDC rates of bitflip-int8 campaigns against the plain
+// and restricted quantized models.
+type QuantOverheadRow struct {
+	Model string
+	// FP32 is the fused float plan's latency (unprotected model).
+	FP32 time.Duration
+	// Int8 is the quantized plan's latency (unprotected model).
+	Int8 time.Duration
+	// Int8Restricted is the quantized protected model's latency: the
+	// restriction bounds live inside the kernels' saturating clamps.
+	Int8Restricted time.Duration
+	// RestrictOverhead is Int8Restricted/Int8 - 1, the runtime cost of
+	// protection in the quantized domain (the paper's negligible-
+	// overhead claim, which int8 sharpens to ~0 by construction).
+	RestrictOverhead float64
+	// SDCInt8 and SDCInt8Restricted are the campaign SDC rates
+	// (classifiers: top-1; steering models: deviation > 15°) under one
+	// random int8 bit flip per execution.
+	SDCInt8           float64
+	SDCInt8Restricted float64
+	// Trials is the campaign size behind the SDC rates.
+	Trials int
+}
+
+// QuantOverheadResult is the quantized-backend counterpart of the
+// overhead experiment.
+type QuantOverheadResult struct {
+	Rows []QuantOverheadRow
+}
+
+// Render implements the experiment result interface.
+func (r *QuantOverheadResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Quantized backend: fp32 vs int8 vs int8+restriction\n")
+	b.WriteString("(restriction folds into the int8 saturating clamp; SDC under bitflip-int8)\n\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %12s %10s %10s %12s\n",
+		"model", "fp32/run", "int8/run", "int8+rr/run", "rr-cost", "SDC int8", "SDC int8+rr")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %10s %10s %12s %9.1f%% %9.1f%% %11.1f%%\n",
+			row.Model,
+			row.FP32.Round(time.Microsecond),
+			row.Int8.Round(time.Microsecond),
+			row.Int8Restricted.Round(time.Microsecond),
+			row.RestrictOverhead*100,
+			row.SDCInt8*100,
+			row.SDCInt8Restricted*100)
+	}
+	return b.String()
+}
+
+// quantSDC runs a bitflip-int8 campaign against m (calibrated under its
+// own name) over the given feeds and reduces the outcome to one SDC
+// rate.
+func (r *Runner) quantSDC(ctx context.Context, m *models.Model, feeds []graph.Feeds) (float64, int, error) {
+	calib, err := r.Calibration(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	c := r.campaign(m, fixpoint.Format{}, inject.BitFlipInt8{Flips: 1}, 8801)
+	c.Calibration = calib
+	out, err := c.Run(ctx, feeds)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch m.Kind {
+	case models.Regressor:
+		return out.RateAbove(15), out.Trials, nil
+	default:
+		return out.Top1Rate(), out.Trials, nil
+	}
+}
+
+// QuantOverhead measures every benchmark's fp32, int8, and
+// int8+restriction inference latency and the int8 campaign outcomes —
+// the deployment-grade counterpart of the overhead experiment: the
+// quantized model is the numeric format real inference runs in, and
+// there the Ranger clamp is folded into arithmetic the datapath performs
+// anyway.
+func QuantOverhead(ctx context.Context, r *Runner) (*QuantOverheadResult, error) {
+	res := &QuantOverheadResult{}
+	for _, name := range models.Names() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m, err := r.Model(name)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := r.Protected(name)
+		if err != nil {
+			return nil, err
+		}
+		feeds, err := r.Inputs(name)
+		if err != nil {
+			return nil, err
+		}
+		feed := feeds[0]
+
+		cm, err := m.Compile()
+		if err != nil {
+			return nil, err
+		}
+		calib, err := r.Calibration(m)
+		if err != nil {
+			return nil, err
+		}
+		qm, err := m.Quantize(calib)
+		if err != nil {
+			return nil, fmt.Errorf("quantoverhead %s: %w", name, err)
+		}
+		pcalib, err := r.Calibration(pm)
+		if err != nil {
+			return nil, err
+		}
+		qpm, err := pm.Quantize(pcalib)
+		if err != nil {
+			return nil, fmt.Errorf("quantoverhead %s (protected): %w", name, err)
+		}
+
+		row := QuantOverheadRow{Model: name}
+		if row.FP32, err = timeRuns(ctx, func() error { _, err := cm.Run(feed); return err }); err != nil {
+			return nil, fmt.Errorf("quantoverhead %s (fp32): %w", name, err)
+		}
+		if row.Int8, err = timeRuns(ctx, func() error { _, err := qm.Run(feed); return err }); err != nil {
+			return nil, fmt.Errorf("quantoverhead %s (int8): %w", name, err)
+		}
+		if row.Int8Restricted, err = timeRuns(ctx, func() error { _, err := qpm.Run(feed); return err }); err != nil {
+			return nil, fmt.Errorf("quantoverhead %s (int8+rr): %w", name, err)
+		}
+		row.RestrictOverhead = float64(row.Int8Restricted)/float64(row.Int8) - 1
+
+		if row.SDCInt8, row.Trials, err = r.quantSDC(ctx, m, feeds); err != nil {
+			return nil, fmt.Errorf("quantoverhead %s (campaign): %w", name, err)
+		}
+		if row.SDCInt8Restricted, _, err = r.quantSDC(ctx, pm, feeds); err != nil {
+			return nil, fmt.Errorf("quantoverhead %s (protected campaign): %w", name, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -88,6 +88,7 @@ type Runner struct {
 	maxima    map[string]map[string]float64
 	inputs    map[string][]graph.Feeds
 	protected map[string]*models.Model
+	calib     map[string]graph.Calibration
 }
 
 // NewRunner builds a Runner for the given configuration.
@@ -117,6 +118,7 @@ func NewRunner(cfg Config) *Runner {
 		maxima:    make(map[string]map[string]float64),
 		inputs:    make(map[string][]graph.Feeds),
 		protected: make(map[string]*models.Model),
+		calib:     make(map[string]graph.Calibration),
 	}
 }
 
@@ -266,6 +268,42 @@ func (r *Runner) Protected(name string) (*models.Model, error) {
 	r.protected[name] = pm
 	r.mu.Unlock()
 	return pm, nil
+}
+
+// Calibration returns (and caches) the PTQ calibration of a model — the
+// given one, which may be a protected variant — profiled over
+// ProfileSamples training samples of the dataset the base model trains
+// on. Protected duplicates calibrate under their own name, so their
+// RangerClip outputs land in the quantized clamp limits.
+func (r *Runner) Calibration(m *models.Model) (graph.Calibration, error) {
+	key := m.Name
+	lock := r.modelLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+	r.mu.Lock()
+	c, ok := r.calib[key]
+	r.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	ds, err := train.DatasetByName(m.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	n := r.cfg.ProfileSamples
+	if n > ds.Len(data.Train) {
+		n = ds.Len(data.Train)
+	}
+	c, err = core.CalibrateModel(m, n, func(i int) (graph.Feeds, error) {
+		return graph.Feeds{m.Input: ds.Sample(data.Train, i).X}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.calib[key] = c
+	r.mu.Unlock()
+	return c, nil
 }
 
 // Inputs returns (and caches) Config.Inputs validation samples on which

@@ -1,0 +1,102 @@
+package graph_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ranger/internal/graph"
+	"ranger/internal/ops"
+	"ranger/internal/tensor"
+)
+
+// FuzzFusedPlanBitIdentical turns the golden suite's fixed-architecture
+// pin into a property test: for a random chain of elementwise operators
+// (BiasAdd, activations, RangerClip, Scale) hanging off a matmul
+// producer, the fused plan, the unfused plan, and the legacy executor
+// must produce byte-identical outputs. The program bytes drive the
+// chain's structure; the seed drives every numeric value.
+func FuzzFusedPlanBitIdentical(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 6})          // bias, relu, clip: the canonical chain
+	f.Add(int64(2), []byte{0, 2, 7})          // bias, tanh, scale: the Dave-style head
+	f.Add(int64(3), []byte{5, 6, 6, 0})       // atan, clip, clip, bias
+	f.Add(int64(4), []byte{})                 // bare matmul
+	f.Add(int64(5), []byte{4, 3, 1, 2, 5, 7}) // every stage kind
+	f.Fuzz(func(t *testing.T, seed int64, prog []byte) {
+		if len(prog) > 24 {
+			prog = prog[:24]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		const features = 7
+		batch := 1 + rng.Intn(3)
+
+		g := graph.New()
+		in := g.MustAdd("x", &graph.Placeholder{Shape: []int{0, features}})
+		w := g.MustAdd("w", &graph.Variable{Value: tensor.New(features, 5).Randn(rng, 1)})
+		cur := g.MustAdd("mm", ops.DenseOp{}, in, w)
+		cols := 5
+		for i, b := range prog {
+			name := "op" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			switch b % 8 {
+			case 0:
+				bias := g.MustAdd(name+"_b", &graph.Variable{Value: tensor.New(cols).Randn(rng, 1)})
+				cur = g.MustAdd(name, ops.BiasAddOp{}, cur, bias)
+			case 1:
+				cur = g.MustAdd(name, ops.Relu(), cur)
+			case 2:
+				cur = g.MustAdd(name, ops.Tanh(), cur)
+			case 3:
+				cur = g.MustAdd(name, ops.Sigmoid(), cur)
+			case 4:
+				cur = g.MustAdd(name, ops.Elu(), cur)
+			case 5:
+				cur = g.MustAdd(name, ops.Atan(), cur)
+			case 6:
+				lo := float32(rng.NormFloat64())
+				hi := lo + float32(math.Abs(rng.NormFloat64()))
+				cur = g.MustAdd(name, ops.NewClip(lo, hi), cur)
+			case 7:
+				cur = g.MustAdd(name, &ops.ScaleOp{Factor: float32(rng.NormFloat64() * 2)}, cur)
+			}
+		}
+		feeds := graph.Feeds{"x": tensor.New(batch, features).Randn(rng, 2)}
+
+		var e graph.Executor
+		legacy, err := e.Run(g, feeds, cur.Name())
+		if err != nil {
+			t.Fatalf("legacy: %v", err)
+		}
+		fused, err := graph.Compile(g, cur.Name())
+		if err != nil {
+			t.Fatalf("compile fused: %v", err)
+		}
+		unfused, err := graph.CompileWith(g, graph.CompileOptions{NoFuse: true}, cur.Name())
+		if err != nil {
+			t.Fatalf("compile unfused: %v", err)
+		}
+		check := func(engine string, p *graph.Plan) {
+			t.Helper()
+			outs, err := p.Run(p.NewState(), feeds)
+			if err != nil {
+				t.Fatalf("%s run: %v", engine, err)
+			}
+			wd, gd := legacy[0].Data(), outs[0].Data()
+			if len(wd) != len(gd) {
+				t.Fatalf("%s: %d elements, want %d", engine, len(gd), len(wd))
+			}
+			for i := range wd {
+				if math.Float32bits(wd[i]) != math.Float32bits(gd[i]) {
+					t.Fatalf("%s: chain %v element %d: %g (%#x) != legacy %g (%#x)",
+						engine, prog, i, gd[i], math.Float32bits(gd[i]), wd[i], math.Float32bits(wd[i]))
+				}
+			}
+		}
+		check("fused", fused)
+		check("unfused", unfused)
+		// The fused plan must actually fold the whole single-consumer
+		// chain into the matmul step.
+		if want := len(prog); fused.FusedNodes() != want {
+			t.Fatalf("fused %d nodes, want %d (chain %v)", fused.FusedNodes(), want, prog)
+		}
+	})
+}

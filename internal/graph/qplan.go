@@ -1,0 +1,341 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"ranger/internal/tensor"
+)
+
+// This file implements the int8 quantization pass over compiled plans.
+// Quantize rewrites a Plan into a QPlan: every materialized step becomes
+// an int8 kernel (weights pre-quantized, fused epilogues folded into the
+// requantization), placeholders become quantize steps, and fetches are
+// dequantized on the way out — the quantize/dequantize boundary of a
+// post-training-quantized deployment. The QPlan reuses the source plan's
+// shape layouts and mirrors its liveness-based buffer-slot assignment,
+// so a quantized model runs with the same static memory plan as the
+// float one, at one quarter the activation footprint.
+
+// QRange is the calibrated real-value range of one node's output.
+type QRange struct {
+	Lo, Hi float64
+}
+
+// Calibration maps node names to their observed output ranges, the
+// product of running representative inputs through a Profiler
+// (core.CalibrateModel). Quantize derives each tensor's int8 parameters
+// from its range; a missing entry for a materialized node is an error.
+type Calibration map[string]QRange
+
+// Params returns the affine int8 parameters for a calibrated range.
+func (r QRange) Params() tensor.QParams { return tensor.QParamsFor(r.Lo, r.Hi) }
+
+// QuantSpec is everything an operator needs to compile its int8 kernel:
+// the quantization parameters of its runtime inputs and output, the
+// float values of its constant (Variable) inputs, and the fused
+// epilogue stages of its plan step, which the kernel must fold into its
+// requantization pass.
+type QuantSpec struct {
+	// In holds the runtime inputs' quantization parameters, aligned with
+	// the op's inputs; entries at constant positions are zero values.
+	In []tensor.QParams
+	// Out is the step output's quantization parameters.
+	Out tensor.QParams
+	// Consts holds the float values of Variable inputs (weights,
+	// biases), aligned with the op's inputs; nil at runtime positions.
+	Consts []*tensor.Tensor
+	// Epilogue is the step's fused elementwise chain (BiasAdd vectors
+	// already bound). Stages apply in the real domain between the op's
+	// arithmetic and the final quantization, so a RangerClip stage
+	// becomes a pair of int8 clamp limits — range restriction at zero
+	// marginal cost.
+	Epilogue []tensor.Stage
+}
+
+// QuantKernel evaluates one quantized step: ins are the runtime input
+// tensors aligned with the op's inputs (nil at constant positions), out
+// is the step's slot-backed output (fully overwritten), and tmp
+// recycles int8/int32 temporaries.
+type QuantKernel func(ins []*tensor.QTensor, out *tensor.QTensor, tmp *tensor.QScratch) error
+
+// QuantizedOp is an optional Op extension: operators that can compile an
+// int8 kernel participate in plan quantization. Ops without it make
+// Quantize fail with a descriptive error.
+type QuantizedOp interface {
+	Op
+	// QuantKernel compiles the op's int8 kernel for the given spec.
+	QuantKernel(spec QuantSpec) (QuantKernel, error)
+}
+
+// qStep is one step of a quantized plan.
+type qStep struct {
+	node    *Node
+	srcIdx  int         // index into the source plan's steps (layout lookup)
+	inIDs   []int       // runtime input node ids; -1 at constant positions
+	kernel  QuantKernel // nil for placeholder (quantize) steps
+	outQ    tensor.QParams
+	slot    int
+	observe bool
+}
+
+// QPlan is an immutable int8 execution schedule derived from a compiled
+// Plan. Like a Plan it is safe for concurrent use with per-worker
+// QPlanStates.
+type QPlan struct {
+	src     *Plan
+	steps   []qStep
+	nSlots  int
+	fetchID []int
+}
+
+// Quantize rewrites a compiled plan into an int8 execution plan using
+// the calibrated value ranges: placeholders quantize their feeds,
+// Variable weights are folded into their consumers' kernels, every
+// other materialized step compiles through its op's QuantizedOp
+// extension, and fetches dequantize back to float32. The pass fails if
+// a step's op cannot be quantized or a materialized node has no
+// calibration entry.
+func Quantize(p *Plan, calib Calibration) (*QPlan, error) {
+	q := &QPlan{src: p, fetchID: p.fetchID}
+	valOf := make(map[int]*tensor.Tensor) // Variable node id -> value
+	qpOf := make(map[int]tensor.QParams)  // materialized node id -> params
+	isFetch := make(map[int]bool, len(p.fetchID))
+	for _, id := range p.fetchID {
+		isFetch[id] = true
+	}
+	for si := range p.steps {
+		s := &p.steps[si]
+		switch op := s.anchor.op.(type) {
+		case *Variable:
+			if op.Value == nil {
+				return nil, fmt.Errorf("graph: quantize: variable %q has no value", s.node.name)
+			}
+			if len(s.epilogue) > 0 {
+				return nil, fmt.Errorf("graph: quantize: variable %q has fused consumers", s.node.name)
+			}
+			if isFetch[s.node.id] {
+				return nil, fmt.Errorf("graph: quantize: fetch %q is a variable", s.node.name)
+			}
+			valOf[s.node.id] = op.Value
+			continue
+		case *Placeholder:
+			r, ok := calib[s.node.name]
+			if !ok {
+				return nil, fmt.Errorf("graph: quantize: no calibration for input %q", s.node.name)
+			}
+			outQ := r.Params()
+			q.steps = append(q.steps, qStep{
+				node: s.node, srcIdx: si, outQ: outQ, slot: -1, observe: s.observe,
+			})
+			qpOf[s.node.id] = outQ
+			continue
+		}
+		qop, ok := s.anchor.op.(QuantizedOp)
+		if !ok {
+			return nil, fmt.Errorf("graph: quantize: op %q (%s) has no int8 kernel", s.anchor.name, s.anchor.op.Type())
+		}
+		r, ok := calib[s.node.name]
+		if !ok {
+			return nil, fmt.Errorf("graph: quantize: no calibration for %q (%s)", s.node.name, s.node.op.Type())
+		}
+		spec := QuantSpec{
+			In:     make([]tensor.QParams, len(s.inIDs)),
+			Out:    r.Params(),
+			Consts: make([]*tensor.Tensor, len(s.inIDs)),
+		}
+		inIDs := make([]int, len(s.inIDs))
+		for i, id := range s.inIDs {
+			if v, ok := valOf[id]; ok {
+				spec.Consts[i] = v
+				inIDs[i] = -1
+				continue
+			}
+			qp, ok := qpOf[id]
+			if !ok {
+				return nil, fmt.Errorf("graph: quantize: input of %q not quantized", s.anchor.name)
+			}
+			spec.In[i] = qp
+			inIDs[i] = id
+		}
+		for _, e := range s.epilogue {
+			st := e.proto
+			if e.aux != nil {
+				v, ok := e.aux.op.(*Variable)
+				if !ok || v.Value == nil {
+					return nil, fmt.Errorf("graph: quantize: fused bias of %q is not a variable", s.node.name)
+				}
+				st.Vec, st.C = v.Value.Data(), v.Value.Size()
+			}
+			spec.Epilogue = append(spec.Epilogue, st)
+		}
+		kernel, err := qop.QuantKernel(spec)
+		if err != nil {
+			return nil, fmt.Errorf("graph: quantize %q (%s): %w", s.anchor.name, s.anchor.op.Type(), err)
+		}
+		q.steps = append(q.steps, qStep{
+			node: s.node, srcIdx: si, inIDs: inIDs, kernel: kernel,
+			outQ: spec.Out, slot: -1, observe: s.observe,
+		})
+		qpOf[s.node.id] = spec.Out
+	}
+	for _, id := range p.fetchID {
+		if _, ok := qpOf[id]; !ok {
+			return nil, fmt.Errorf("graph: quantize: fetch not produced by a quantized step")
+		}
+	}
+	q.assignSlots(isFetch)
+	return q, nil
+}
+
+// assignSlots mirrors Plan.assignSlots: a linear scan hands every step
+// an int8 output slot and recycles it after the node's last consumer, so
+// the quantized plan runs in the same statically-bounded memory as the
+// float one. A step's inputs release only after its output slot is
+// taken, and fetch outputs are never released.
+func (q *QPlan) assignSlots(isFetch map[int]bool) {
+	lastUse := make(map[int]int, len(q.steps))
+	for si := range q.steps {
+		for _, id := range q.steps[si].inIDs {
+			if id >= 0 {
+				lastUse[id] = si
+			}
+		}
+	}
+	releaseAt := make([][]int, len(q.steps))
+	var free []int
+	for si := range q.steps {
+		s := &q.steps[si]
+		var slot int
+		if n := len(free); n > 0 {
+			slot = free[n-1]
+			free = free[:n-1]
+		} else {
+			slot = q.nSlots
+			q.nSlots++
+		}
+		s.slot = slot
+		if !isFetch[s.node.id] {
+			last, ok := lastUse[s.node.id]
+			if !ok || last < si {
+				last = si
+			}
+			releaseAt[last] = append(releaseAt[last], slot)
+		}
+		free = append(free, releaseAt[si]...)
+	}
+}
+
+// Steps returns the number of quantized execution steps.
+func (q *QPlan) Steps() int { return len(q.steps) }
+
+// Slots returns the number of statically assigned int8 output buffers.
+func (q *QPlan) Slots() int { return q.nSlots }
+
+// QHook observes and optionally replaces a quantized step's int8 output
+// — the hook point of the int8 fault injector. Returning a non-nil
+// tensor substitutes it for the step's output.
+type QHook func(node *Node, out *tensor.QTensor) *tensor.QTensor
+
+// QPlanState is the mutable per-worker execution state of one QPlan.
+// States are not safe for concurrent use — give each worker its own.
+type QPlanState struct {
+	plan  *QPlan
+	slots [][]int8
+	cache []*tensor.QTensor
+	tmps  []*tensor.QScratch
+}
+
+// NewState returns a fresh execution state for the quantized plan.
+func (q *QPlan) NewState() *QPlanState {
+	return &QPlanState{
+		plan:  q,
+		slots: make([][]int8, q.nSlots),
+		cache: make([]*tensor.QTensor, q.src.g.Len()),
+		tmps:  make([]*tensor.QScratch, len(q.steps)),
+	}
+}
+
+func (st *QPlanState) slotBuf(slot, n int) []int8 {
+	if cap(st.slots[slot]) < n {
+		st.slots[slot] = make([]int8, n)
+	}
+	return st.slots[slot][:n]
+}
+
+func (st *QPlanState) tmp(si int) *tensor.QScratch {
+	if st.tmps[si] == nil {
+		st.tmps[si] = &tensor.QScratch{}
+	}
+	st.tmps[si].Reset()
+	return st.tmps[si]
+}
+
+// Run executes the quantized plan against float32 feeds and returns the
+// dequantized fetch outputs, in fetch order. Unlike Plan.Run the
+// returned tensors are freshly allocated and safe to retain.
+func (q *QPlan) Run(st *QPlanState, feeds Feeds) ([]*tensor.Tensor, error) {
+	return q.RunHook(st, feeds, nil)
+}
+
+// RunHook is Run with an int8 observation hook: hook is called for
+// every observation-point step of the source plan with the step's
+// quantized output, and may substitute a replacement exactly like
+// Plan.RunHook — but in the deployed int8 representation, which is what
+// the bitflip-int8 and stuckat-int8 fault scenarios corrupt.
+func (q *QPlan) RunHook(st *QPlanState, feeds Feeds, hook QHook) ([]*tensor.Tensor, error) {
+	if st == nil || st.plan != q {
+		return nil, errors.New("graph: quantized state belongs to a different plan")
+	}
+	layout, err := q.src.layoutFor(feeds)
+	if err != nil {
+		return nil, err
+	}
+	var ins []*tensor.QTensor
+	for si := range q.steps {
+		s := &q.steps[si]
+		sh := layout.shapes[s.srcIdx]
+		if sh == nil {
+			return nil, fmt.Errorf("graph: quantized step %q has no inferred shape", s.node.name)
+		}
+		buf := st.slotBuf(s.slot, layout.sizes[s.srcIdx])
+		out, err := tensor.QFromSlice(buf, s.outQ, sh...)
+		if err != nil {
+			return nil, err
+		}
+		if s.kernel == nil {
+			// Placeholder: quantize the feed (presence and shape were
+			// validated by the layout signature).
+			if _, err := tensor.QuantizeInto(out, feeds[s.node.name]); err != nil {
+				return nil, fmt.Errorf("graph: quantize feed %q: %w", s.node.name, err)
+			}
+		} else {
+			ins = ins[:0]
+			for _, id := range s.inIDs {
+				if id < 0 {
+					ins = append(ins, nil)
+					continue
+				}
+				in := st.cache[id]
+				if in == nil {
+					return nil, fmt.Errorf("graph: input of %q not evaluated", s.node.name)
+				}
+				ins = append(ins, in)
+			}
+			if err := s.kernel(ins, out, st.tmp(si)); err != nil {
+				return nil, fmt.Errorf("eval int8 %q (%s): %w", s.node.name, s.node.op.Type(), err)
+			}
+		}
+		if hook != nil && s.observe {
+			if repl := hook(s.node, out); repl != nil {
+				out = repl
+			}
+		}
+		st.cache[s.node.id] = out
+	}
+	outs := make([]*tensor.Tensor, len(q.fetchID))
+	for i, id := range q.fetchID {
+		outs[i] = st.cache[id].Dequantize()
+	}
+	return outs, nil
+}

@@ -1,0 +1,245 @@
+package graph_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ranger/internal/graph"
+	"ranger/internal/ops"
+	"ranger/internal/tensor"
+)
+
+// buildConvNet builds a small conv->bias->relu->clip->pool->flatten->
+// dense->bias graph covering the gemm fast path, pooling, and reshape.
+func buildConvNet(t *testing.T) (*graph.Graph, string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	g := graph.New()
+	in := g.MustAdd("input", &graph.Placeholder{Shape: []int{0, 8, 8, 2}})
+	w1 := g.MustAdd("w1", &graph.Variable{Value: tensor.New(3, 3, 2, 4).Randn(rng, 0.4)})
+	conv := g.MustAdd("conv", &ops.Conv2DOp{Geom: tensor.ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PadH: 1, PadW: 1}}, in, w1)
+	b1 := g.MustAdd("b1", &graph.Variable{Value: tensor.New(4).Randn(rng, 0.2)})
+	bias := g.MustAdd("conv_bias", ops.BiasAddOp{}, conv, b1)
+	act := g.MustAdd("act", ops.Relu(), bias)
+	clip := g.MustAdd("clip", ops.NewClip(0, 1.5), act)
+	pool := g.MustAdd("pool", &ops.MaxPoolOp{Geom: tensor.ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}}, clip)
+	flat := g.MustAdd("flat", ops.Flatten(), pool)
+	w2 := g.MustAdd("w2", &graph.Variable{Value: tensor.New(4*4*4, 5).Randn(rng, 0.3)})
+	fc := g.MustAdd("fc", ops.DenseOp{}, flat, w2)
+	b2 := g.MustAdd("b2", &graph.Variable{Value: tensor.New(5).Randn(rng, 0.2)})
+	out := g.MustAdd("out", ops.BiasAddOp{}, fc, b2)
+	return g, out.Name()
+}
+
+// calibrate records every node's output range with the legacy executor.
+func calibrate(t *testing.T, g *graph.Graph, output string, feeds []graph.Feeds) graph.Calibration {
+	t.Helper()
+	calib := make(graph.Calibration)
+	record := func(name string, data []float32) {
+		r, ok := calib[name]
+		if !ok {
+			r = graph.QRange{Lo: math.Inf(1), Hi: math.Inf(-1)}
+		}
+		for _, v := range data {
+			f := float64(v)
+			if f < r.Lo {
+				r.Lo = f
+			}
+			if f > r.Hi {
+				r.Hi = f
+			}
+		}
+		calib[name] = r
+	}
+	e := graph.Executor{Hook: func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+		record(n.Name(), out.Data())
+		return nil
+	}}
+	for _, feed := range feeds {
+		if _, err := e.Run(g, feed, output); err != nil {
+			t.Fatal(err)
+		}
+		for name, x := range feed {
+			record(name, x.Data())
+		}
+	}
+	return calib
+}
+
+func testFeeds(n int) []graph.Feeds {
+	rng := rand.New(rand.NewSource(9))
+	feeds := make([]graph.Feeds, n)
+	for i := range feeds {
+		feeds[i] = graph.Feeds{"input": tensor.New(1, 8, 8, 2).RandUniform(rng, -1, 1)}
+	}
+	return feeds
+}
+
+func TestQuantizedPlanTracksFloat(t *testing.T) {
+	g, output := buildConvNet(t)
+	feeds := testFeeds(3)
+	calib := calibrate(t, g, output, feeds)
+
+	plan, err := graph.Compile(g, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := graph.Quantize(plan, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp.Slots() >= qp.Steps() && qp.Steps() > 2 {
+		t.Errorf("no slot reuse: %d slots for %d steps", qp.Slots(), qp.Steps())
+	}
+	st := qp.NewState()
+	var e graph.Executor
+	outR := calib[output]
+	step := (outR.Hi - outR.Lo) / 255
+	for fi, feed := range feeds {
+		want, err := e.Run(g, feed, output)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := qp.Run(st, feed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd, gd := want[0].Data(), got[0].Data()
+		if len(wd) != len(gd) {
+			t.Fatalf("feed %d: %d elements, want %d", fi, len(gd), len(wd))
+		}
+		tol := 0.05*(outR.Hi-outR.Lo) + 2*step
+		for i := range wd {
+			if diff := math.Abs(float64(wd[i] - gd[i])); diff > tol {
+				t.Fatalf("feed %d element %d: int8 %g vs float %g (diff %g > %g)", fi, i, gd[i], wd[i], diff, tol)
+			}
+		}
+	}
+}
+
+func TestQuantizedPlanDeterministic(t *testing.T) {
+	g, output := buildConvNet(t)
+	feeds := testFeeds(2)
+	calib := calibrate(t, g, output, feeds)
+	plan, err := graph.Compile(g, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := graph.Quantize(plan, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []float32 {
+		st := qp.NewState()
+		outs, err := qp.Run(st, feeds[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs[0].Data()
+	}
+	want := run()
+	for i := 0; i < 3; i++ {
+		got := run()
+		for j := range want {
+			if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+				t.Fatalf("run %d element %d: %g != %g", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestQuantizedObserveHook pins the int8 fault-injection mechanism: an
+// observed step's int8 output can be replaced, and the replacement
+// propagates downstream.
+func TestQuantizedObserveHook(t *testing.T) {
+	g, output := buildConvNet(t)
+	feeds := testFeeds(1)
+	calib := calibrate(t, g, output, feeds)
+	plan, err := graph.CompileWith(g, graph.CompileOptions{Observe: []string{"act"}}, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := graph.Quantize(plan, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := qp.NewState()
+	clean, err := qp.Run(st, feeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanOut := clean[0].Clone()
+
+	seen := false
+	faulty, err := qp.RunHook(st, feeds[0], func(n *graph.Node, out *tensor.QTensor) *tensor.QTensor {
+		if n.Name() != "act" {
+			return nil
+		}
+		seen = true
+		repl := out.Clone()
+		for i := range repl.Data() {
+			repl.Data()[i] = 127 // saturate the whole activation
+		}
+		return repl
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("hook never saw the observed node")
+	}
+	diff := false
+	for i, v := range faulty[0].Data() {
+		if v != cleanOut.Data()[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("saturating an observed activation did not change the output")
+	}
+	// A clean re-run on the same state is unaffected by the earlier fault.
+	again, err := qp.Run(st, feeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range again[0].Data() {
+		if math.Float32bits(v) != math.Float32bits(cleanOut.Data()[i]) {
+			t.Fatalf("state retained fault: element %d %g != %g", i, v, cleanOut.Data()[i])
+		}
+	}
+}
+
+// TestQuantizeErrors pins the pass's failure modes: missing calibration
+// and unquantizable ops report descriptive errors.
+func TestQuantizeErrors(t *testing.T) {
+	g, output := buildConvNet(t)
+	feeds := testFeeds(1)
+	calib := calibrate(t, g, output, feeds)
+	plan, err := graph.Compile(g, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := make(graph.Calibration)
+	for k, v := range calib {
+		if k != "pool" {
+			partial[k] = v
+		}
+	}
+	if _, err := graph.Quantize(plan, partial); err == nil {
+		t.Fatal("quantize succeeded without calibration for a materialized node")
+	}
+
+	// Softmax has no int8 kernel: quantizing a plan that fetches it fails.
+	g2 := graph.New()
+	in := g2.MustAdd("input", &graph.Placeholder{Shape: []int{0, 3}})
+	sm := g2.MustAdd("sm", ops.SoftmaxOp{}, in)
+	p2, err := graph.Compile(g2, sm.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graph.Quantize(p2, graph.Calibration{"input": {Lo: -1, Hi: 1}, "sm": {Lo: 0, Hi: 1}}); err == nil {
+		t.Fatal("quantize succeeded for an op with no int8 kernel")
+	}
+}

@@ -86,6 +86,9 @@ func (c *Campaign) RunWithDetector(ctx context.Context, inputs []graph.Feeds, de
 	if det == nil {
 		return DetectorOutcome{}, fmt.Errorf("inject: nil detector")
 	}
+	if c.Calibration != nil {
+		return DetectorOutcome{}, fmt.Errorf("inject: detectors observe fp32 values; quantized campaigns support Run only")
+	}
 	if err := c.validate(inputs); err != nil {
 		return DetectorOutcome{}, err
 	}

@@ -71,6 +71,13 @@ type Campaign struct {
 	// default (RANGER_WORKERS or the core count). Outcomes are identical
 	// at every worker count.
 	Workers int
+	// Calibration, when non-nil, switches the campaign to the int8
+	// quantized backend: the model compiles to an int8 plan under these
+	// calibrated value ranges, and faults strike the quantized (int8)
+	// representation of operator outputs — the deployed numeric format.
+	// The Scenario must then implement Int8Scenario (bitflip-int8,
+	// stuckat-int8); Format is ignored.
+	Calibration graph.Calibration
 	// OnTrial, when non-nil, streams each trial's judged result as it
 	// completes. Calls are serialized but arrive in scheduling order, not
 	// trial order; the final Outcome is still folded deterministically.
@@ -109,7 +116,15 @@ func (c *Campaign) validate(inputs []graph.Feeds) error {
 	if len(inputs) == 0 {
 		return fmt.Errorf("inject: no inputs")
 	}
-	return c.scenario().Validate(c.format())
+	scen := c.scenario()
+	_, int8Scen := scen.(Int8Scenario)
+	if c.Calibration != nil && !int8Scen {
+		return fmt.Errorf("inject: quantized campaign needs an int8 scenario, got %q", scen.Name())
+	}
+	if c.Calibration == nil && int8Scen {
+		return errInt8Only(scen.Name())
+	}
+	return scen.Validate(c.format())
 }
 
 // TrialResult is one completed trial's judged result, streamed through
@@ -279,7 +294,9 @@ func (c *Campaign) sampleFaultSites(fs *FaultSpace, rng *rand.Rand) map[string][
 //
 // The model is compiled once into an execution plan (excluded nodes fuse;
 // every corruptible node stays an observation point) and the plan is
-// reused across all trials and workers. Trials are sharded across
+// reused across all trials and workers. When Calibration is set the plan
+// is additionally quantized to int8 and faults strike the quantized
+// representation. Trials are sharded across
 // workers, each trial sampling from its own hash(Seed, input, trial)
 // stream and judged into an index slot, then reduced in trial order — the
 // Outcome is byte-identical at every worker count and to the pre-plan
@@ -289,13 +306,12 @@ func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, erro
 	if err := c.validate(inputs); err != nil {
 		return Outcome{}, err
 	}
-	plan, err := c.compile()
+	exec, err := c.newExec()
 	if err != nil {
 		return Outcome{}, err
 	}
 	workers := parallel.Resolve(c.Workers)
 	var out Outcome
-	cleanState := plan.NewState()
 	var cbMu sync.Mutex
 	for ii, feeds := range inputs {
 		if err := ctx.Err(); err != nil {
@@ -305,22 +321,21 @@ func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, erro
 		if err != nil {
 			return Outcome{}, err
 		}
-		refOuts, err := plan.Run(cleanState, feeds)
+		ref, err := exec.ref(feeds)
 		if err != nil {
 			return Outcome{}, fmt.Errorf("inject: clean run: %w", err)
 		}
-		ref := refOuts[0].Clone()
 		verdicts := make([]trialVerdict, c.Trials)
 		errs := make([]error, c.Trials)
 		parallel.Shard(workers, c.Trials, func(lo, hi int) {
-			st := plan.NewState()
+			run := exec.newTrial()
 			for trial := lo; trial < hi; trial++ {
 				if err := ctx.Err(); err != nil {
 					errs[trial] = err
 					return
 				}
 				sites := c.sampleFaultSites(fs, trialRNG(c.Seed, ii, trial))
-				faulty, err := c.runWithFaults(plan, st, feeds, sites)
+				faulty, err := run(feeds, sites)
 				if err != nil {
 					errs[trial] = err
 					continue
@@ -341,6 +356,63 @@ func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, erro
 		}
 	}
 	return out, nil
+}
+
+// campaignExec abstracts the campaign's execution backend: the fp32
+// compiled plan, or the int8 quantized plan when Calibration is set.
+// ref runs the clean model (the SDC reference); newTrial returns a
+// per-worker faulty-run function owning its own buffer state.
+type campaignExec struct {
+	ref      func(feeds graph.Feeds) (*tensor.Tensor, error)
+	newTrial func() func(feeds graph.Feeds, sites map[string][]Site) (*tensor.Tensor, error)
+}
+
+// newExec builds the campaign's execution backend, compiling the shared
+// plan once.
+func (c *Campaign) newExec() (*campaignExec, error) {
+	plan, err := c.compile()
+	if err != nil {
+		return nil, err
+	}
+	if c.Calibration != nil {
+		qp, err := graph.Quantize(plan, c.Calibration)
+		if err != nil {
+			return nil, fmt.Errorf("inject: quantize %s: %w", c.Model.Name, err)
+		}
+		scen := c.scenario().(Int8Scenario) // checked in validate
+		cleanState := qp.NewState()
+		return &campaignExec{
+			ref: func(feeds graph.Feeds) (*tensor.Tensor, error) {
+				outs, err := qp.Run(cleanState, feeds)
+				if err != nil {
+					return nil, err
+				}
+				return outs[0], nil
+			},
+			newTrial: func() func(graph.Feeds, map[string][]Site) (*tensor.Tensor, error) {
+				st := qp.NewState()
+				return func(feeds graph.Feeds, sites map[string][]Site) (*tensor.Tensor, error) {
+					return c.runWithFaultsInt8(qp, st, feeds, sites, scen)
+				}
+			},
+		}, nil
+	}
+	cleanState := plan.NewState()
+	return &campaignExec{
+		ref: func(feeds graph.Feeds) (*tensor.Tensor, error) {
+			outs, err := plan.Run(cleanState, feeds)
+			if err != nil {
+				return nil, err
+			}
+			return outs[0].Clone(), nil
+		},
+		newTrial: func() func(graph.Feeds, map[string][]Site) (*tensor.Tensor, error) {
+			st := plan.NewState()
+			return func(feeds graph.Feeds, sites map[string][]Site) (*tensor.Tensor, error) {
+				return c.runWithFaults(plan, st, feeds, sites)
+			}
+		},
+	}, nil
 }
 
 // runWithFaults executes the model's plan with the given fault sites
@@ -373,6 +445,43 @@ func (c *Campaign) runWithFaults(plan *graph.Plan, st *graph.PlanState, feeds gr
 		return repl
 	}
 	outs, err := plan.RunHook(st, feeds, hook)
+	if hookErr != nil {
+		return nil, hookErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("inject: faulty run: %w", err)
+	}
+	return outs[0], nil
+}
+
+// runWithFaultsInt8 is runWithFaults on the quantized backend: sites
+// strike the int8 representation of operator outputs through the
+// scenario's CorruptInt8, and the dequantized fetch is judged exactly
+// like a float output.
+func (c *Campaign) runWithFaultsInt8(qp *graph.QPlan, st *graph.QPlanState, feeds graph.Feeds, sites map[string][]Site, scen Int8Scenario) (*tensor.Tensor, error) {
+	var hookErr error
+	hook := func(n *graph.Node, out *tensor.QTensor) *tensor.QTensor {
+		ss, ok := sites[n.Name()]
+		if !ok || hookErr != nil {
+			return nil
+		}
+		repl := out.Clone()
+		for _, s := range ss {
+			if s.Elem < 0 || s.Elem >= repl.Size() {
+				hookErr = fmt.Errorf("inject: fault site %s[%d] outside tensor of %d elements (fault-space/shape mismatch)",
+					s.Node, s.Elem, repl.Size())
+				return nil
+			}
+			q, err := scen.CorruptInt8(repl.Data()[s.Elem], s)
+			if err != nil {
+				hookErr = fmt.Errorf("inject: corrupt %s[%d]: %w", s.Node, s.Elem, err)
+				return nil
+			}
+			repl.Data()[s.Elem] = q
+		}
+		return repl
+	}
+	outs, err := qp.RunHook(st, feeds, hook)
 	if hookErr != nil {
 		return nil, hookErr
 	}

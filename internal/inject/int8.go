@@ -1,0 +1,137 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ranger/internal/fixpoint"
+)
+
+// Int8 fault scenarios. A deployed post-training-quantized model stores
+// activations as int8, so a hardware transient fault there flips bits
+// of an 8-bit word, not of the float32 (or fixed-point) value the fp32
+// campaigns model. These scenarios corrupt the quantized representation
+// directly; campaigns select the int8 backend by setting
+// Campaign.Calibration, which compiles the model to an int8 plan and
+// applies CorruptInt8 to operator outputs in place of Corrupt.
+
+// Int8Scenario is implemented by scenarios that corrupt raw int8
+// quantized values. The embedded Scenario's Sample draws sites over the
+// quantized tensors' elements with bit positions in [0, 8).
+type Int8Scenario interface {
+	Scenario
+	// CorruptInt8 maps a clean stored int8 value to the faulty one.
+	CorruptInt8(q int8, s Site) (int8, error)
+}
+
+// errInt8Only is the Corrupt error of int8 scenarios used outside a
+// quantized campaign.
+func errInt8Only(name string) error {
+	return fmt.Errorf("inject: scenario %q corrupts int8 values; set Campaign.Calibration to run the quantized backend", name)
+}
+
+// BitFlipInt8 is the primary int8 fault model: Flips independent
+// (node, element, bit) sites per execution, each flipping one bit of
+// the stored 8-bit word. The counterpart of BitFlips for the deployed
+// quantized format — note bit 7 is both sign and top magnitude bit of
+// the two's-complement int8, so the worst-case amplification is bounded
+// by the tensor's quantization range, which is exactly the property
+// that makes quantization itself a mild range restriction.
+type BitFlipInt8 struct {
+	// Flips is the number of independent bit flips per execution.
+	Flips int
+}
+
+// Name implements Scenario.
+func (b BitFlipInt8) Name() string { return "bitflip-int8" }
+
+// Validate implements Scenario.
+func (b BitFlipInt8) Validate(fixpoint.Format) error {
+	if b.Flips <= 0 {
+		return fmt.Errorf("inject: bit flips = %d", b.Flips)
+	}
+	return nil
+}
+
+// Sample implements Scenario: bit positions are drawn from the 8-bit
+// word regardless of the campaign's fixed-point format.
+func (b BitFlipInt8) Sample(space *FaultSpace, _ fixpoint.Format, rng *rand.Rand) []Site {
+	sites := make([]Site, b.Flips)
+	for i := range sites {
+		sites[i] = space.SampleSite(rng, 8)
+	}
+	return sites
+}
+
+// Corrupt implements Scenario; int8 scenarios only run on the quantized
+// backend.
+func (b BitFlipInt8) Corrupt(fixpoint.Format, float32, Site) (float32, error) {
+	return 0, errInt8Only(b.Name())
+}
+
+// CorruptInt8 implements Int8Scenario.
+func (b BitFlipInt8) CorruptInt8(q int8, s Site) (int8, error) {
+	if s.Bit < 0 || s.Bit >= 8 {
+		return 0, fmt.Errorf("inject: bit %d out of range for int8", s.Bit)
+	}
+	return int8(uint8(q) ^ (1 << uint(s.Bit))), nil
+}
+
+// StuckAtInt8 forces sampled bits of stored int8 values to Value (0 or
+// 1) instead of toggling them — the int8 counterpart of StuckAt.
+type StuckAtInt8 struct {
+	// Faults is the number of stuck bits per execution.
+	Faults int
+	// Value is the level the bit is forced to: 0 or 1.
+	Value int
+}
+
+// Name implements Scenario.
+func (s StuckAtInt8) Name() string { return "stuckat-int8" }
+
+// Validate implements Scenario.
+func (s StuckAtInt8) Validate(fixpoint.Format) error {
+	if s.Faults <= 0 {
+		return fmt.Errorf("inject: stuck-at faults = %d", s.Faults)
+	}
+	if s.Value != 0 && s.Value != 1 {
+		return fmt.Errorf("inject: stuck-at value = %d, want 0 or 1", s.Value)
+	}
+	return nil
+}
+
+// Sample implements Scenario.
+func (s StuckAtInt8) Sample(space *FaultSpace, _ fixpoint.Format, rng *rand.Rand) []Site {
+	sites := make([]Site, s.Faults)
+	for i := range sites {
+		sites[i] = space.SampleSite(rng, 8)
+	}
+	return sites
+}
+
+// Corrupt implements Scenario; int8 scenarios only run on the quantized
+// backend.
+func (s StuckAtInt8) Corrupt(fixpoint.Format, float32, Site) (float32, error) {
+	return 0, errInt8Only(s.Name())
+}
+
+// CorruptInt8 implements Int8Scenario.
+func (s StuckAtInt8) CorruptInt8(q int8, site Site) (int8, error) {
+	if site.Bit < 0 || site.Bit >= 8 {
+		return 0, fmt.Errorf("inject: bit %d out of range for int8", site.Bit)
+	}
+	raw := uint8(q)
+	if s.Value == 1 {
+		raw |= 1 << uint(site.Bit)
+	} else {
+		raw &^= 1 << uint(site.Bit)
+	}
+	return int8(raw), nil
+}
+
+func init() {
+	RegisterScenario("bitflip-int8", func(n int) (Scenario, error) { return BitFlipInt8{Flips: n}, nil })
+	// stuckat-int8 registers the damaging stuck-at-1 variant; construct
+	// StuckAtInt8 directly for stuck-at-0 studies.
+	RegisterScenario("stuckat-int8", func(n int) (Scenario, error) { return StuckAtInt8{Faults: n, Value: 1}, nil })
+}

@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -8,6 +9,10 @@ import (
 
 	"ranger/internal/fixpoint"
 )
+
+// ErrUnknownScenario reports a scenario name absent from the registry;
+// NewScenario wraps it so callers can branch with errors.Is.
+var ErrUnknownScenario = errors.New("inject: unknown scenario")
 
 // Site is one sampled fault location: an element of a node's output
 // tensor and a bit position in its fixed-point encoding. Payload carries
@@ -276,7 +281,7 @@ func NewScenario(name string, faults int) (Scenario, error) {
 	f, ok := scenarioRegistry[name]
 	scenarioMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("inject: unknown scenario %q (have %v)", name, ScenarioNames())
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownScenario, name, ScenarioNames())
 	}
 	return f(faults)
 }

@@ -102,6 +102,9 @@ func (e Epilogue) Apply(data []float32) {
 		cn.apply(data)
 		return
 	}
+	// Inline stage loop (not a per-element ApplyAt call): this is the
+	// fp32 fused epilogue's hot path and must not pay a non-inlinable
+	// function call per element.
 	for i, v := range data {
 		for si := range e {
 			st := &e[si]
@@ -128,6 +131,37 @@ func (e Epilogue) Apply(data []float32) {
 		}
 		data[i] = v
 	}
+}
+
+// ApplyAt applies every stage to one value at flat index i — the scalar
+// form of Apply (same stage semantics, element by element), used by
+// quantized kernels that fold the epilogue into their requantization
+// pass.
+func (e Epilogue) ApplyAt(v float32, i int) float32 {
+	for si := range e {
+		st := &e[si]
+		switch st.Kind {
+		case StageBias:
+			v += st.Vec[i%st.C]
+		case StageRelu:
+			// !(v > 0), not v < 0: NaN and -0.0 must map to +0
+			// exactly like the unfused ReLU kernel.
+			if !(v > 0) {
+				v = 0
+			}
+		case StageMap:
+			v = st.F(v)
+		case StageClamp:
+			if v < st.Lo {
+				v = st.Lo
+			} else if v > st.Hi {
+				v = st.Hi
+			}
+		case StageScale:
+			v *= st.A
+		}
+	}
+	return v
 }
 
 func (cn canon) apply(data []float32) {

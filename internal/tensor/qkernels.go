@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"fmt"
+
+	"ranger/internal/parallel"
+)
+
+// Int8 compute kernels. QMatMul is the quantized counterpart of the
+// float32 matmul: int8 operands, int32 accumulation, and a caller-
+// supplied requantization epilogue that collapses zero-point correction,
+// bias, activation, and Ranger's range restriction into the single pass
+// that writes each output row back to int8. QIm2ColInto lowers int8 NHWC
+// inputs to patch rows so quantized convolution reuses the same GEMM.
+
+// QMatMul multiplies the (m,k) int8 matrix a by the (k,n) int8 matrix w,
+// accumulating acc[j] = Σ_p (a[p]-za)·w[p,j] in int32 and handing each
+// row to requant, which must write the row's int8 outputs into outRow.
+// Subtracting the zero point inside the loop (rather than correcting
+// with a per-column weight sum afterwards) lets the kernel skip
+// zero-valued operands exactly like the float kernels skip post-ReLU
+// zeros — the raw byte for real 0.0 is za, not 0. The per-term product
+// fits int32 for any reduction below ~65k taps, far past the zoo.
+// Rows are sharded across workers; integer accumulation makes results
+// identical at every worker count by construction.
+func QMatMul(a []int8, za int32, m, k int, w []int8, n int, out []int8, requant func(acc []int32, outRow []int8)) error {
+	if len(a) < m*k || len(w) < k*n || len(out) < m*n {
+		return fmt.Errorf("%w: qmatmul (%d,%d)x(%d,%d) over %d/%d/%d elements",
+			ErrShape, m, k, k, n, len(a), len(w), len(out))
+	}
+	parallel.Shard(kernelWorkers(m*k*n), m, func(lo, hi int) {
+		acc := make([]int32, n)
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			clear(acc)
+			if n <= blockN {
+				for p := 0; p < k; p++ {
+					av := int32(arow[p]) - za
+					if av == 0 {
+						continue
+					}
+					wrow := w[p*n : (p+1)*n]
+					for j, wv := range wrow {
+						acc[j] += av * int32(wv)
+					}
+				}
+			} else {
+				for p0 := 0; p0 < k; p0 += blockK {
+					p1 := min(p0+blockK, k)
+					for j0 := 0; j0 < n; j0 += blockN {
+						j1 := min(j0+blockN, n)
+						ab := acc[j0:j1]
+						for p := p0; p < p1; p++ {
+							av := int32(arow[p]) - za
+							if av == 0 {
+								continue
+							}
+							wrow := w[p*n+j0 : p*n+j1]
+							for j, wv := range wrow {
+								ab[j] += av * int32(wv)
+							}
+						}
+					}
+				}
+			}
+			requant(acc, out[i*n:(i+1)*n])
+		}
+	})
+	return nil
+}
+
+// QIm2ColInto lowers an int8 NHWC tensor into patch rows of length
+// KH*KW*C in dst (which must hold N*OH*OW rows). Padding taps are filled
+// with pad — the input's zero point, so padded positions dequantize to
+// exactly 0.0 like the float kernel's zero padding.
+func QIm2ColInto(dst []int8, x *QTensor, g ConvGeom, pad int8) error {
+	if x.Rank() != 4 {
+		return fmt.Errorf("%w: qim2col wants NHWC, got %v", ErrShape, x.shape)
+	}
+	n, h, w, c := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := g.OutDims(h, w)
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("%w: qim2col output %dx%d for input %v geom %+v", ErrShape, oh, ow, x.shape, g)
+	}
+	rowLen := g.KH * g.KW * c
+	rows := n * oh * ow
+	if len(dst) < rows*rowLen {
+		return fmt.Errorf("%w: qim2col dst %d elements, want %d", ErrShape, len(dst), rows*rowLen)
+	}
+	xd := x.data
+	parallel.Shard(kernelWorkers(rows*rowLen), rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			b := r / (oh * ow)
+			oy := r / ow % oh
+			ox := r % ow
+			row := r * rowLen
+			for i := row; i < row+rowLen; i++ {
+				dst[i] = pad
+			}
+			for ky := 0; ky < g.KH; ky++ {
+				iy := oy*g.SH - g.PadH + ky
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < g.KW; kx++ {
+					ix := ox*g.SW - g.PadW + kx
+					if ix < 0 || ix >= w {
+						continue
+					}
+					src := ((b*h+iy)*w + ix) * c
+					d := row + (ky*g.KW+kx)*c
+					copy(dst[d:d+c], xd[src:src+c])
+				}
+			}
+		}
+	})
+	return nil
+}

@@ -10,6 +10,7 @@ package ranger_test
 import (
 	"context"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -602,6 +603,68 @@ func BenchmarkPlanProtectedLegacyExecutor(b *testing.B) {
 		if _, err := e.Run(g, feeds, output); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCampaignTrialThroughput measures the fault-campaign trial
+// hot path — the workload behind every SDC table in the paper — on an
+// untrained lenet (campaign mechanics only, so it runs in the -short CI
+// smoke) with a late-layer fault space, comparing full per-trial replay
+// against checkpointed suffix replay. Reported metrics: trials/s and
+// allocs/trial (averaged over whole campaign runs, so it includes the
+// per-campaign compile/checkpoint setup; the strict steady-state gate
+// is TestIncrementalTrialZeroAlloc in internal/inject).
+func BenchmarkCampaignTrialThroughput(b *testing.B) {
+	m, err := models.Build("lenet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := train.DatasetByName(m.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feeds := []graph.Feeds{{m.Input: ds.Sample(data.Train, 0).X}}
+	// Late-layer fault space: the last few corruptible operator outputs.
+	corruptible := inject.CorruptibleNodes(m, nil, nil)
+	late := corruptible[len(corruptible)-3:]
+	trials := 256
+	if testing.Short() {
+		trials = 64
+	}
+	for _, mode := range []struct {
+		name string
+		inc  inject.IncrementalMode
+	}{
+		{"full", inject.IncrementalOff},
+		{"incremental", inject.IncrementalOn},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := &inject.Campaign{
+				Model: m, Trials: trials, Seed: 42,
+				TargetNodes: late, Incremental: mode.inc,
+			}
+			// Warm once so plan compilation and state growth do not
+			// count toward the measured per-trial costs.
+			if _, err := c.Run(context.Background(), feeds); err != nil {
+				b.Fatal(err)
+			}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Run(context.Background(), feeds); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			total := float64(b.N) * float64(trials)
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(total/sec, "trials/s")
+			}
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/total, "allocs/trial")
+		})
 	}
 }
 

@@ -12,7 +12,28 @@ import (
 // primary model: one random bit flip in a Q32 datapath), then call Run
 // or RunWithDetector with a cancellable context. Set OnTrial — or use
 // Stream — to receive per-trial results while a long campaign runs.
+// Campaigns default to incremental execution (checkpointed suffix
+// replay); set Incremental: ranger.IncrementalOff to force full
+// per-trial replay. Outcomes are byte-identical either way.
 type Campaign = inject.Campaign
+
+// IncrementalMode selects a campaign's trial execution strategy; the
+// zero value (IncrementalOn) enables checkpointed suffix replay.
+type IncrementalMode = inject.IncrementalMode
+
+// The incremental-campaign toggle values.
+const (
+	// IncrementalOn — the default — replays only the plan suffix at or
+	// after each trial's earliest fault site.
+	IncrementalOn = inject.IncrementalOn
+	// IncrementalOff replays the full compiled plan for every trial.
+	IncrementalOff = inject.IncrementalOff
+)
+
+// ErrFaultSpaceMismatch reports a sampled fault site outside the struck
+// tensor (the fault space disagrees with the executed shapes); branch
+// with errors.Is.
+var ErrFaultSpaceMismatch = inject.ErrFaultSpaceMismatch
 
 // Outcome aggregates a campaign's results.
 type Outcome = inject.Outcome
@@ -35,6 +56,11 @@ type DetectorOutcome = inject.DetectorOutcome
 // Scenario is a pluggable hardware-fault model: site sampling plus value
 // corruption. Implementations register by name; see RegisterScenario.
 type Scenario = inject.Scenario
+
+// SiteAppender is an optional Scenario extension: sampling into a
+// caller-owned buffer, which keeps campaign trial loops allocation-free.
+// All built-in scenarios implement it.
+type SiteAppender = inject.SiteAppender
 
 // Site is one sampled fault location.
 type Site = inject.Site

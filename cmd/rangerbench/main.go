@@ -9,19 +9,25 @@
 //	rangerbench -exp tab6 -cpuprofile bench.pprof
 //
 // Experiment ids: fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 tab2 tab3
-// tab4 tab5 tab6 alt overhead quantoverhead. The overhead experiment
-// reports protected-vs-unprotected inference latency under the legacy
-// executor and under compiled plans with fusion disabled and enabled;
-// quantoverhead reports fp32 vs int8 vs int8+restriction latency and
-// bitflip-int8 campaign outcomes on the post-training-quantized
-// backend. Models are trained on first use and cached under
+// tab4 tab5 tab6 alt overhead quantoverhead campaignspeed. The overhead
+// experiment reports protected-vs-unprotected inference latency under
+// the legacy executor and under compiled plans with fusion disabled and
+// enabled; quantoverhead reports fp32 vs int8 vs int8+restriction
+// latency and bitflip-int8 campaign outcomes on the
+// post-training-quantized backend; campaignspeed reports fault-campaign
+// throughput (trials/sec) under full replay vs checkpointed suffix
+// replay. Models are trained on first use and cached under
 // $RANGER_CACHE (or the user cache dir), so the first run is slower.
 // -cpuprofile writes a pprof CPU profile for local hot-path analysis.
+// -json FILE additionally writes the machine-readable results of
+// experiments that support it (campaignspeed) as a {"id": result} JSON
+// object — the format the BENCH_*.json bench trajectory ingests.
 // Interrupting (Ctrl-C) cancels the in-flight campaign promptly.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +57,7 @@ func run(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1234, "campaign seed")
 	workers := fs.Int("workers", 0, "worker-pool width (default from RANGER_WORKERS or the core count)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (for go tool pprof)")
+	jsonOut := fs.String("json", "", "write machine-readable experiment results (BENCH_*.json trajectory format) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,8 +109,23 @@ func run(ctx context.Context, args []string) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("no experiments selected")
 	}
+	if *jsonOut != "" {
+		// Fail before any model trains: a -json run that would produce
+		// an empty file should not cost a multi-minute campaign first.
+		any := false
+		for _, id := range ids {
+			if ranger.ExperimentEmitsJSON(id) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return fmt.Errorf("-json: none of the selected experiments emit machine-readable results (campaignspeed does)")
+		}
+	}
 	fmt.Printf("rangerbench: %d experiments, %d trials x %d inputs per campaign, %d workers\n\n",
 		len(ids), cfg.Trials, cfg.Inputs, cfg.Workers)
+	machine := make(map[string]json.RawMessage)
 	for _, id := range ids {
 		start := time.Now()
 		res, err := ranger.RunExperiment(ctx, runner, id)
@@ -112,6 +134,23 @@ func run(ctx context.Context, args []string) error {
 		}
 		fmt.Println(res.Render())
 		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if j, ok := res.(interface{ JSON() ([]byte, error) }); ok && *jsonOut != "" {
+			raw, err := j.JSON()
+			if err != nil {
+				return fmt.Errorf("%s: marshal: %w", id, err)
+			}
+			machine[id] = raw
+		}
+	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(machine, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("-json: %w", err)
+		}
+		fmt.Printf("machine-readable results written to %s\n", *jsonOut)
 	}
 	return nil
 }

@@ -107,6 +107,29 @@
 // quantization itself acts as a mild range restriction, and measured
 // SDC rates are accordingly lower than fp32's.
 //
+// # Incremental campaign lifecycle
+//
+// Campaign trials execute by checkpointed suffix replay by default: a
+// fault at plan step k leaves every earlier step byte-identical to the
+// clean pass, so per input the campaign runs the clean pass once,
+// checkpoints every intermediate value still live past its producing
+// step (one clone per value, derived from the plan's liveness
+// analysis), and each trial restores its earliest struck step's live
+// set and executes only the plan suffix from there. Struck elements are
+// corrupted in place with element-level save/restore instead of tensor
+// cloning, and each worker's trial block is grouped by injection depth,
+// so deep-layer faults replay only a handful of steps; the fp32 trial
+// loop is allocation-free in the steady state. Outcomes stay
+// byte-identical to full replay — and to the pre-plan executor — at
+// every worker count on both backends: trials are judged into
+// trial-indexed slots and reduced in trial order regardless of the
+// depth-grouped execution order.
+//
+// The cost is one clean copy of the live activations per input. Set
+// Incremental: IncrementalOff to trade throughput for that memory
+// (large external models, memory-constrained hosts); rangerbench
+// -exp campaignspeed quantifies the trade across the zoo.
+//
 // # Substrate
 //
 // The repository contains the full substrate stack the paper depends on,

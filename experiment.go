@@ -38,10 +38,30 @@ var SteeringThresholds = experiments.SteeringThresholds
 type ExperimentResult interface{ Render() string }
 
 // experimentEntry adapts one concrete experiment function.
-type experimentEntry func(ctx context.Context, r *ExperimentRunner) (ExperimentResult, error)
+type experimentEntry struct {
+	run func(ctx context.Context, r *ExperimentRunner) (ExperimentResult, error)
+	// json marks results implementing the machine-readable JSON()
+	// extension; set where the experiment registers so capability and
+	// entry point cannot drift (jsonResult below pins it at compile
+	// time for each flagged result type).
+	json bool
+}
 
 func wrapExperiment[T ExperimentResult](f func(context.Context, *ExperimentRunner) (T, error)) experimentEntry {
-	return func(ctx context.Context, r *ExperimentRunner) (ExperimentResult, error) { return f(ctx, r) }
+	return experimentEntry{run: func(ctx context.Context, r *ExperimentRunner) (ExperimentResult, error) { return f(ctx, r) }}
+}
+
+// jsonResult is the machine-readable result extension rangerbench -json
+// consumes.
+type jsonResult interface{ JSON() ([]byte, error) }
+
+func wrapJSONExperiment[T interface {
+	ExperimentResult
+	jsonResult
+}](f func(context.Context, *ExperimentRunner) (T, error)) experimentEntry {
+	e := wrapExperiment(f)
+	e.json = true
+	return e
 }
 
 // experimentFns maps experiment ids to their entry points.
@@ -69,10 +89,15 @@ var experimentFns = map[string]experimentEntry{
 	// int8 vs int8+restriction latency, plus bitflip-int8 campaign SDC
 	// rates with and without restriction.
 	"quantoverhead": wrapExperiment(experiments.QuantOverhead),
+	// campaignspeed measures fault-campaign throughput (trials/sec):
+	// full per-trial replay vs checkpointed suffix replay, over the full
+	// and late-layer fault spaces. Emits machine-readable JSON through
+	// rangerbench -json for the bench trajectory.
+	"campaignspeed": wrapJSONExperiment(experiments.CampaignSpeed),
 }
 
 // experimentOrder fixes the paper's presentation order.
-var experimentOrder = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt", "overhead", "quantoverhead"}
+var experimentOrder = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt", "overhead", "quantoverhead", "campaignspeed"}
 
 // ExperimentIDs lists every experiment id in the paper's presentation
 // order.
@@ -82,6 +107,11 @@ func ExperimentIDs() []string {
 	return ids
 }
 
+// ExperimentEmitsJSON reports whether the experiment's result is
+// machine-readable (has a JSON() method), letting tools validate a
+// -json request before running anything expensive.
+func ExperimentEmitsJSON(id string) bool { return experimentFns[id].json }
+
 // RunExperiment regenerates one paper artifact by id (fig4..fig12,
 // tab2..tab6, alt), or runs the fused-vs-unfused protection-overhead
 // measurement (overhead). Cancelling ctx aborts its campaigns promptly.
@@ -90,5 +120,5 @@ func RunExperiment(ctx context.Context, r *ExperimentRunner, id string) (Experim
 	if !ok {
 		return nil, fmt.Errorf("ranger: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
-	return f(ctx, r)
+	return f.run(ctx, r)
 }

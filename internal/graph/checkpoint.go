@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"ranger/internal/tensor"
+)
+
+// This file implements checkpointed suffix replay for compiled plans.
+// A fault-injection trial that corrupts its earliest value at step k
+// leaves every step before k byte-identical to the clean pass, so a
+// campaign can run the clean pass once per input, capture the values
+// still live at later step boundaries, and replay only steps >= k per
+// trial. Checkpoint captures that live set (derived from the plan's
+// liveness analysis — one clone per live value, not one per boundary)
+// and RunFrom restores the boundary's live set into a worker's state
+// before executing the suffix. Outcomes are byte-identical to a full
+// replay: the restored values are the clean pass's own bits, and every
+// kernel is deterministic in its inputs.
+
+var errCheckpointPlan = errors.New("graph: checkpoint belongs to a different plan")
+
+// Checkpoint is one clean execution of a Plan over fixed feeds, with
+// every value that later steps may read retained (slot-backed values
+// cloned out of the recycled buffers; feeds, weights, and per-run
+// allocations aliased). It is immutable after capture and safe to share
+// across worker states replaying suffixes concurrently.
+type Checkpoint struct {
+	plan   *Plan
+	feeds  Feeds
+	layout *planLayout
+	vals   []*tensor.Tensor // per node id; nil = not live past its step
+	outs   []*tensor.Tensor // clean fetch outputs, in fetch order
+	elems  int              // cloned float32 elements (memory accounting)
+}
+
+// Checkpoint runs the plan cleanly on st and captures the suffix-replay
+// checkpoint for these feeds. The feeds must stay alive and unmodified
+// for as long as the checkpoint is used; the state can be reused (for
+// example to capture the next input's checkpoint) without invalidating
+// captures already taken.
+func (p *Plan) Checkpoint(st *PlanState, feeds Feeds) (*Checkpoint, error) {
+	if st == nil || st.plan != p {
+		return nil, errors.New("graph: plan state belongs to a different plan")
+	}
+	layout, err := p.layoutFor(feeds)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{
+		plan:   p,
+		feeds:  feeds,
+		layout: layout,
+		vals:   make([]*tensor.Tensor, p.g.Len()),
+	}
+	if _, err := p.runFrom(st, layout, feeds, 0, nil, func(si int, out *tensor.Tensor) {
+		s := &p.steps[si]
+		if p.lastUse[s.node.id] <= si {
+			return // nothing after this step reads the value
+		}
+		if s.planned != nil && s.slot >= 0 && layout.shapes[si] != nil {
+			// Slot-backed: the buffer is recycled by later steps and
+			// runs, so the live value must be copied out.
+			out = out.Clone()
+			ck.elems += out.Size()
+		}
+		ck.vals[s.node.id] = out
+	}); err != nil {
+		return nil, err
+	}
+	ck.outs = make([]*tensor.Tensor, len(p.fetchID))
+	for i, id := range p.fetchID {
+		ck.outs[i] = ck.vals[id]
+	}
+	return ck, nil
+}
+
+// Output returns the clean fetch output i. It is checkpoint-owned (a
+// clone for slot-backed fetches), so unlike Plan.Run results it stays
+// valid across later runs on any state — campaigns use it directly as
+// the SDC reference.
+func (ck *Checkpoint) Output(i int) *tensor.Tensor { return ck.outs[i] }
+
+// Feeds returns the feeds the checkpoint was captured against.
+func (ck *Checkpoint) Feeds() Feeds { return ck.feeds }
+
+// Elements returns how many float32 elements the checkpoint cloned —
+// the suffix-replay memory cost per input, roughly one copy of every
+// live intermediate activation.
+func (ck *Checkpoint) Elements() int { return ck.elems }
+
+// RunFrom restores the checkpoint's live set at boundary startStep into
+// st and executes only steps [startStep, Steps()), calling hook for
+// observation points exactly like RunHook. startStep=0 is equivalent to
+// RunHook over the checkpoint's feeds; startStep=Steps() executes
+// nothing and returns the clean outputs. The returned slice and any
+// recomputed tensors are owned by the state and valid until its next
+// run; outputs restored from the checkpoint are checkpoint-owned.
+//
+// The state's buffers are not reset between calls: a suffix replay that
+// corrupted values in place leaves stale bytes in the slot buffers, but
+// every step at or after the next call's boundary fully overwrites its
+// output, and everything before the boundary is read from the restored
+// checkpoint values, so stale bytes are never observed.
+func (p *Plan) RunFrom(st *PlanState, ck *Checkpoint, startStep int, hook Hook) ([]*tensor.Tensor, error) {
+	if st == nil || st.plan != p {
+		return nil, errors.New("graph: plan state belongs to a different plan")
+	}
+	if ck == nil || ck.plan != p {
+		return nil, errCheckpointPlan
+	}
+	if startStep < 0 || startStep > len(p.steps) {
+		return nil, fmt.Errorf("graph: RunFrom step %d of %d", startStep, len(p.steps))
+	}
+	for si := 0; si < startStep; si++ {
+		s := &p.steps[si]
+		id := s.node.id
+		if p.lastUse[id] < startStep {
+			continue // dead at the boundary: no later step reads it
+		}
+		v := ck.vals[id]
+		if v == nil {
+			return nil, fmt.Errorf("graph: checkpoint has no value for %q", s.node.name)
+		}
+		st.cache[id] = v
+	}
+	return p.runFrom(st, ck.layout, ck.feeds, startStep, hook, nil)
+}
+
+// QCheckpoint is Checkpoint for a quantized plan: one clean int8
+// execution with every live quantized value cloned out of the recycled
+// slot buffers. Immutable after capture; safe to share across workers.
+type QCheckpoint struct {
+	plan   *QPlan
+	feeds  Feeds
+	layout *planLayout
+	vals   []*tensor.QTensor
+	outs   []*tensor.Tensor // dequantized clean fetch outputs
+	elems  int
+}
+
+// Checkpoint runs the quantized plan cleanly on st and captures the
+// suffix-replay checkpoint for these feeds (every quantized step is
+// slot-backed, so every live value is cloned).
+func (q *QPlan) Checkpoint(st *QPlanState, feeds Feeds) (*QCheckpoint, error) {
+	if st == nil || st.plan != q {
+		return nil, errors.New("graph: quantized state belongs to a different plan")
+	}
+	layout, err := q.src.layoutFor(feeds)
+	if err != nil {
+		return nil, err
+	}
+	ck := &QCheckpoint{
+		plan:   q,
+		feeds:  feeds,
+		layout: layout,
+		vals:   make([]*tensor.QTensor, q.src.g.Len()),
+	}
+	if err := q.runFrom(st, layout, feeds, 0, nil, func(si int, out *tensor.QTensor) {
+		s := &q.steps[si]
+		if q.lastUse[s.node.id] <= si {
+			return
+		}
+		c := out.Clone()
+		ck.elems += c.Size()
+		ck.vals[s.node.id] = c
+	}); err != nil {
+		return nil, err
+	}
+	ck.outs = make([]*tensor.Tensor, len(q.fetchID))
+	for i, id := range q.fetchID {
+		ck.outs[i] = st.cache[id].Dequantize()
+	}
+	return ck, nil
+}
+
+// Output returns the clean dequantized fetch output i; checkpoint-owned
+// and safe to retain — campaigns use it directly as the SDC reference.
+func (ck *QCheckpoint) Output(i int) *tensor.Tensor { return ck.outs[i] }
+
+// Feeds returns the feeds the checkpoint was captured against.
+func (ck *QCheckpoint) Feeds() Feeds { return ck.feeds }
+
+// Elements returns how many int8 elements the checkpoint cloned.
+func (ck *QCheckpoint) Elements() int { return ck.elems }
+
+// RunFrom restores the checkpoint's live set at boundary startStep into
+// st, executes quantized steps [startStep, Steps()), and returns the
+// dequantized fetch outputs. Unlike QPlan.Run the returned tensors are
+// state-owned and reused by the next RunFrom on the same state — clone
+// anything that must survive. startStep semantics match Plan.RunFrom.
+func (q *QPlan) RunFrom(st *QPlanState, ck *QCheckpoint, startStep int, hook QHook) ([]*tensor.Tensor, error) {
+	if st == nil || st.plan != q {
+		return nil, errors.New("graph: quantized state belongs to a different plan")
+	}
+	if ck == nil || ck.plan != q {
+		return nil, errCheckpointPlan
+	}
+	if startStep < 0 || startStep > len(q.steps) {
+		return nil, fmt.Errorf("graph: RunFrom step %d of %d", startStep, len(q.steps))
+	}
+	for si := 0; si < startStep; si++ {
+		s := &q.steps[si]
+		id := s.node.id
+		if q.lastUse[id] < startStep {
+			continue
+		}
+		v := ck.vals[id]
+		if v == nil {
+			return nil, fmt.Errorf("graph: checkpoint has no value for %q", s.node.name)
+		}
+		st.cache[id] = v
+	}
+	if err := q.runFrom(st, ck.layout, ck.feeds, startStep, hook, nil); err != nil {
+		return nil, err
+	}
+	for i, id := range q.fetchID {
+		qt := st.cache[id]
+		d := st.deq[i]
+		if d == nil || d.Size() != qt.Size() {
+			d = tensor.New(qt.Shape()...)
+			st.deq[i] = d
+		}
+		if _, err := qt.DequantizeInto(d); err != nil {
+			return nil, err
+		}
+		st.fetch[i] = d
+	}
+	return st.fetch, nil
+}

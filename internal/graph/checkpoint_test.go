@@ -1,0 +1,214 @@
+package graph_test
+
+import (
+	"math"
+	"testing"
+
+	"ranger/internal/graph"
+	"ranger/internal/tensor"
+)
+
+func bitsEqualT(t *testing.T, ctxt string, want, got *tensor.Tensor) {
+	t.Helper()
+	wd, gd := want.Data(), got.Data()
+	if len(wd) != len(gd) {
+		t.Fatalf("%s: size %d != %d", ctxt, len(gd), len(wd))
+	}
+	for i := range wd {
+		if math.Float32bits(wd[i]) != math.Float32bits(gd[i]) {
+			t.Fatalf("%s: element %d: %g != %g", ctxt, i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestRunFromZeroEqualsRun pins the suffix-replay identity at the
+// trivial boundary: RunFrom with startStep=0 must execute the whole
+// plan and match Run bit for bit.
+func TestRunFromZeroEqualsRun(t *testing.T) {
+	g, output := buildConvNet(t)
+	plan, err := graph.CompileWith(g, graph.CompileOptions{ObserveAll: true}, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := testFeeds(1)[0]
+	clean, err := plan.Run(plan.NewState(), feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clean[0].Clone()
+	ck, err := plan.Checkpoint(plan.NewState(), feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.RunFrom(plan.NewState(), ck, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEqualT(t, "RunFrom(0)", want, got[0])
+	bitsEqualT(t, "Checkpoint.Output", want, ck.Output(0))
+	if ck.Elements() == 0 {
+		t.Fatal("checkpoint captured no live values")
+	}
+}
+
+// TestRunFromEveryBoundaryReproducesClean replays the clean suffix from
+// every step boundary (including Steps(), which executes nothing): each
+// must reproduce the clean fetch bit for bit, proving the restored live
+// set is complete at every boundary.
+func TestRunFromEveryBoundaryReproducesClean(t *testing.T) {
+	g, output := buildConvNet(t)
+	plan, err := graph.CompileWith(g, graph.CompileOptions{ObserveAll: true}, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := testFeeds(1)[0]
+	ck, err := plan.Checkpoint(plan.NewState(), feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ck.Output(0)
+	st := plan.NewState()
+	for start := 0; start <= plan.Steps(); start++ {
+		got, err := plan.RunFrom(st, ck, start, nil)
+		if err != nil {
+			t.Fatalf("start=%d: %v", start, err)
+		}
+		bitsEqualT(t, "clean suffix", want, got[0])
+	}
+}
+
+// TestRunFromSuffixMatchesFullReplay corrupts one node's output through
+// the hook and compares a full hooked replay against suffix replay from
+// exactly the struck step: the faulty fetch must be bit-identical,
+// including when the same worker state replays many different depths
+// back to back with in-place corruption (the campaign's hot path).
+func TestRunFromSuffixMatchesFullReplay(t *testing.T) {
+	g, output := buildConvNet(t)
+	plan, err := graph.CompileWith(g, graph.CompileOptions{ObserveAll: true}, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := testFeeds(1)[0]
+	ck, err := plan.Checkpoint(plan.NewState(), feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSt, suffixSt := plan.NewState(), plan.NewState()
+	for _, node := range []string{"conv", "act", "pool", "flat", "fc", "out"} {
+		start := plan.StepOf(node)
+		if start < 0 {
+			t.Fatalf("no step for %q", node)
+		}
+		hook := func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+			if n.Name() == node {
+				out.Data()[0] *= -3 // in-place corruption, campaign style
+			}
+			return nil
+		}
+		full, err := plan.RunHook(fullSt, feeds, hook)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full[0].Clone()
+		got, err := plan.RunFrom(suffixSt, ck, start, hook)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqualT(t, "faulty suffix "+node, want, got[0])
+	}
+}
+
+// TestCheckpointSurvivesStateReuse pins the reference-aliasing fix: a
+// checkpoint's outputs are checkpoint-owned, so reusing the state that
+// captured it (the next input's clean pass) must not clobber them.
+func TestCheckpointSurvivesStateReuse(t *testing.T) {
+	g, output := buildConvNet(t)
+	plan, err := graph.Compile(g, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := testFeeds(2)
+	st := plan.NewState()
+	ck0, err := plan.Checkpoint(st, feeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ck0.Output(0).Clone()
+	if _, err := plan.Checkpoint(st, feeds[1]); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqualT(t, "first checkpoint after state reuse", want, ck0.Output(0))
+}
+
+// TestQPlanRunFromEveryBoundaryReproducesClean is the quantized twin of
+// the fp32 boundary sweep.
+func TestQPlanRunFromEveryBoundaryReproducesClean(t *testing.T) {
+	g, output := buildConvNet(t)
+	feeds := testFeeds(2)
+	calib := calibrate(t, g, output, feeds)
+	plan, err := graph.CompileWith(g, graph.CompileOptions{ObserveAll: true}, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := graph.Quantize(plan, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := qp.Checkpoint(qp.NewState(), feeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ck.Output(0)
+	st := qp.NewState()
+	for start := 0; start <= qp.Steps(); start++ {
+		got, err := qp.RunFrom(st, ck, start, nil)
+		if err != nil {
+			t.Fatalf("start=%d: %v", start, err)
+		}
+		bitsEqualT(t, "clean int8 suffix", want, got[0])
+	}
+}
+
+// TestQPlanRunFromSuffixMatchesFullReplay corrupts one quantized step's
+// stored int8 output in place and compares full replay with suffix
+// replay from that step.
+func TestQPlanRunFromSuffixMatchesFullReplay(t *testing.T) {
+	g, output := buildConvNet(t)
+	feeds := testFeeds(2)
+	calib := calibrate(t, g, output, feeds)
+	plan, err := graph.CompileWith(g, graph.CompileOptions{ObserveAll: true}, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := graph.Quantize(plan, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := qp.Checkpoint(qp.NewState(), feeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSt, suffixSt := qp.NewState(), qp.NewState()
+	for _, node := range []string{"conv", "clip", "flat", "out"} {
+		start := qp.StepOf(node)
+		if start < 0 {
+			t.Fatalf("no quantized step for %q", node)
+		}
+		hook := func(n *graph.Node, out *tensor.QTensor) *tensor.QTensor {
+			if n.Name() == node {
+				out.Data()[0] ^= 1 << 6
+			}
+			return nil
+		}
+		full, err := qp.RunHook(fullSt, feeds[0], hook)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full[0]
+		got, err := qp.RunFrom(suffixSt, ck, start, hook)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqualT(t, "faulty int8 suffix "+node, want, got[0])
+	}
+}

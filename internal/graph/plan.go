@@ -148,6 +148,12 @@ type Plan struct {
 	steps   []planStep
 	nSlots  int
 	folded  int
+	// lastUse[id] is the last step index reading node id's value (as an
+	// input or a fused epilogue vector); len(steps) for fetches, which
+	// stay live to the end, and -1 for values nothing reads. It drives
+	// both the slot assignment and checkpoint capture/restore.
+	lastUse []int
+	stepOf  map[string]int // materialized node name -> step index
 
 	mu      sync.RWMutex
 	layouts map[string]*planLayout
@@ -232,8 +238,38 @@ func CompileWith(g *Graph, opts CompileOptions, fetches ...string) (*Plan, error
 		stepOf[n.id] = len(p.steps) - 1
 	}
 
+	p.computeLastUse(isFetch)
 	p.assignSlots(isFetch)
+	p.stepOf = make(map[string]int, len(p.steps))
+	for si := range p.steps {
+		p.stepOf[p.steps[si].node.name] = si
+	}
 	return p, nil
+}
+
+// computeLastUse fills p.lastUse: the last step index consuming each
+// node's value, with fetches pinned to len(steps) (live forever).
+func (p *Plan) computeLastUse(isFetch []bool) {
+	p.lastUse = make([]int, p.g.Len())
+	for i := range p.lastUse {
+		p.lastUse[i] = -1
+	}
+	for si := range p.steps {
+		s := &p.steps[si]
+		for _, id := range s.inIDs {
+			p.lastUse[id] = si
+		}
+		for _, e := range s.epilogue {
+			if e.aux != nil && p.lastUse[e.aux.id] < si {
+				p.lastUse[e.aux.id] = si
+			}
+		}
+	}
+	for id, f := range isFetch {
+		if f {
+			p.lastUse[id] = len(p.steps)
+		}
+	}
 }
 
 // fuseCandidate reports whether node n can fold into the step producing
@@ -290,25 +326,11 @@ func fuseCandidate(n *Node, steps []planStep, stepOf, consumers []int, observed,
 
 // assignSlots runs a linear scan over the steps, giving every
 // PlannedOp-backed step an output slot and returning slots to the free
-// list once their node's last consumer has executed. A step's own inputs
-// are released only after its output slot is taken, so an output never
-// aliases a live input. Fetch outputs are never released.
+// list once their node's last consumer (p.lastUse) has executed. A
+// step's own inputs are released only after its output slot is taken,
+// so an output never aliases a live input. Fetch outputs are never
+// released.
 func (p *Plan) assignSlots(isFetch []bool) {
-	lastUse := make([]int, p.g.Len())
-	for i := range lastUse {
-		lastUse[i] = -1
-	}
-	for si := range p.steps {
-		s := &p.steps[si]
-		for _, id := range s.inIDs {
-			lastUse[id] = si
-		}
-		for _, e := range s.epilogue {
-			if e.aux != nil && lastUse[e.aux.id] < si {
-				lastUse[e.aux.id] = si
-			}
-		}
-	}
 	releaseAt := make([][]int, len(p.steps))
 	var free []int
 	for si := range p.steps {
@@ -324,7 +346,7 @@ func (p *Plan) assignSlots(isFetch []bool) {
 			}
 			s.slot = slot
 			if !isFetch[s.node.id] {
-				last := lastUse[s.node.id]
+				last := p.lastUse[s.node.id]
 				if last < si {
 					last = si // no consumers: reusable after this step's hook
 				}
@@ -349,6 +371,17 @@ func (p *Plan) FusedNodes() int { return p.folded }
 // at most the number of steps and usually far smaller, because liveness
 // analysis reuses a buffer as soon as its last consumer has run.
 func (p *Plan) Slots() int { return p.nSlots }
+
+// StepOf returns the index of the plan step producing the named node, or
+// -1 when the plan has no such step (the node was pruned from the
+// schedule or fused into a consumer). Fault injectors use it to map a
+// sampled site to its injection depth for suffix replay.
+func (p *Plan) StepOf(name string) int {
+	if si, ok := p.stepOf[name]; ok {
+		return si
+	}
+	return -1
+}
 
 // InferredShapes resolves the plan against the given feeds and returns
 // the inferred output shape of every materialized node (nodes whose ops
@@ -506,6 +539,15 @@ type PlanState struct {
 	cache  []*tensor.Tensor
 	tmps   []*Scratch
 	stages [][]tensor.Stage
+	// ins, outT, and fetch recycle the per-step input gather slice, the
+	// per-step output tensor headers over the slot buffers, and the
+	// fetch-output slice, so steady-state plan execution allocates
+	// nothing per run. outT is rebuilt when the layout changes or a slot
+	// buffer is regrown.
+	ins    []*tensor.Tensor
+	outT   []*tensor.Tensor
+	fetch  []*tensor.Tensor
+	layout *planLayout
 }
 
 // NewState returns a fresh execution state for the plan.
@@ -516,7 +558,29 @@ func (p *Plan) NewState() *PlanState {
 		cache:  make([]*tensor.Tensor, p.g.Len()),
 		tmps:   make([]*Scratch, len(p.steps)),
 		stages: make([][]tensor.Stage, len(p.steps)),
+		outT:   make([]*tensor.Tensor, len(p.steps)),
+		fetch:  make([]*tensor.Tensor, len(p.fetchID)),
 	}
+}
+
+// outTensor returns the cached output header for a slot-backed step,
+// rebuilding it only when the backing buffer moved or the size changed.
+func (st *PlanState) outTensor(si int, layout *planLayout) (*tensor.Tensor, error) {
+	s := &st.plan.steps[si]
+	n := layout.sizes[si]
+	buf := st.slotBuf(s.slot, layout.slotLen[s.slot])[:n]
+	if t := st.outT[si]; t != nil {
+		d := t.Data()
+		if len(d) == n && (n == 0 || &d[0] == &buf[0]) {
+			return t, nil
+		}
+	}
+	t, err := tensor.FromSlice(buf, layout.shapes[si]...)
+	if err != nil {
+		return nil, err
+	}
+	st.outT[si] = t
+	return t, nil
 }
 
 func (st *PlanState) slotBuf(slot, n int) []float32 {
@@ -564,8 +628,28 @@ func (p *Plan) RunHook(st *PlanState, feeds Feeds, hook Hook) ([]*tensor.Tensor,
 	if err != nil {
 		return nil, err
 	}
-	var ins []*tensor.Tensor
-	for si := range p.steps {
+	outs, err := p.runFrom(st, layout, feeds, 0, hook, nil)
+	if err != nil {
+		return nil, err
+	}
+	return append([]*tensor.Tensor{}, outs...), nil
+}
+
+// runFrom executes steps [start, len(steps)) against the state, whose
+// cache must already hold every value those steps read that was produced
+// before start (start=0 needs nothing; suffix replay restores the live
+// set from a Checkpoint first). onStep, when non-nil, observes every
+// executed step's final output (after any hook substitution) — the
+// checkpoint capture path. The returned slice is owned by the state and
+// reused by the next run.
+func (p *Plan) runFrom(st *PlanState, layout *planLayout, feeds Feeds, start int, hook Hook, onStep func(si int, out *tensor.Tensor)) ([]*tensor.Tensor, error) {
+	if st.layout != layout {
+		for i := range st.outT {
+			st.outT[i] = nil
+		}
+		st.layout = layout
+	}
+	for si := start; si < len(p.steps); si++ {
 		s := &p.steps[si]
 		var out *tensor.Tensor
 		switch op := s.anchor.op.(type) {
@@ -577,26 +661,25 @@ func (p *Plan) RunHook(st *PlanState, feeds Feeds, hook Hook) ([]*tensor.Tensor,
 			}
 			out = op.Value
 		default:
-			ins = ins[:0]
+			st.ins = st.ins[:0]
 			for _, id := range s.inIDs {
 				in := st.cache[id]
 				if in == nil {
 					return nil, fmt.Errorf("graph: input of %q not evaluated", s.anchor.name)
 				}
-				ins = append(ins, in)
+				st.ins = append(st.ins, in)
 			}
 			if s.planned != nil && s.slot >= 0 && layout.shapes[si] != nil {
-				buf := st.slotBuf(s.slot, layout.slotLen[s.slot])
-				ot, err := tensor.FromSlice(buf[:layout.sizes[si]], layout.shapes[si]...)
+				ot, err := st.outTensor(si, layout)
 				if err != nil {
 					return nil, err
 				}
-				if err := s.planned.EvalInto(ins, ot, st.tmp(si)); err != nil {
+				if err := s.planned.EvalInto(st.ins, ot, st.tmp(si)); err != nil {
 					return nil, fmt.Errorf("eval %q (%s): %w", s.anchor.name, s.anchor.op.Type(), err)
 				}
 				out = ot
 			} else {
-				t, err := s.anchor.op.Eval(ins)
+				t, err := s.anchor.op.Eval(st.ins)
 				if err != nil {
 					return nil, fmt.Errorf("eval %q (%s): %w", s.anchor.name, s.anchor.op.Type(), err)
 				}
@@ -623,11 +706,13 @@ func (p *Plan) RunHook(st *PlanState, feeds Feeds, hook Hook) ([]*tensor.Tensor,
 				out = repl
 			}
 		}
+		if onStep != nil {
+			onStep(si, out)
+		}
 		st.cache[s.node.id] = out
 	}
-	outs := make([]*tensor.Tensor, len(p.fetchID))
 	for i, id := range p.fetchID {
-		outs[i] = st.cache[id]
+		st.fetch[i] = st.cache[id]
 	}
-	return outs, nil
+	return st.fetch, nil
 }

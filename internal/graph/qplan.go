@@ -87,6 +87,11 @@ type QPlan struct {
 	steps   []qStep
 	nSlots  int
 	fetchID []int
+	// lastUse[id] is the last quantized step index reading node id's
+	// value; len(steps) for fetches, -1 otherwise. Mirrors Plan.lastUse
+	// for slot recycling and suffix-replay checkpointing.
+	lastUse []int
+	stepOf  map[string]int // node name -> quantized step index
 }
 
 // Quantize rewrites a compiled plan into an int8 execution plan using
@@ -185,6 +190,10 @@ func Quantize(p *Plan, calib Calibration) (*QPlan, error) {
 		}
 	}
 	q.assignSlots(isFetch)
+	q.stepOf = make(map[string]int, len(q.steps))
+	for si := range q.steps {
+		q.stepOf[q.steps[si].node.name] = si
+	}
 	return q, nil
 }
 
@@ -192,13 +201,17 @@ func Quantize(p *Plan, calib Calibration) (*QPlan, error) {
 // an int8 output slot and recycles it after the node's last consumer, so
 // the quantized plan runs in the same statically-bounded memory as the
 // float one. A step's inputs release only after its output slot is
-// taken, and fetch outputs are never released.
+// taken, and fetch outputs are never released. It also fills q.lastUse
+// (fetches pinned to len(steps)) for suffix-replay checkpointing.
 func (q *QPlan) assignSlots(isFetch map[int]bool) {
-	lastUse := make(map[int]int, len(q.steps))
+	q.lastUse = make([]int, q.src.g.Len())
+	for i := range q.lastUse {
+		q.lastUse[i] = -1
+	}
 	for si := range q.steps {
 		for _, id := range q.steps[si].inIDs {
 			if id >= 0 {
-				lastUse[id] = si
+				q.lastUse[id] = si
 			}
 		}
 	}
@@ -216,14 +229,28 @@ func (q *QPlan) assignSlots(isFetch map[int]bool) {
 		}
 		s.slot = slot
 		if !isFetch[s.node.id] {
-			last, ok := lastUse[s.node.id]
-			if !ok || last < si {
+			last := q.lastUse[s.node.id]
+			if last < si {
 				last = si
 			}
 			releaseAt[last] = append(releaseAt[last], slot)
 		}
 		free = append(free, releaseAt[si]...)
 	}
+	for id, f := range isFetch {
+		if f {
+			q.lastUse[id] = len(q.steps)
+		}
+	}
+}
+
+// StepOf returns the index of the quantized step producing the named
+// node, or -1 when the plan has no such step.
+func (q *QPlan) StepOf(name string) int {
+	if si, ok := q.stepOf[name]; ok {
+		return si
+	}
+	return -1
 }
 
 // Steps returns the number of quantized execution steps.
@@ -244,6 +271,14 @@ type QPlanState struct {
 	slots [][]int8
 	cache []*tensor.QTensor
 	tmps  []*tensor.QScratch
+	// ins, outT, fetch, and deq recycle the input gather slice, the
+	// per-step output headers, the fetch slice, and the dequantized
+	// fetch buffers of RunFrom, mirroring PlanState's zero-alloc paths.
+	ins    []*tensor.QTensor
+	outT   []*tensor.QTensor
+	fetch  []*tensor.Tensor
+	deq    []*tensor.Tensor
+	layout *planLayout
 }
 
 // NewState returns a fresh execution state for the quantized plan.
@@ -253,7 +288,30 @@ func (q *QPlan) NewState() *QPlanState {
 		slots: make([][]int8, q.nSlots),
 		cache: make([]*tensor.QTensor, q.src.g.Len()),
 		tmps:  make([]*tensor.QScratch, len(q.steps)),
+		outT:  make([]*tensor.QTensor, len(q.steps)),
+		fetch: make([]*tensor.Tensor, len(q.fetchID)),
+		deq:   make([]*tensor.Tensor, len(q.fetchID)),
 	}
+}
+
+// outTensor returns the cached int8 output header for a step,
+// rebuilding it only when the backing buffer moved or the size changed.
+func (st *QPlanState) outTensor(si int, layout *planLayout) (*tensor.QTensor, error) {
+	s := &st.plan.steps[si]
+	n := layout.sizes[s.srcIdx]
+	buf := st.slotBuf(s.slot, n)
+	if t := st.outT[si]; t != nil {
+		d := t.Data()
+		if len(d) == n && (n == 0 || &d[0] == &buf[0]) {
+			return t, nil
+		}
+	}
+	t, err := tensor.QFromSlice(buf, s.outQ, layout.shapes[s.srcIdx]...)
+	if err != nil {
+		return nil, err
+	}
+	st.outT[si] = t
+	return t, nil
 }
 
 func (st *QPlanState) slotBuf(slot, n int) []int8 {
@@ -291,39 +349,63 @@ func (q *QPlan) RunHook(st *QPlanState, feeds Feeds, hook QHook) ([]*tensor.Tens
 	if err != nil {
 		return nil, err
 	}
-	var ins []*tensor.QTensor
-	for si := range q.steps {
-		s := &q.steps[si]
-		sh := layout.shapes[s.srcIdx]
-		if sh == nil {
-			return nil, fmt.Errorf("graph: quantized step %q has no inferred shape", s.node.name)
+	if err := q.runFrom(st, layout, feeds, 0, hook, nil); err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Tensor, len(q.fetchID))
+	for i, id := range q.fetchID {
+		outs[i] = st.cache[id].Dequantize()
+	}
+	return outs, nil
+}
+
+// runFrom executes quantized steps [start, len(steps)) against the
+// state; the cache must already hold every earlier-produced value those
+// steps read (suffix replay restores it from a QCheckpoint). onStep,
+// when non-nil, observes every executed step's final output — the
+// checkpoint capture path.
+func (q *QPlan) runFrom(st *QPlanState, layout *planLayout, feeds Feeds, start int, hook QHook, onStep func(si int, out *tensor.QTensor)) error {
+	if st.layout != layout {
+		for i := range st.outT {
+			st.outT[i] = nil
 		}
-		buf := st.slotBuf(s.slot, layout.sizes[s.srcIdx])
-		out, err := tensor.QFromSlice(buf, s.outQ, sh...)
+		// deq is size-checked against the fetch on reuse, which cannot
+		// catch a same-size different-shape layout switch — drop it too.
+		for i := range st.deq {
+			st.deq[i] = nil
+		}
+		st.layout = layout
+	}
+	for si := start; si < len(q.steps); si++ {
+		s := &q.steps[si]
+		if layout.shapes[s.srcIdx] == nil {
+			return fmt.Errorf("graph: quantized step %q has no inferred shape", s.node.name)
+		}
+		out, err := st.outTensor(si, layout)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if s.kernel == nil {
 			// Placeholder: quantize the feed (presence and shape were
 			// validated by the layout signature).
 			if _, err := tensor.QuantizeInto(out, feeds[s.node.name]); err != nil {
-				return nil, fmt.Errorf("graph: quantize feed %q: %w", s.node.name, err)
+				return fmt.Errorf("graph: quantize feed %q: %w", s.node.name, err)
 			}
 		} else {
-			ins = ins[:0]
+			st.ins = st.ins[:0]
 			for _, id := range s.inIDs {
 				if id < 0 {
-					ins = append(ins, nil)
+					st.ins = append(st.ins, nil)
 					continue
 				}
 				in := st.cache[id]
 				if in == nil {
-					return nil, fmt.Errorf("graph: input of %q not evaluated", s.node.name)
+					return fmt.Errorf("graph: input of %q not evaluated", s.node.name)
 				}
-				ins = append(ins, in)
+				st.ins = append(st.ins, in)
 			}
-			if err := s.kernel(ins, out, st.tmp(si)); err != nil {
-				return nil, fmt.Errorf("eval int8 %q (%s): %w", s.node.name, s.node.op.Type(), err)
+			if err := s.kernel(st.ins, out, st.tmp(si)); err != nil {
+				return fmt.Errorf("eval int8 %q (%s): %w", s.node.name, s.node.op.Type(), err)
 			}
 		}
 		if hook != nil && s.observe {
@@ -331,11 +413,10 @@ func (q *QPlan) RunHook(st *QPlanState, feeds Feeds, hook QHook) ([]*tensor.Tens
 				out = repl
 			}
 		}
+		if onStep != nil {
+			onStep(si, out)
+		}
 		st.cache[s.node.id] = out
 	}
-	outs := make([]*tensor.Tensor, len(q.fetchID))
-	for i, id := range q.fetchID {
-		outs[i] = st.cache[id].Dequantize()
-	}
-	return outs, nil
+	return nil
 }

@@ -209,8 +209,7 @@ func (c *Campaign) runWithFaultsObserved(plan *graph.Plan, st *graph.PlanState, 
 			repl := out.Clone()
 			for _, s := range ss {
 				if s.Elem < 0 || s.Elem >= repl.Size() {
-					hookErr = fmt.Errorf("inject: fault site %s[%d] outside tensor of %d elements (fault-space/shape mismatch)",
-						s.Node, s.Elem, repl.Size())
+					hookErr = siteBoundsError(s, repl.Size())
 					return nil
 				}
 				v, err := scen.Corrupt(format, repl.Data()[s.Elem], s)

@@ -12,6 +12,7 @@ package inject
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -30,15 +31,33 @@ func newCampaignRNG(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
-// trialRNG derives the fault-sampling stream for one (input, trial) pair
+// trialSeed derives the fault-sampling seed for one (input, trial) pair
 // as hash(seed, input, trial). Each trial owns an independent stream, so
 // trials are embarrassingly parallel while the sampled fault sites stay
 // bit-identical for a fixed campaign seed at every worker count.
-func trialRNG(seed int64, input, trial int) *rand.Rand {
+func trialSeed(seed int64, input, trial int) int64 {
 	h := parallel.Mix64(uint64(seed))
 	h = parallel.Mix64(h ^ uint64(input+1))
 	h = parallel.Mix64(h ^ uint64(trial+1))
-	return rand.New(rand.NewSource(int64(h & 0x7FFFFFFFFFFFFFFF)))
+	return int64(h & 0x7FFFFFFFFFFFFFFF)
+}
+
+// trialRNG builds the fault-sampling stream for one (input, trial) pair;
+// workers instead reseed one long-lived *rand.Rand with trialSeed, which
+// produces the identical stream without a per-trial allocation.
+func trialRNG(seed int64, input, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(trialSeed(seed, input, trial)))
+}
+
+// ErrFaultSpaceMismatch reports a sampled fault site whose element index
+// lies outside the struck tensor: the fault space was built against
+// shapes the execution did not reproduce. Both campaign backends and the
+// detector path wrap it; branch with errors.Is.
+var ErrFaultSpaceMismatch = errors.New("inject: fault site outside struck tensor (fault-space/shape mismatch)")
+
+// siteBoundsError wraps ErrFaultSpaceMismatch with the offending site.
+func siteBoundsError(s Site, size int) error {
+	return fmt.Errorf("%w: site %s[%d] in %d elements", ErrFaultSpaceMismatch, s.Node, s.Elem, size)
 }
 
 // Campaign runs fault-injection trials against one model.
@@ -78,11 +97,35 @@ type Campaign struct {
 	// The Scenario must then implement Int8Scenario (bitflip-int8,
 	// stuckat-int8); Format is ignored.
 	Calibration graph.Calibration
+	// Incremental toggles checkpointed suffix replay, the default trial
+	// execution strategy (the zero value is IncrementalOn): the clean
+	// pass checkpoints every live intermediate value and each trial
+	// replays only the plan steps at or after its earliest fault site,
+	// with workers grouping their trial blocks by injection depth.
+	// Outcomes are byte-identical either way; set IncrementalOff to
+	// trade the checkpoint's memory (one clean copy of the live
+	// activations per input) for full per-trial replay.
+	Incremental IncrementalMode
 	// OnTrial, when non-nil, streams each trial's judged result as it
 	// completes. Calls are serialized but arrive in scheduling order, not
 	// trial order; the final Outcome is still folded deterministically.
 	OnTrial func(TrialResult)
 }
+
+// IncrementalMode selects the campaign's trial execution strategy; the
+// zero value enables checkpointed suffix replay.
+type IncrementalMode int
+
+const (
+	// IncrementalOn (the zero value, so the default) replays only the
+	// plan suffix at or after each trial's earliest fault site.
+	IncrementalOn IncrementalMode = iota
+	// IncrementalOff replays the full compiled plan for every trial.
+	IncrementalOff
+)
+
+// incremental reports whether suffix replay is enabled.
+func (c *Campaign) incremental() bool { return c.Incremental == IncrementalOn }
 
 // format returns the effective datapath encoding.
 func (c *Campaign) format() fixpoint.Format {
@@ -249,6 +292,23 @@ func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNod
 	return fs, nil
 }
 
+// CorruptibleNodes returns the model's corruptible node names in
+// execution order — the fault-space node set of a campaign with the
+// given extra exclusions and TargetNodes restriction (both may be
+// nil). It is the one public definition of fault-space eligibility;
+// benchmarks and experiments derive late-layer target sets from it
+// instead of re-encoding the predicate.
+func CorruptibleNodes(m *models.Model, extraExclude, targetNodes []string) []string {
+	corruptible := corruptibleFilter(m, extraExclude, targetNodes)
+	var out []string
+	for _, n := range m.Graph.Nodes() {
+		if corruptible(n) {
+			out = append(out, n.Name())
+		}
+	}
+	return out
+}
+
 // observeNames returns the node names a campaign plan must treat as
 // observation points: every potential fault-injection target, decided
 // by the same corruptibleFilter predicate buildFaultSpace samples from.
@@ -256,14 +316,7 @@ func buildFaultSpace(m *models.Model, feeds graph.Feeds, extraExclude, targetNod
 // identical to the legacy executor's, so plan-backed campaign outcomes
 // are byte-identical.
 func (c *Campaign) observeNames() []string {
-	corruptible := corruptibleFilter(c.Model, c.Exclude, c.TargetNodes)
-	var out []string
-	for _, n := range c.Model.Graph.Nodes() {
-		if corruptible(n) {
-			out = append(out, n.Name())
-		}
-	}
-	return out
+	return CorruptibleNodes(c.Model, c.Exclude, c.TargetNodes)
 }
 
 // compile builds the campaign's shared execution plan: compiled once per
@@ -296,12 +349,18 @@ func (c *Campaign) sampleFaultSites(fs *FaultSpace, rng *rand.Rand) map[string][
 // every corruptible node stays an observation point) and the plan is
 // reused across all trials and workers. When Calibration is set the plan
 // is additionally quantized to int8 and faults strike the quantized
-// representation. Trials are sharded across
+// representation. Under the default Incremental mode the clean pass
+// checkpoints each input's live intermediate values and every trial
+// replays only the plan suffix at or after its earliest fault site,
+// corrupting struck elements in place (no per-trial cloning); workers
+// group their trial blocks by injection depth so deep-layer faults
+// replay only a handful of steps back to back. Trials are sharded across
 // workers, each trial sampling from its own hash(Seed, input, trial)
 // stream and judged into an index slot, then reduced in trial order — the
-// Outcome is byte-identical at every worker count and to the pre-plan
-// executor. Cancelling ctx makes Run return promptly with ctx.Err();
-// workers observe the context between trials.
+// Outcome is byte-identical at every worker count, between the
+// incremental and full-replay strategies, and to the pre-plan executor.
+// Cancelling ctx makes Run return promptly with ctx.Err(); workers
+// observe the context between trials.
 func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, error) {
 	if err := c.validate(inputs); err != nil {
 		return Outcome{}, err
@@ -321,21 +380,35 @@ func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, erro
 		if err != nil {
 			return Outcome{}, err
 		}
-		ref, err := exec.ref(feeds)
+		ref, err := exec.prepare(feeds)
 		if err != nil {
 			return Outcome{}, fmt.Errorf("inject: clean run: %w", err)
 		}
 		verdicts := make([]trialVerdict, c.Trials)
 		errs := make([]error, c.Trials)
+		ii := ii
 		parallel.Shard(workers, c.Trials, func(lo, hi int) {
-			run := exec.newTrial()
-			for trial := lo; trial < hi; trial++ {
+			run, depth := exec.newTrial(feeds, fs)
+			// Group this worker's block by injection depth (suffix
+			// replay only): execution order changes, but verdicts and
+			// errors land in their trial slots, so the reduction below
+			// stays in trial order and the Outcome is unchanged.
+			var order []int
+			if c.incremental() {
+				order = parallel.OrderByKey(lo, hi, func(trial int) int {
+					return depth(ii, trial)
+				})
+			}
+			for i := lo; i < hi; i++ {
+				trial := i
+				if order != nil {
+					trial = order[i-lo]
+				}
 				if err := ctx.Err(); err != nil {
 					errs[trial] = err
 					return
 				}
-				sites := c.sampleFaultSites(fs, trialRNG(c.Seed, ii, trial))
-				faulty, err := run(feeds, sites)
+				faulty, err := run(ii, trial)
 				if err != nil {
 					errs[trial] = err
 					continue
@@ -360,11 +433,14 @@ func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, erro
 
 // campaignExec abstracts the campaign's execution backend: the fp32
 // compiled plan, or the int8 quantized plan when Calibration is set.
-// ref runs the clean model (the SDC reference); newTrial returns a
-// per-worker faulty-run function owning its own buffer state.
+// prepare runs one input's clean pass (capturing the suffix-replay
+// checkpoint in incremental mode) and returns the SDC reference, which
+// stays valid until the next prepare call. newTrial returns a worker's
+// trial function — run one (input, trial) and return the faulty fetch,
+// valid until the worker's next trial — plus its injection-depth probe.
 type campaignExec struct {
-	ref      func(feeds graph.Feeds) (*tensor.Tensor, error)
-	newTrial func() func(feeds graph.Feeds, sites map[string][]Site) (*tensor.Tensor, error)
+	prepare  func(feeds graph.Feeds) (*tensor.Tensor, error)
+	newTrial func(feeds graph.Feeds, fs *FaultSpace) (run func(input, trial int) (*tensor.Tensor, error), depth func(input, trial int) int)
 }
 
 // newExec builds the campaign's execution backend, compiling the shared
@@ -375,78 +451,225 @@ func (c *Campaign) newExec() (*campaignExec, error) {
 		return nil, err
 	}
 	if c.Calibration != nil {
-		qp, err := graph.Quantize(plan, c.Calibration)
-		if err != nil {
-			return nil, fmt.Errorf("inject: quantize %s: %w", c.Model.Name, err)
-		}
-		scen := c.scenario().(Int8Scenario) // checked in validate
-		cleanState := qp.NewState()
-		return &campaignExec{
-			ref: func(feeds graph.Feeds) (*tensor.Tensor, error) {
-				outs, err := qp.Run(cleanState, feeds)
-				if err != nil {
-					return nil, err
-				}
-				return outs[0], nil
-			},
-			newTrial: func() func(graph.Feeds, map[string][]Site) (*tensor.Tensor, error) {
-				st := qp.NewState()
-				return func(feeds graph.Feeds, sites map[string][]Site) (*tensor.Tensor, error) {
-					return c.runWithFaultsInt8(qp, st, feeds, sites, scen)
-				}
-			},
-		}, nil
+		return c.newExecInt8(plan)
 	}
 	cleanState := plan.NewState()
-	return &campaignExec{
-		ref: func(feeds graph.Feeds) (*tensor.Tensor, error) {
-			outs, err := plan.Run(cleanState, feeds)
+	var ckpt *graph.Checkpoint // current input's checkpoint (incremental mode)
+	prepare := func(feeds graph.Feeds) (*tensor.Tensor, error) {
+		if c.incremental() {
+			cp, err := plan.Checkpoint(cleanState, feeds)
 			if err != nil {
 				return nil, err
 			}
-			return outs[0].Clone(), nil
-		},
-		newTrial: func() func(graph.Feeds, map[string][]Site) (*tensor.Tensor, error) {
-			st := plan.NewState()
-			return func(feeds graph.Feeds, sites map[string][]Site) (*tensor.Tensor, error) {
-				return c.runWithFaults(plan, st, feeds, sites)
-			}
-		},
-	}, nil
+			ckpt = cp
+			return cp.Output(0), nil
+		}
+		outs, err := plan.Run(cleanState, feeds)
+		if err != nil {
+			return nil, err
+		}
+		return outs[0].Clone(), nil
+	}
+	newTrial := func(feeds graph.Feeds, fs *FaultSpace) (func(int, int) (*tensor.Tensor, error), func(int, int) int) {
+		w := &fp32Worker{
+			c:     c,
+			plan:  plan,
+			st:    plan.NewState(),
+			ckpt:  ckpt, // captured by the preceding prepare
+			feeds: feeds,
+			sites: newTrialSites(c, fs, plan.StepOf, plan.Steps()),
+		}
+		w.makeHook()
+		return w.run, w.depth
+	}
+	return &campaignExec{prepare: prepare, newTrial: newTrial}, nil
 }
 
-// runWithFaults executes the model's plan with the given fault sites
-// applied to operator outputs. The state's buffers recycle across a
-// worker's trials; the returned output is only valid until the next call
-// with the same state. A sampled element index past the struck tensor's
-// size is a fault-space/shape mismatch and surfaces as an error.
-func (c *Campaign) runWithFaults(plan *graph.Plan, st *graph.PlanState, feeds graph.Feeds, sites map[string][]Site) (*tensor.Tensor, error) {
-	scen, format := c.scenario(), c.format()
-	var hookErr error
-	hook := func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
-		ss, ok := sites[n.Name()]
-		if !ok || hookErr != nil {
+// newExecInt8 builds the quantized campaign backend over an int8 plan
+// derived from the compiled fp32 plan.
+func (c *Campaign) newExecInt8(plan *graph.Plan) (*campaignExec, error) {
+	qp, err := graph.Quantize(plan, c.Calibration)
+	if err != nil {
+		return nil, fmt.Errorf("inject: quantize %s: %w", c.Model.Name, err)
+	}
+	scen := c.scenario().(Int8Scenario) // checked in validate
+	cleanState := qp.NewState()
+	var ckpt *graph.QCheckpoint
+	prepare := func(feeds graph.Feeds) (*tensor.Tensor, error) {
+		if c.incremental() {
+			cp, err := qp.Checkpoint(cleanState, feeds)
+			if err != nil {
+				return nil, err
+			}
+			ckpt = cp
+			return cp.Output(0), nil
+		}
+		// QPlan.Run dequantizes into fresh tensors, so — unlike the fp32
+		// plan's slot-backed outputs — the reference is already safe to
+		// retain across the input's trials and later prepare calls.
+		outs, err := qp.Run(cleanState, feeds)
+		if err != nil {
+			return nil, err
+		}
+		return outs[0], nil
+	}
+	newTrial := func(feeds graph.Feeds, fs *FaultSpace) (func(int, int) (*tensor.Tensor, error), func(int, int) int) {
+		w := &int8Worker{
+			c:     c,
+			qp:    qp,
+			st:    qp.NewState(),
+			ckpt:  ckpt,
+			feeds: feeds,
+			scen:  scen,
+			sites: newTrialSites(c, fs, qp.StepOf, qp.Steps()),
+		}
+		w.makeHook()
+		return w.run, w.depth
+	}
+	return &campaignExec{prepare: prepare, newTrial: newTrial}, nil
+}
+
+// trialSites is a worker's reusable fault-sampling state: the sampled
+// site buffer, the per-node site groups (sampling order preserved
+// within each node), and the earliest injected plan step. All storage
+// recycles across trials, so steady-state sampling allocates nothing.
+type trialSites struct {
+	scen    Scenario
+	format  fixpoint.Format
+	space   *FaultSpace
+	stepOf  func(string) int
+	nSteps  int
+	rng     *rand.Rand
+	buf     []Site
+	byNode  map[string][]Site
+	used    []string
+	minStep int
+}
+
+func newTrialSites(c *Campaign, fs *FaultSpace, stepOf func(string) int, nSteps int) trialSites {
+	return trialSites{
+		scen:   c.scenario(),
+		format: c.format(),
+		space:  fs,
+		stepOf: stepOf,
+		nSteps: nSteps,
+		rng:    rand.New(rand.NewSource(0)),
+	}
+}
+
+// sample draws one trial's fault sites from its private hash(seed,
+// input, trial) stream (reseeding the worker's RNG reproduces exactly
+// the stream a fresh trialRNG would emit) and groups them by node.
+// minStep becomes the trial's suffix-replay boundary; sites naming
+// nodes the plan does not produce are ignored, as the name-keyed hook
+// lookup always ignored them.
+func (ts *trialSites) sample(seed int64, input, trial int) {
+	for _, name := range ts.used {
+		ts.byNode[name] = ts.byNode[name][:0]
+	}
+	ts.used = ts.used[:0]
+	ts.rng.Seed(trialSeed(seed, input, trial))
+	if ap, ok := ts.scen.(SiteAppender); ok {
+		ts.buf = ap.AppendSites(ts.buf[:0], ts.space, ts.format, ts.rng)
+	} else {
+		ts.buf = ts.scen.Sample(ts.space, ts.format, ts.rng)
+	}
+	if ts.byNode == nil {
+		ts.byNode = make(map[string][]Site, len(ts.buf))
+	}
+	ts.minStep = ts.nSteps
+	for _, s := range ts.buf {
+		si := ts.stepOf(s.Node)
+		if si < 0 {
+			continue
+		}
+		if len(ts.byNode[s.Node]) == 0 {
+			ts.used = append(ts.used, s.Node)
+		}
+		ts.byNode[s.Node] = append(ts.byNode[s.Node], s)
+		if si < ts.minStep {
+			ts.minStep = si
+		}
+	}
+}
+
+// undoF32 records one in-place corruption for restoration before the
+// worker's next trial (keeping the state's buffers byte-clean, so no
+// later read path may ever observe a stale fault).
+type undoF32 struct {
+	data []float32
+	idx  int
+	v    float32
+}
+
+// fp32Worker owns one worker's fp32 trial execution: a private plan
+// state, the reusable sampling and undo buffers, and the in-place
+// corruption hook. After warmup a trial allocates nothing.
+type fp32Worker struct {
+	c     *Campaign
+	plan  *graph.Plan
+	st    *graph.PlanState
+	ckpt  *graph.Checkpoint // nil when Incremental is off
+	feeds graph.Feeds
+	sites trialSites
+	undo  []undoF32
+	err   error
+	hook  graph.Hook
+}
+
+// makeHook builds the worker's corruption hook once; per trial it only
+// reads the refreshed sampling state. Corruption is in place — the
+// struck tensors are slot-backed (or per-run allocations) that every
+// replay fully rewrites, and restore() reverts the bytes before the
+// next trial anyway — so the hot path never clones a tensor.
+func (w *fp32Worker) makeHook() {
+	w.hook = func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+		ss := w.sites.byNode[n.Name()]
+		if len(ss) == 0 || w.err != nil {
 			return nil
 		}
-		repl := out.Clone()
+		data := out.Data()
 		for _, s := range ss {
-			if s.Elem < 0 || s.Elem >= repl.Size() {
-				hookErr = fmt.Errorf("inject: fault site %s[%d] outside tensor of %d elements (fault-space/shape mismatch)",
-					s.Node, s.Elem, repl.Size())
+			if s.Elem < 0 || s.Elem >= len(data) {
+				w.err = siteBoundsError(s, len(data))
 				return nil
 			}
-			v, err := scen.Corrupt(format, repl.Data()[s.Elem], s)
+			v, err := w.sites.scen.Corrupt(w.sites.format, data[s.Elem], s)
 			if err != nil {
-				hookErr = fmt.Errorf("inject: corrupt %s[%d]: %w", s.Node, s.Elem, err)
+				w.err = fmt.Errorf("inject: corrupt %s[%d]: %w", s.Node, s.Elem, err)
 				return nil
 			}
-			repl.Data()[s.Elem] = v
+			w.undo = append(w.undo, undoF32{data, s.Elem, data[s.Elem]})
+			data[s.Elem] = v
 		}
-		return repl
+		return nil
 	}
-	outs, err := plan.RunHook(st, feeds, hook)
-	if hookErr != nil {
-		return nil, hookErr
+}
+
+// restore reverts the previous trial's in-place corruptions.
+func (w *fp32Worker) restore() {
+	for i := len(w.undo) - 1; i >= 0; i-- {
+		u := w.undo[i]
+		u.data[u.idx] = u.v
+	}
+	w.undo = w.undo[:0]
+}
+
+// run executes one trial and returns the faulty fetch output, valid
+// until the worker's next trial.
+func (w *fp32Worker) run(input, trial int) (*tensor.Tensor, error) {
+	w.restore()
+	w.err = nil
+	w.sites.sample(w.c.Seed, input, trial)
+	var outs []*tensor.Tensor
+	var err error
+	if w.ckpt != nil {
+		outs, err = w.plan.RunFrom(w.st, w.ckpt, w.sites.minStep, w.hook)
+	} else {
+		outs, err = w.plan.RunHook(w.st, w.feeds, w.hook)
+	}
+	if w.err != nil {
+		return nil, w.err
 	}
 	if err != nil {
 		return nil, fmt.Errorf("inject: faulty run: %w", err)
@@ -454,41 +677,96 @@ func (c *Campaign) runWithFaults(plan *graph.Plan, st *graph.PlanState, feeds gr
 	return outs[0], nil
 }
 
-// runWithFaultsInt8 is runWithFaults on the quantized backend: sites
-// strike the int8 representation of operator outputs through the
-// scenario's CorruptInt8, and the dequantized fetch is judged exactly
-// like a float output.
-func (c *Campaign) runWithFaultsInt8(qp *graph.QPlan, st *graph.QPlanState, feeds graph.Feeds, sites map[string][]Site, scen Int8Scenario) (*tensor.Tensor, error) {
-	var hookErr error
-	hook := func(n *graph.Node, out *tensor.QTensor) *tensor.QTensor {
-		ss, ok := sites[n.Name()]
-		if !ok || hookErr != nil {
+// depth returns the trial's injection depth (its earliest struck plan
+// step) by sampling its site stream without executing anything. The
+// later run() resamples the same stream — it needs the full per-node
+// groups for the hook, so caching just minStep here would save nothing
+// — which is sound because Scenario sampling must be a pure function
+// of the trial's private stream (the documented statelessness
+// contract), and cheap because a sampling pass is a handful of RNG
+// draws against a plan suffix of tensor kernels.
+func (w *fp32Worker) depth(input, trial int) int {
+	w.sites.sample(w.c.Seed, input, trial)
+	return w.sites.minStep
+}
+
+// undoI8 is undoF32 for the quantized backend.
+type undoI8 struct {
+	data []int8
+	idx  int
+	v    int8
+}
+
+// int8Worker mirrors fp32Worker on the quantized plan: faults strike
+// the stored int8 words in place through the scenario's CorruptInt8.
+type int8Worker struct {
+	c     *Campaign
+	qp    *graph.QPlan
+	st    *graph.QPlanState
+	ckpt  *graph.QCheckpoint // nil when Incremental is off
+	feeds graph.Feeds
+	scen  Int8Scenario
+	sites trialSites
+	undo  []undoI8
+	err   error
+	hook  graph.QHook
+}
+
+func (w *int8Worker) makeHook() {
+	w.hook = func(n *graph.Node, out *tensor.QTensor) *tensor.QTensor {
+		ss := w.sites.byNode[n.Name()]
+		if len(ss) == 0 || w.err != nil {
 			return nil
 		}
-		repl := out.Clone()
+		data := out.Data()
 		for _, s := range ss {
-			if s.Elem < 0 || s.Elem >= repl.Size() {
-				hookErr = fmt.Errorf("inject: fault site %s[%d] outside tensor of %d elements (fault-space/shape mismatch)",
-					s.Node, s.Elem, repl.Size())
+			if s.Elem < 0 || s.Elem >= len(data) {
+				w.err = siteBoundsError(s, len(data))
 				return nil
 			}
-			q, err := scen.CorruptInt8(repl.Data()[s.Elem], s)
+			q, err := w.scen.CorruptInt8(data[s.Elem], s)
 			if err != nil {
-				hookErr = fmt.Errorf("inject: corrupt %s[%d]: %w", s.Node, s.Elem, err)
+				w.err = fmt.Errorf("inject: corrupt %s[%d]: %w", s.Node, s.Elem, err)
 				return nil
 			}
-			repl.Data()[s.Elem] = q
+			w.undo = append(w.undo, undoI8{data, s.Elem, data[s.Elem]})
+			data[s.Elem] = q
 		}
-		return repl
+		return nil
 	}
-	outs, err := qp.RunHook(st, feeds, hook)
-	if hookErr != nil {
-		return nil, hookErr
+}
+
+func (w *int8Worker) restore() {
+	for i := len(w.undo) - 1; i >= 0; i-- {
+		u := w.undo[i]
+		u.data[u.idx] = u.v
+	}
+	w.undo = w.undo[:0]
+}
+
+func (w *int8Worker) run(input, trial int) (*tensor.Tensor, error) {
+	w.restore()
+	w.err = nil
+	w.sites.sample(w.c.Seed, input, trial)
+	var outs []*tensor.Tensor
+	var err error
+	if w.ckpt != nil {
+		outs, err = w.qp.RunFrom(w.st, w.ckpt, w.sites.minStep, w.hook)
+	} else {
+		outs, err = w.qp.RunHook(w.st, w.feeds, w.hook)
+	}
+	if w.err != nil {
+		return nil, w.err
 	}
 	if err != nil {
 		return nil, fmt.Errorf("inject: faulty run: %w", err)
 	}
 	return outs[0], nil
+}
+
+func (w *int8Worker) depth(input, trial int) int {
+	w.sites.sample(w.c.Seed, input, trial)
+	return w.sites.minStep
 }
 
 // trialVerdict is one trial's judged result, computed concurrently and
@@ -532,14 +810,7 @@ func (c *Campaign) judgeTrial(ref, faulty *tensor.Tensor) trialVerdict {
 	case models.Classifier:
 		cleanLabel := ref.ArgMax()
 		v.top1 = faulty.ArgMax() != cleanLabel
-		in5 := false
-		for _, l := range faulty.TopK(5) {
-			if l == cleanLabel {
-				in5 = true
-				break
-			}
-		}
-		v.top5 = !in5
+		v.top5 = !top5Contains(faulty.Data(), cleanLabel)
 	case models.Regressor:
 		dev := math.Abs(float64(faulty.Data()[0] - ref.Data()[0]))
 		if !c.Model.OutputInDegrees {
@@ -552,4 +823,28 @@ func (c *Campaign) judgeTrial(ref, faulty *tensor.Tensor) trialVerdict {
 		v.dev = dev
 	}
 	return v
+}
+
+// top5Contains reports whether label c would appear in TopK(5) of data,
+// without allocating: c's rank is the number of elements strictly
+// greater, or equal with a lower index (TopK's first-max tie-break).
+// NaN and -Inf scores are never selected by TopK (its selection is a
+// strict '>' against a -Inf sentinel), and NaN comparisons never count
+// toward another label's rank — all mirrored here (pinned by
+// TestTop5ContainsMatchesTopK).
+func top5Contains(data []float32, c int) bool {
+	vc := data[c]
+	if math.IsNaN(float64(vc)) || math.IsInf(float64(vc), -1) {
+		return false
+	}
+	rank := 0
+	for j, v := range data {
+		if v > vc || (v == vc && j < c) {
+			rank++
+			if rank >= 5 {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -55,12 +55,16 @@ func (b BitFlipInt8) Validate(fixpoint.Format) error {
 
 // Sample implements Scenario: bit positions are drawn from the 8-bit
 // word regardless of the campaign's fixed-point format.
-func (b BitFlipInt8) Sample(space *FaultSpace, _ fixpoint.Format, rng *rand.Rand) []Site {
-	sites := make([]Site, b.Flips)
-	for i := range sites {
-		sites[i] = space.SampleSite(rng, 8)
+func (b BitFlipInt8) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
+	return b.AppendSites(make([]Site, 0, b.Flips), space, format, rng)
+}
+
+// AppendSites implements SiteAppender.
+func (b BitFlipInt8) AppendSites(buf []Site, space *FaultSpace, _ fixpoint.Format, rng *rand.Rand) []Site {
+	for i := 0; i < b.Flips; i++ {
+		buf = append(buf, space.SampleSite(rng, 8))
 	}
-	return sites
+	return buf
 }
 
 // Corrupt implements Scenario; int8 scenarios only run on the quantized
@@ -101,12 +105,16 @@ func (s StuckAtInt8) Validate(fixpoint.Format) error {
 }
 
 // Sample implements Scenario.
-func (s StuckAtInt8) Sample(space *FaultSpace, _ fixpoint.Format, rng *rand.Rand) []Site {
-	sites := make([]Site, s.Faults)
-	for i := range sites {
-		sites[i] = space.SampleSite(rng, 8)
+func (s StuckAtInt8) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
+	return s.AppendSites(make([]Site, 0, s.Faults), space, format, rng)
+}
+
+// AppendSites implements SiteAppender.
+func (s StuckAtInt8) AppendSites(buf []Site, space *FaultSpace, _ fixpoint.Format, rng *rand.Rand) []Site {
+	for i := 0; i < s.Faults; i++ {
+		buf = append(buf, space.SampleSite(rng, 8))
 	}
-	return sites
+	return buf
 }
 
 // Corrupt implements Scenario; int8 scenarios only run on the quantized

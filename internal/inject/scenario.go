@@ -82,6 +82,20 @@ type Scenario interface {
 	Corrupt(format fixpoint.Format, v float32, s Site) (float32, error)
 }
 
+// SiteAppender is an optional Scenario extension: scenarios that can
+// write their sampled sites into a caller-owned buffer let campaign
+// workers reuse one slice across trials — part of the zero-allocation
+// trial loop. AppendSites must draw from rng exactly as Sample would
+// (same sites, same stream consumption); every built-in scenario
+// implements it and routes Sample through it. Scenarios without it
+// still work, at one small allocation per trial.
+type SiteAppender interface {
+	Scenario
+	// AppendSites appends one execution's fault sites to buf and
+	// returns the extended slice.
+	AppendSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site
+}
+
 // DefaultScenario returns the paper's primary fault model: one random
 // bit flip per execution.
 func DefaultScenario() Scenario { return BitFlips{Flips: 1} }
@@ -111,11 +125,15 @@ func (b BitFlips) Validate(fixpoint.Format) error {
 
 // Sample implements Scenario.
 func (b BitFlips) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
-	sites := make([]Site, b.Flips)
-	for i := range sites {
-		sites[i] = space.SampleSite(rng, format.Bits())
+	return b.AppendSites(make([]Site, 0, b.Flips), space, format, rng)
+}
+
+// AppendSites implements SiteAppender.
+func (b BitFlips) AppendSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
+	for i := 0; i < b.Flips; i++ {
+		buf = append(buf, space.SampleSite(rng, format.Bits()))
 	}
-	return sites
+	return buf
 }
 
 // Corrupt implements Scenario.
@@ -147,17 +165,21 @@ func (c ConsecutiveBits) Validate(fixpoint.Format) error {
 
 // Sample implements Scenario.
 func (c ConsecutiveBits) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
+	return c.AppendSites(make([]Site, 0, c.Flips), space, format, rng)
+}
+
+// AppendSites implements SiteAppender.
+func (c ConsecutiveBits) AppendSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
 	width := format.Bits()
 	k := c.Flips
 	if k > width {
 		k = width
 	}
 	s := space.SampleSite(rng, width-k+1)
-	sites := make([]Site, k)
 	for b := 0; b < k; b++ {
-		sites[b] = Site{Node: s.Node, Elem: s.Elem, Bit: s.Bit + b}
+		buf = append(buf, Site{Node: s.Node, Elem: s.Elem, Bit: s.Bit + b})
 	}
-	return sites
+	return buf
 }
 
 // Corrupt implements Scenario.
@@ -188,13 +210,17 @@ func (r RandomValue) Validate(fixpoint.Format) error {
 // Sample implements Scenario. The replacement word is drawn here, into
 // the site payload, so Corrupt stays deterministic.
 func (r RandomValue) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
-	sites := make([]Site, r.Faults)
-	for i := range sites {
+	return r.AppendSites(make([]Site, 0, r.Faults), space, format, rng)
+}
+
+// AppendSites implements SiteAppender.
+func (r RandomValue) AppendSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
+	for i := 0; i < r.Faults; i++ {
 		s := space.SampleSite(rng, format.Bits())
 		s.Payload = uint64(rng.Int63())
-		sites[i] = s
+		buf = append(buf, s)
 	}
-	return sites
+	return buf
 }
 
 // Corrupt implements Scenario.
@@ -231,11 +257,15 @@ func (s StuckAt) Validate(fixpoint.Format) error {
 
 // Sample implements Scenario.
 func (s StuckAt) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
-	sites := make([]Site, s.Faults)
-	for i := range sites {
-		sites[i] = space.SampleSite(rng, format.Bits())
+	return s.AppendSites(make([]Site, 0, s.Faults), space, format, rng)
+}
+
+// AppendSites implements SiteAppender.
+func (s StuckAt) AppendSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
+	for i := 0; i < s.Faults; i++ {
+		buf = append(buf, space.SampleSite(rng, format.Bits()))
 	}
-	return sites
+	return buf
 }
 
 // Corrupt implements Scenario.

@@ -3,11 +3,11 @@ package inject
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"sync/atomic"
 	"testing"
 
 	"ranger/internal/fixpoint"
-	"ranger/internal/graph"
 )
 
 func singleElementSpace() *FaultSpace {
@@ -204,34 +204,42 @@ func TestCampaignRunsExtendedScenarios(t *testing.T) {
 	}
 }
 
+// bogusSiteScenario samples a site whose element index can never fit
+// the struck tensor, modelling a fault space built against shapes the
+// execution does not reproduce.
+type bogusSiteScenario struct{ node string }
+
+func (b bogusSiteScenario) Name() string                   { return "bogus-site" }
+func (b bogusSiteScenario) Validate(fixpoint.Format) error { return nil }
+func (b bogusSiteScenario) Sample(*FaultSpace, fixpoint.Format, *rand.Rand) []Site {
+	return []Site{{Node: b.node, Elem: 1 << 30, Bit: 0}}
+}
+func (b bogusSiteScenario) Corrupt(_ fixpoint.Format, v float32, _ Site) (float32, error) {
+	return v, nil
+}
+
 // TestShapeMismatchSurfacesError covers the former silent clamp: a
 // sampled site past the struck tensor's size indicates a
-// fault-space/shape mismatch and must fail the campaign, not be
-// redirected to the last element.
+// fault-space/shape mismatch and must fail the campaign — through the
+// one shared typed error on every backend — not be redirected to the
+// last element.
 func TestShapeMismatchSurfacesError(t *testing.T) {
 	m, feeds := lenetInputs(t, 1)
-	c := &Campaign{Model: m, Trials: 1, Seed: 1}
 	fs, err := buildFaultSpace(m, feeds[0], nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bogus := map[string][]Site{
-		fs.Nodes()[0]: {{Node: fs.Nodes()[0], Elem: 1 << 30, Bit: 0}},
+	scen := bogusSiteScenario{node: fs.Nodes()[0]}
+	for _, mode := range []IncrementalMode{IncrementalOn, IncrementalOff} {
+		c := &Campaign{Model: m, Scenario: scen, Trials: 1, Seed: 1, Incremental: mode}
+		if _, err := c.Run(context.Background(), feeds); !errors.Is(err, ErrFaultSpaceMismatch) {
+			t.Fatalf("incremental=%v: want ErrFaultSpaceMismatch, got %v", mode == IncrementalOn, err)
+		}
 	}
-	plan, err := c.compile()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := c.runWithFaults(plan, plan.NewState(), feeds[0], bogus); err == nil {
-		t.Fatal("want fault-space/shape mismatch error")
-	}
-	allPlan, err := graph.CompileWith(m.Graph, graph.CompileOptions{ObserveAll: true}, m.Output)
-	if err != nil {
-		t.Fatal(err)
-	}
-	det := &uncloneableDetector{}
-	if _, err := c.runWithFaultsObserved(allPlan, allPlan.NewState(), feeds[0], bogus, det); err == nil {
-		t.Fatal("want fault-space/shape mismatch error (detector path)")
+	// Detector path shares the same typed error.
+	c := &Campaign{Model: m, Scenario: scen, Trials: 1, Seed: 1}
+	if _, err := c.RunWithDetector(context.Background(), feeds, &uncloneableDetector{}); !errors.Is(err, ErrFaultSpaceMismatch) {
+		t.Fatalf("detector path: want ErrFaultSpaceMismatch, got %v", err)
 	}
 }
 

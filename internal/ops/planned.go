@@ -313,6 +313,21 @@ func (r *ReshapeOp) InferShape(ins [][]int) ([]int, error) {
 	return tensor.ResolveShape(total, append([]int{x[0]}, r.TailShape...))
 }
 
+// EvalInto implements graph.PlannedOp: under a plan the reshape copies
+// into its own slot, so — like the allocating Eval's clone — its output
+// never aliases the producer's buffer, which the fault injector's
+// in-place corruption relies on.
+func (r *ReshapeOp) EvalInto(in []*tensor.Tensor, out *tensor.Tensor, _ *graph.Scratch) error {
+	if len(in) != 1 {
+		return fmt.Errorf("reshape: want 1 input, got %d", len(in))
+	}
+	if in[0].Size() != out.Size() {
+		return fmt.Errorf("reshape: %d elements into %d", in[0].Size(), out.Size())
+	}
+	copy(out.Data(), in[0].Data())
+	return nil
+}
+
 // InferShape implements graph.ShapeOp.
 func (ConcatOp) InferShape(ins [][]int) ([]int, error) {
 	if len(ins) < 2 {
@@ -334,6 +349,37 @@ func (ConcatOp) InferShape(ins [][]int) ([]int, error) {
 	}
 	out := append([]int{}, ins[0][:r-1]...)
 	return append(out, totalC), nil
+}
+
+// EvalInto implements graph.PlannedOp: each input's channel stripe is
+// copied straight into its offset of the slot-backed output rows.
+func (ConcatOp) EvalInto(in []*tensor.Tensor, out *tensor.Tensor, _ *graph.Scratch) error {
+	if len(in) < 2 {
+		return fmt.Errorf("concat: want >=2 inputs, got %d", len(in))
+	}
+	r := in[0].Rank()
+	rows := 1
+	for i := 0; i < r-1; i++ {
+		rows *= in[0].Dim(i)
+	}
+	totalC := out.Dim(out.Rank() - 1)
+	od := out.Data()
+	off := 0
+	for _, t := range in {
+		if t.Rank() != r {
+			return fmt.Errorf("concat: rank mismatch %d vs %d", t.Rank(), r)
+		}
+		c := t.Dim(r - 1)
+		td := t.Data()
+		for row := 0; row < rows; row++ {
+			copy(od[row*totalC+off:row*totalC+off+c], td[row*c:(row+1)*c])
+		}
+		off += c
+	}
+	if off != totalC {
+		return fmt.Errorf("concat: %d channels into %d", off, totalC)
+	}
+	return nil
 }
 
 // InferShape implements graph.ShapeOp.

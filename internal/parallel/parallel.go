@@ -13,6 +13,7 @@ package parallel
 import (
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -125,6 +126,31 @@ func Shard(workers, n int, fn func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// OrderByKey returns the indices of [lo, hi) ordered by ascending
+// key(i), ties staying in index order (stable). It is the scheduling
+// side of depth-grouped campaign shards: a worker iterates its
+// contiguous trial block grouped by injection depth — so consecutive
+// suffix replays share warm late-layer state — while callers keep
+// indexing results by the original i, leaving the trial-order reduction
+// byte-identical to sequential execution. key is evaluated exactly once
+// per index.
+func OrderByKey(lo, hi int, key func(i int) int) []int {
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	keys := make([]int, n)
+	for i := 0; i < n; i++ {
+		idx[i] = lo + i
+		keys[i] = key(lo + i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return keys[idx[a]-lo] < keys[idx[b]-lo]
+	})
+	return idx
 }
 
 // For runs fn(i) for every i in [0, n) across the worker pool.

@@ -112,3 +112,35 @@ func TestNestedShardClampsButCovers(t *testing.T) {
 		}
 	}
 }
+
+func TestOrderByKeyStableAndComplete(t *testing.T) {
+	// Keys with many ties: every index of [lo, hi) appears exactly once,
+	// sorted by key ascending with ties in index order.
+	key := func(i int) int { return i % 3 }
+	order := OrderByKey(10, 30, key)
+	if len(order) != 20 {
+		t.Fatalf("len = %d, want 20", len(order))
+	}
+	seen := make(map[int]bool, len(order))
+	for pos, i := range order {
+		if i < 10 || i >= 30 {
+			t.Fatalf("index %d outside [10,30)", i)
+		}
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+		if pos > 0 {
+			prev := order[pos-1]
+			if key(prev) > key(i) {
+				t.Fatalf("keys out of order at %d: %d then %d", pos, key(prev), key(i))
+			}
+			if key(prev) == key(i) && prev > i {
+				t.Fatalf("tie broken out of index order: %d before %d", prev, i)
+			}
+		}
+	}
+	if got := OrderByKey(5, 5, key); got != nil {
+		t.Fatalf("empty range = %v, want nil", got)
+	}
+}

@@ -28,6 +28,47 @@ func kernelWorkers(flops int) int {
 	return parallel.Workers()
 }
 
+// matmulRows is the row-sharded matmul kernel body for output rows
+// [lo, hi): (m,k)x(k,n) operand slices ad/bd into od.
+func matmulRows(ad, bd, od []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		clear(orow)
+		if n <= blockN {
+			// Single j-block: the sequential kernel's loops verbatim.
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j := range orow {
+					orow[j] += av * brow[j]
+				}
+			}
+			continue
+		}
+		for p0 := 0; p0 < k; p0 += blockK {
+			p1 := min(p0+blockK, k)
+			for j0 := 0; j0 < n; j0 += blockN {
+				j1 := min(j0+blockN, n)
+				ob := orow[j0:j1]
+				for p := p0; p < p1; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := bd[p*n+j0 : p*n+j1]
+					for j, bv := range brow {
+						ob[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
 // All three matmul kernels shard output rows across workers and walk the
 // reduction dimension in ascending order within each row, so every output
 // element accumulates its products in exactly the sequence the sequential
@@ -60,44 +101,16 @@ func MatMulInto(dst, a, b *Tensor) (*Tensor, error) {
 		// Row sharding: each worker owns contiguous output rows and keeps
 		// its current row resident while streaming B in p-major order,
 		// blocking j so wide B rows stay L1-resident across the p-block.
-		parallel.Shard(workers, m, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				arow := ad[i*k : (i+1)*k]
-				orow := od[i*n : (i+1)*n]
-				clear(orow)
-				if n <= blockN {
-					// Single j-block: the sequential kernel's loops verbatim.
-					for p := 0; p < k; p++ {
-						av := arow[p]
-						if av == 0 {
-							continue
-						}
-						brow := bd[p*n : (p+1)*n]
-						for j := range orow {
-							orow[j] += av * brow[j]
-						}
-					}
-					continue
-				}
-				for p0 := 0; p0 < k; p0 += blockK {
-					p1 := min(p0+blockK, k)
-					for j0 := 0; j0 < n; j0 += blockN {
-						j1 := min(j0+blockN, n)
-						ob := orow[j0:j1]
-						for p := p0; p < p1; p++ {
-							av := arow[p]
-							if av == 0 {
-								continue
-							}
-							brow := bd[p*n+j0 : p*n+j1]
-							for j, bv := range brow {
-								ob[j] += av * bv
-							}
-						}
-					}
-				}
-			}
-		})
+		// The single-worker path calls the kernel directly — routing it
+		// through Shard would heap-allocate the closure per call, which
+		// the zero-alloc campaign trial loop cannot afford.
+		if workers <= 1 {
+			matmulRows(ad, bd, od, k, n, 0, m)
+		} else {
+			parallel.Shard(workers, m, func(lo, hi int) {
+				matmulRows(ad, bd, od, k, n, lo, hi)
+			})
+		}
 		return out, nil
 	}
 	// Few tall rows (batch-1 dense layers): shard output columns instead,

@@ -1,0 +1,237 @@
+// Command rangerd runs fault-injection campaigns as a durable,
+// observable service.
+//
+// Serve mode starts the HTTP daemon:
+//
+//	rangerd serve -addr :7777 -data /var/lib/rangerd
+//
+// Jobs are submitted as JSON specs to POST /v1/jobs, stream per-trial
+// results over GET /v1/jobs/{id}/stream (server-sent events), and
+// persist every completed trial block as a hash-chained, fsynced JSONL
+// record. Kill the daemon — even kill -9 — and the next start resumes
+// every in-flight job from its last persisted block, folding an
+// aggregate outcome byte-identical to an uninterrupted run. The first
+// SIGINT/SIGTERM drains gracefully (workers finish their current block,
+// interrupted jobs return to the durable queue); a second signal stops
+// hard (the chain frontier stays the source of truth).
+//
+// Other endpoints: GET /v1/jobs (list), GET /v1/jobs/{id} (manifest +
+// status), GET /v1/jobs/{id}/blocks (raw chain), POST
+// /v1/jobs/{id}/cancel, POST /v1/stream (ephemeral synchronous campaign,
+// ndjson, cancelled when the client disconnects), GET /metrics
+// (Prometheus text), GET /healthz.
+//
+// Verify mode re-validates persisted chains offline, with no daemon
+// running:
+//
+//	rangerd verify -data /var/lib/rangerd [job-id ...]
+//
+// It checks every manifest seal, block seal, and prev-hash link, refolds
+// each chain's aggregate outcome, and cross-checks it against the stored
+// status record. Any mismatch — a flipped verdict, a reordered block, an
+// edited spec — fails with a nonzero exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"reflect"
+	"syscall"
+	"time"
+
+	"ranger"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("rangerd: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "verify":
+		err = verify(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "rangerd: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  rangerd serve  -addr :7777 -data DIR [-jobs N] [-queue N] [-block N] [-workers N] [-streams N]
+  rangerd verify -data DIR [job-id ...]
+`)
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7777", "HTTP listen address")
+	dataDir := fs.String("data", "rangerd-data", "job store directory")
+	jobs := fs.Int("jobs", 2, "concurrent job workers")
+	queue := fs.Int("queue", 16, "submission queue capacity (backpressure bound)")
+	block := fs.Int("block", ranger.DefaultBlockTrials, "trials per persisted block (durability granularity)")
+	workers := fs.Int("workers", 0, "per-campaign trial workers (0 = all cores)")
+	streams := fs.Int("streams", 2, "concurrent ephemeral /v1/stream campaigns")
+	fs.Parse(args)
+
+	store, err := ranger.OpenJobStore(*dataDir)
+	if err != nil {
+		return err
+	}
+	svc, err := ranger.NewService(ranger.ServiceConfig{
+		Store:           store,
+		JobWorkers:      *jobs,
+		QueueCap:        *queue,
+		BlockTrials:     *block,
+		CampaignWorkers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	svc.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: ranger.NewServiceHandler(svc, *streams)}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s, store %s", *addr, *dataDir)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		svc.Stop()
+		return err
+	case sig := <-sigc:
+		log.Printf("%s: draining (signal again to stop hard)", sig)
+	}
+
+	// Graceful drain: stop accepting HTTP, let workers finish and persist
+	// their current block. A second signal escalates to a hard stop —
+	// in-flight chunks are abandoned and re-run, identically, on the next
+	// start.
+	hard := make(chan struct{})
+	go func() {
+		<-sigc
+		log.Printf("second signal: stopping hard")
+		close(hard)
+		svc.Stop()
+	}()
+	drained := make(chan struct{})
+	go func() {
+		svc.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		log.Printf("drained")
+	case <-hard:
+		<-drained
+		log.Printf("stopped")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	return nil
+}
+
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dataDir := fs.String("data", "rangerd-data", "job store directory")
+	fs.Parse(args)
+
+	store, err := ranger.OpenJobStore(*dataDir)
+	if err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		if ids, err = store.List(); err != nil {
+			return err
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Println("no jobs in store")
+		return nil
+	}
+	bad := 0
+	for _, id := range ids {
+		if err := verifyJob(store, id); err != nil {
+			fmt.Printf("%-20s FAIL  %v\n", id, err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d jobs failed verification", bad, len(ids))
+	}
+	return nil
+}
+
+// verifyJob re-validates one job's chain and cross-checks the refolded
+// outcome against the stored status record.
+func verifyJob(store ranger.JobStore, id string) error {
+	man, err := store.Manifest(id)
+	if err != nil {
+		return err
+	}
+	blocks, err := store.Blocks(id)
+	if err != nil {
+		return err
+	}
+	sum, err := ranger.VerifyJobChain(man, blocks)
+	if err != nil {
+		return err
+	}
+	st, err := store.Status(id)
+	if err != nil {
+		return err
+	}
+	// The status record is the mutable, unchained view; any disagreement
+	// with the verified chain means it was tampered with or corrupted.
+	if st.State == ranger.JobCompleted {
+		if !sum.Complete {
+			return fmt.Errorf("status says completed but chain covers %d/%d trials", sum.Frontier, man.GridTotal)
+		}
+		if st.Outcome == nil {
+			return fmt.Errorf("status says completed but records no outcome")
+		}
+		if refold := ranger.RecordJobOutcome(sum.Outcome); !reflect.DeepEqual(*st.Outcome, refold) {
+			return fmt.Errorf("stored outcome disagrees with chain refold")
+		}
+		if st.LastHash != sum.LastHash {
+			return fmt.Errorf("stored head %s disagrees with chain head %s", st.LastHash, sum.LastHash)
+		}
+	} else if st.Frontier > sum.Frontier {
+		return fmt.Errorf("status frontier %d ahead of chain frontier %d", st.Frontier, sum.Frontier)
+	}
+	fmt.Printf("%-20s OK    state=%-9s blocks=%-4d trials=%d/%d head=%s\n",
+		id, st.State, sum.Blocks, sum.Frontier, man.GridTotal, short(sum.LastHash))
+	return nil
+}
+
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

@@ -48,6 +48,11 @@
 //     paper's evaluation by id (ExperimentIDs), plus the fused-vs-unfused
 //     protection-overhead measurement ("overhead") and the int8-backend
 //     measurement ("quantoverhead").
+//   - Service: NewService runs campaign JobSpecs durably on a bounded
+//     worker queue — every completed trial block persists as a
+//     hash-chained record, killed daemons resume byte-identically, and
+//     VerifyJobChain re-validates results offline. NewServiceHandler is
+//     the HTTP face cmd/rangerd serves.
 //
 // A minimal protect-and-measure pipeline:
 //
@@ -130,6 +135,41 @@
 // (large external models, memory-constrained hosts); rangerbench
 // -exp campaignspeed quantifies the trade across the zoo.
 //
+// # The rangerd service lifecycle
+//
+// cmd/rangerd turns campaigns into a durable, observable service:
+// submit → stream → persist → resume → verify.
+//
+// A job is submitted as a JobSpec and sealed into an immutable
+// JobManifest whose spec hash is the genesis of the job's block chain.
+// Jobs wait on a bounded queue (a full queue rejects with ErrJobQueueFull
+// / HTTP 429 + Retry-After) and execute on a shared worker pool. The
+// trial grid — position = input*Trials + trial, one hash(Seed, input,
+// trial) stream per position — runs as consecutive Campaign.RunSlice
+// chunks; each completed chunk is sealed into a Block carrying every
+// trial verdict, the previous block's hash, and its own, then fsynced to
+// an append-only JSONL chain. The block boundary is the durability
+// boundary: kill the daemon at any point (kill -9 included) and the next
+// start re-queues the job, folds the persisted chain, and resumes from
+// its frontier — per-trial seeds are absolute grid positions, so the
+// final Outcome is byte-identical to an uninterrupted run, deviations
+// preserved as IEEE-754 bit patterns.
+//
+// While a job runs, subscribers stream per-trial, per-block, and status
+// events (SSE over GET /v1/jobs/{id}/stream); a disconnected subscriber
+// detaches without disturbing the job. The synchronous POST /v1/stream
+// endpoint is the opposite contract: an ephemeral campaign tied to the
+// request, cancelled the moment the client disconnects. SIGTERM drains
+// gracefully — workers finish their current block and park interrupted
+// jobs back on the durable queue; a second signal stops hard.
+//
+// Because each block commits to its predecessor and the genesis commits
+// to the manifest, a published final hash pins the entire campaign:
+// `rangerd verify` (VerifyJobChain) re-validates every seal and link
+// offline and refolds the aggregate outcome, so a flipped verdict, a
+// reordered block, or an edited spec is detected with no daemon and no
+// re-execution.
+//
 // # Substrate
 //
 // The repository contains the full substrate stack the paper depends on,
@@ -156,6 +196,9 @@
 //   - internal/baselines: the Table VI comparator techniques and the
 //     Protector registry
 //   - internal/experiments: one entry point per paper table and figure
+//   - internal/service: the rangerd job service — durable hash-chained
+//     trial storage, bounded-queue scheduling, resume, metrics, and the
+//     HTTP API
 //
 // See README.md for a walkthrough.
 package ranger

@@ -195,6 +195,11 @@ func (c *Campaign) RunWithDetector(ctx context.Context, inputs []graph.Feeds, de
 			v.apply(&out.Outcome)
 		}
 	}
+	// Mirror Run's cancellation contract: cancelled ⇒ ctx.Err(), never a
+	// fold that could pass for a completed campaign.
+	if err := ctx.Err(); err != nil {
+		return DetectorOutcome{}, err
+	}
 	return out, nil
 }
 

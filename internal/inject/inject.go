@@ -359,11 +359,39 @@ func (c *Campaign) sampleFaultSites(fs *FaultSpace, rng *rand.Rand) map[string][
 // stream and judged into an index slot, then reduced in trial order — the
 // Outcome is byte-identical at every worker count, between the
 // incremental and full-replay strategies, and to the pre-plan executor.
-// Cancelling ctx makes Run return promptly with ctx.Err(); workers
-// observe the context between trials.
+// Cancelling ctx makes Run return promptly with ctx.Err() and a zero
+// Outcome — never a partial one — no matter where in the campaign the
+// cancellation lands; workers observe the context between trials.
 func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, error) {
+	return c.RunSlice(ctx, inputs, 0, c.GridSize(inputs))
+}
+
+// GridSize returns the linearized size of the campaign's (input, trial)
+// grid: len(inputs) * Trials.
+func (c *Campaign) GridSize(inputs []graph.Feeds) int64 {
+	return int64(len(inputs)) * int64(c.Trials)
+}
+
+// RunSlice executes the sub-range [start, end) of the campaign's
+// linearized (input, trial) grid, where position p maps to input
+// p/Trials, trial p%Trials. Trials keep their absolute identities — each
+// samples from the same hash(Seed, input, trial) stream Run would give
+// it — so a campaign split into consecutive slices folds, slice by
+// slice, into exactly the Outcome of one uninterrupted Run: Trials,
+// Top1SDC, and Top5SDC add, and Deviations concatenate in order. This is
+// the durable-resume primitive behind the rangerd service: persist each
+// completed slice, then resume from the frontier after a crash and the
+// aggregate Outcome is byte-identical.
+//
+// Cancellation follows the Run contract: a cancelled slice returns
+// ctx.Err() and a zero Outcome, never a partial fold.
+func (c *Campaign) RunSlice(ctx context.Context, inputs []graph.Feeds, start, end int64) (Outcome, error) {
 	if err := c.validate(inputs); err != nil {
 		return Outcome{}, err
+	}
+	total := c.GridSize(inputs)
+	if start < 0 || end > total || start > end {
+		return Outcome{}, fmt.Errorf("inject: slice [%d,%d) outside grid [0,%d)", start, end, total)
 	}
 	exec, err := c.newExec()
 	if err != nil {
@@ -373,6 +401,13 @@ func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, erro
 	var out Outcome
 	var cbMu sync.Mutex
 	for ii, feeds := range inputs {
+		inLo := int64(ii) * int64(c.Trials)
+		sliceLo, sliceHi := max64(start, inLo), min64(end, inLo+int64(c.Trials))
+		if sliceLo >= sliceHi {
+			continue
+		}
+		// The input's trial sub-range [t0, t0+n); slot i holds trial t0+i.
+		t0, n := int(sliceLo-inLo), int(sliceHi-sliceLo)
 		if err := ctx.Err(); err != nil {
 			return Outcome{}, err
 		}
@@ -384,10 +419,10 @@ func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, erro
 		if err != nil {
 			return Outcome{}, fmt.Errorf("inject: clean run: %w", err)
 		}
-		verdicts := make([]trialVerdict, c.Trials)
-		errs := make([]error, c.Trials)
+		verdicts := make([]trialVerdict, n)
+		errs := make([]error, n)
 		ii := ii
-		parallel.Shard(workers, c.Trials, func(lo, hi int) {
+		parallel.Shard(workers, n, func(lo, hi int) {
 			run, depth := exec.newTrial(feeds, fs)
 			// Group this worker's block by injection depth (suffix
 			// replay only): execution order changes, but verdicts and
@@ -395,40 +430,61 @@ func (c *Campaign) Run(ctx context.Context, inputs []graph.Feeds) (Outcome, erro
 			// stays in trial order and the Outcome is unchanged.
 			var order []int
 			if c.incremental() {
-				order = parallel.OrderByKey(lo, hi, func(trial int) int {
-					return depth(ii, trial)
+				order = parallel.OrderByKey(lo, hi, func(slot int) int {
+					return depth(ii, t0+slot)
 				})
 			}
 			for i := lo; i < hi; i++ {
-				trial := i
+				slot := i
 				if order != nil {
-					trial = order[i-lo]
+					slot = order[i-lo]
 				}
 				if err := ctx.Err(); err != nil {
-					errs[trial] = err
+					errs[slot] = err
 					return
 				}
+				trial := t0 + slot
 				faulty, err := run(ii, trial)
 				if err != nil {
-					errs[trial] = err
+					errs[slot] = err
 					continue
 				}
-				verdicts[trial] = c.judgeTrial(ref, faulty)
+				verdicts[slot] = c.judgeTrial(ref, faulty)
 				if c.OnTrial != nil {
 					cbMu.Lock()
-					c.OnTrial(verdicts[trial].result(ii, trial))
+					c.OnTrial(verdicts[slot].result(ii, trial))
 					cbMu.Unlock()
 				}
 			}
 		})
-		for trial := 0; trial < c.Trials; trial++ {
-			if errs[trial] != nil {
-				return Outcome{}, errs[trial]
+		for slot := 0; slot < n; slot++ {
+			if errs[slot] != nil {
+				return Outcome{}, errs[slot]
 			}
-			verdicts[trial].apply(&out)
+			verdicts[slot].apply(&out)
 		}
 	}
+	// A cancellation that lands as (or after) the last trials complete
+	// leaves no per-trial error behind; surface it anyway so a cancelled
+	// campaign can never masquerade as a completed one.
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
 	return out, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // campaignExec abstracts the campaign's execution backend: the fp32

@@ -1,0 +1,133 @@
+package inject
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"ranger/internal/data"
+	"ranger/internal/graph"
+	"ranger/internal/models"
+)
+
+// daveInputs builds an untrained steering regressor and n driving
+// samples; regressor campaigns record per-trial Deviations, so slice
+// folding must also preserve append order, not just the counters.
+func daveInputs(t *testing.T, n int) (*models.Model, []graph.Feeds) {
+	t.Helper()
+	m, err := models.Build("dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := data.NewDriving()
+	feeds := make([]graph.Feeds, n)
+	for i := range feeds {
+		feeds[i] = graph.Feeds{m.Input: ds.Sample(data.Train, i).X}
+	}
+	return m, feeds
+}
+
+// foldSlices runs the campaign as consecutive [start, end) slices of the
+// given width and concatenates the partial Outcomes.
+func foldSlices(t *testing.T, c *Campaign, inputs []graph.Feeds, width int64) Outcome {
+	t.Helper()
+	var out Outcome
+	total := c.GridSize(inputs)
+	for start := int64(0); start < total; start += width {
+		end := start + width
+		if end > total {
+			end = total
+		}
+		part, err := c.RunSlice(context.Background(), inputs, start, end)
+		if err != nil {
+			t.Fatalf("RunSlice[%d,%d): %v", start, end, err)
+		}
+		out.Trials += part.Trials
+		out.Top1SDC += part.Top1SDC
+		out.Top5SDC += part.Top5SDC
+		out.Deviations = append(out.Deviations, part.Deviations...)
+	}
+	return out
+}
+
+// TestRunSliceFoldsToFullRun pins the resume primitive: any chunking of
+// the linearized grid folds into exactly the uninterrupted Outcome —
+// counters and Deviation order included — because trials keep their
+// absolute (input, trial) sampling streams.
+func TestRunSliceFoldsToFullRun(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		model  func(t *testing.T, n int) (*models.Model, []graph.Feeds)
+		inputs int
+		trials int
+	}{
+		{"classifier", lenetInputs, 2, 9},
+		{"regressor", daveInputs, 2, 7},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, feeds := tc.model(t, tc.inputs)
+			c := &Campaign{Model: m, Trials: tc.trials, Seed: 99, Workers: 3}
+			want, err := c.Run(context.Background(), feeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Widths that split inside inputs, across input boundaries,
+			// and unevenly against the grid size.
+			for _, width := range []int64{1, 4, 5, c.GridSize(feeds)} {
+				got := foldSlices(t, c, feeds, width)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("width %d: folded %+v, want %+v", width, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRunSliceRejectsOutOfGridRanges(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	c := &Campaign{Model: m, Trials: 5, Seed: 1}
+	for _, r := range [][2]int64{{-1, 3}, {0, 6}, {4, 2}} {
+		if _, err := c.RunSlice(context.Background(), feeds, r[0], r[1]); err == nil {
+			t.Fatalf("RunSlice[%d,%d) succeeded on a 5-trial grid", r[0], r[1])
+		}
+	}
+}
+
+// TestRunSurfacesCtxErrOnCancel is the regression test for the campaign
+// cancellation contract: Campaign.Run must return ctx.Err() and a zero
+// Outcome whenever the context is cancelled mid-campaign — including
+// when the cancellation races the final trials, where every worker can
+// finish its block without ever observing the cancelled context.
+func TestRunSurfacesCtxErrOnCancel(t *testing.T) {
+	m, feeds := lenetInputs(t, 2)
+	for _, cancelAt := range []int{1, 5, 2 * 40} { // early, mid, at completion
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		c := &Campaign{Model: m, Trials: 40, Seed: 7, Workers: 4,
+			OnTrial: func(TrialResult) {
+				if n++; n == cancelAt {
+					cancel()
+				}
+			}}
+		out, err := c.Run(ctx, feeds)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelAt %d: err = %v, want context.Canceled", cancelAt, err)
+		}
+		if out.Trials != 0 || out.Top1SDC != 0 || out.Top5SDC != 0 || out.Deviations != nil {
+			t.Fatalf("cancelAt %d: partial outcome %+v leaked past cancellation", cancelAt, out)
+		}
+	}
+}
+
+// A context cancelled before Run starts must short-circuit the same way.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	m, feeds := lenetInputs(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Campaign{Model: m, Trials: 3, Seed: 1}
+	if _, err := c.Run(ctx, feeds); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,120 @@
+// The block batcher: bridges a campaign's streamed per-trial results
+// into the durable hash chain. Trials arrive in scheduling order from
+// concurrent workers; the batcher buffers one chunk's records, seals
+// them into the next chain block when the chunk's RunSlice returns, and
+// appends it durably — batching trial writes at block granularity so
+// durability costs one fsync per block instead of one per trial under
+// load.
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"ranger/internal/inject"
+)
+
+// batcher accumulates one job's trial records between block boundaries
+// and maintains the chain cursor (sequence, previous hash, durable
+// frontier, running aggregate). It is not itself goroutine-safe: Add is
+// called from Campaign.OnTrial, whose invocations the campaign
+// serializes, and flush is called only after RunSlice returns (which
+// orders all OnTrial calls before it).
+type batcher struct {
+	store  Store
+	id     string
+	trials int // per-input trial count (grid linearization)
+
+	seq      int
+	prev     string
+	frontier int64
+	outcome  inject.Outcome
+
+	pending []TrialRecord
+}
+
+// newBatcher positions a batcher at a verified chain summary: resumed
+// jobs continue appending exactly where the persisted chain ends.
+func newBatcher(store Store, man Manifest, sum ChainSummary) *batcher {
+	return &batcher{
+		store:    store,
+		id:       man.ID,
+		trials:   man.Spec.Trials,
+		seq:      sum.Blocks,
+		prev:     sum.LastHash,
+		frontier: sum.Frontier,
+		outcome:  sum.Outcome,
+	}
+}
+
+// Add buffers one streamed trial result for the current block.
+func (b *batcher) Add(tr inject.TrialResult) {
+	b.pending = append(b.pending, NewTrialRecord(tr))
+}
+
+// Flush seals the buffered records into the chain block covering
+// [frontier, end), appends it durably, and advances the cursor. The
+// chunk's partial Outcome (RunSlice's return) cross-checks the fold: the
+// persisted chain must reproduce exactly what the live campaign
+// reported, or the block is not written.
+func (b *batcher) Flush(end int64, part inject.Outcome) (Block, error) {
+	if int64(len(b.pending)) != end-b.frontier || part.Trials != len(b.pending) {
+		return Block{}, fmt.Errorf("service: %s: chunk [%d,%d) streamed %d records, outcome folded %d",
+			b.id, b.frontier, end, len(b.pending), part.Trials)
+	}
+	blk, err := sealBlock(b.seq, b.frontier, end, b.prev, b.trials, b.pending)
+	if err != nil {
+		return Block{}, fmt.Errorf("service: %s: %w", b.id, err)
+	}
+	var check inject.Outcome
+	for _, r := range blk.Results {
+		r.apply(&check)
+	}
+	if !outcomeEqual(check, part) {
+		return Block{}, fmt.Errorf("service: %s: block %d fold disagrees with live outcome", b.id, b.seq)
+	}
+	if err := b.store.Append(b.id, blk); err != nil {
+		return Block{}, err
+	}
+	b.seq++
+	b.prev = blk.Hash
+	b.frontier = end
+	b.pending = nil
+	mergeOutcome(&b.outcome, part)
+	return blk, nil
+}
+
+// Frontier returns the durable grid frontier.
+func (b *batcher) Frontier() int64 { return b.frontier }
+
+// Outcome returns the durable aggregate folded so far.
+func (b *batcher) Outcome() inject.Outcome { return b.outcome }
+
+// LastHash returns the latest chain hash.
+func (b *batcher) LastHash() string { return b.prev }
+
+// Blocks returns the persisted block count.
+func (b *batcher) Blocks() int { return b.seq }
+
+// mergeOutcome concatenates a later slice's aggregate onto an earlier
+// one — the fold RunSlice guarantees matches an uninterrupted Run.
+func mergeOutcome(into *inject.Outcome, part inject.Outcome) {
+	into.Trials += part.Trials
+	into.Top1SDC += part.Top1SDC
+	into.Top5SDC += part.Top5SDC
+	into.Deviations = append(into.Deviations, part.Deviations...)
+}
+
+// outcomeEqual compares aggregates bit-exactly (NaN-safe: deviations are
+// compared as IEEE-754 bit patterns).
+func outcomeEqual(a, b inject.Outcome) bool {
+	if a.Trials != b.Trials || a.Top1SDC != b.Top1SDC || a.Top5SDC != b.Top5SDC || len(a.Deviations) != len(b.Deviations) {
+		return false
+	}
+	for i := range a.Deviations {
+		if math.Float64bits(a.Deviations[i]) != math.Float64bits(b.Deviations[i]) {
+			return false
+		}
+	}
+	return true
+}

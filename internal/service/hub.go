@@ -1,0 +1,115 @@
+// The per-job event hub: fans streamed trial/block/status events out to
+// attached HTTP subscribers. Publishing never blocks the campaign — a
+// subscriber that cannot keep up loses events (counted in metrics) and
+// catches up from the persisted chain instead.
+package service
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one server-sent job event.
+type Event struct {
+	// Kind is "trial", "block", or "status".
+	Kind string
+	// Data is the event's JSON payload.
+	Data []byte
+}
+
+// Subscriber receives one job's events. C closes when the job reaches a
+// terminal state (after the final status event is delivered) or the
+// subscriber is detached.
+type Subscriber struct {
+	C  <-chan Event
+	ch chan Event
+	id string
+}
+
+type hub struct {
+	metrics *Metrics
+	mu      sync.Mutex
+	subs    map[string]map[*Subscriber]struct{}
+}
+
+func newHub(m *Metrics) *hub {
+	return &hub{metrics: m, subs: make(map[string]map[*Subscriber]struct{})}
+}
+
+// Subscribe attaches a buffered subscriber to a job's event stream.
+func (h *hub) Subscribe(jobID string, buf int) *Subscriber {
+	if buf <= 0 {
+		buf = 256
+	}
+	sub := &Subscriber{ch: make(chan Event, buf), id: jobID}
+	sub.C = sub.ch
+	h.mu.Lock()
+	set := h.subs[jobID]
+	if set == nil {
+		set = make(map[*Subscriber]struct{})
+		h.subs[jobID] = set
+	}
+	set[sub] = struct{}{}
+	h.mu.Unlock()
+	return sub
+}
+
+// Unsubscribe detaches a subscriber and closes its channel. Safe to call
+// after the hub already closed it (job finished).
+func (h *hub) Unsubscribe(sub *Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if set, ok := h.subs[sub.id]; ok {
+		if _, live := set[sub]; live {
+			delete(set, sub)
+			close(sub.ch)
+		}
+		if len(set) == 0 {
+			delete(h.subs, sub.id)
+		}
+	}
+}
+
+// Publish marshals v once and delivers it to every subscriber of the
+// job, dropping (and counting) events for slow subscribers.
+func (h *hub) Publish(jobID, kind string, v any) {
+	h.mu.Lock()
+	set := h.subs[jobID]
+	if len(set) == 0 {
+		h.mu.Unlock()
+		return
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		h.mu.Unlock()
+		return
+	}
+	ev := Event{Kind: kind, Data: raw}
+	for sub := range set {
+		select {
+		case sub.ch <- ev:
+		default:
+			h.metrics.Inc(MetricStreamDropped, 1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Close delivers a final status event and closes every subscriber of the
+// job (terminal state reached).
+func (h *hub) Close(jobID string, finalStatus any) {
+	raw, _ := json.Marshal(finalStatus)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs[jobID] {
+		if raw != nil {
+			select {
+			case sub.ch <- Event{Kind: "status", Data: raw}:
+			default:
+				h.metrics.Inc(MetricStreamDropped, 1)
+			}
+		}
+		close(sub.ch)
+	}
+	delete(h.subs, jobID)
+}

@@ -1,0 +1,333 @@
+// Package service implements rangerd: fault-injection campaigns as a
+// durable, observable long-running service.
+//
+// A submitted JobSpec names everything a campaign needs — model,
+// scenario, protection, backend, trial grid — and the service runs it on
+// a shared worker pool behind a bounded queue with backpressure. The
+// trial grid executes as consecutive Campaign.RunSlice chunks; each
+// completed chunk is persisted as one hash-chained block of per-trial
+// records (append-only JSONL), so a killed daemon resumes every
+// in-flight job from its last persisted block using the deterministic
+// per-trial seed scheme and folds an aggregate Outcome byte-identical to
+// an uninterrupted run. The chain's genesis hash commits to the job
+// manifest, making published SDC rates tamper-evident and independently
+// re-verifiable offline (rangerd verify).
+package service
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"time"
+
+	"ranger/internal/inject"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle states. A daemon restart moves interrupted running
+// jobs back to StateQueued; terminal states are completed, failed, and
+// cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final (no further execution).
+func (s State) Terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCancelled
+}
+
+// Job spec defaults.
+const (
+	DefaultProfileSamples = 32
+	DefaultBlockTrials    = 256
+)
+
+// JobSpec describes one campaign job. The zero values of optional fields
+// select the paper's primary configuration: one random bit flip per
+// execution (bitflip / bitflip-int8), no protection, fp32 backend with a
+// Q32 datapath, one input.
+type JobSpec struct {
+	// Model is a benchmark model name (lenet, vgg16, dave, ...).
+	Model string `json:"model"`
+	// Scenario is a registered fault-scenario name; empty selects
+	// "bitflip" on the fp32 backend and "bitflip-int8" on int8.
+	Scenario string `json:"scenario,omitempty"`
+	// Faults is the per-execution fault multiplicity (default 1).
+	Faults int `json:"faults,omitempty"`
+	// Protect selects protection: "" or "none" runs the bare model,
+	// "ranger" profiles restriction bounds over ProfileSamples training
+	// samples and applies the Algorithm 1 transform.
+	Protect string `json:"protect,omitempty"`
+	// ProfileSamples sizes bounds profiling and int8 calibration
+	// (default 32).
+	ProfileSamples int `json:"profile_samples,omitempty"`
+	// Backend selects the execution backend: "fp32" (default) or "int8"
+	// (post-training quantized; faults strike stored int8 words).
+	Backend string `json:"backend,omitempty"`
+	// Format is the fp32 backend's fault encoding: "q32" (default) or
+	// "q16". Ignored on int8.
+	Format string `json:"format,omitempty"`
+	// Trials is the number of injections per input.
+	Trials int `json:"trials"`
+	// Inputs is the number of training-split samples used as campaign
+	// inputs (default 1), taken deterministically from the model's
+	// dataset.
+	Inputs int `json:"inputs,omitempty"`
+	// Seed drives fault-site sampling; the per-trial streams are
+	// hash(Seed, input, trial), the determinism resume relies on.
+	Seed int64 `json:"seed,omitempty"`
+	// Untrained skips zoo training and runs the deterministically
+	// initialized untrained model — the mechanics mode tests and smokes
+	// use to avoid training time. SDC rates are not meaningful.
+	Untrained bool `json:"untrained,omitempty"`
+	// BlockTrials overrides the daemon's trials-per-block durability
+	// granularity for this job.
+	BlockTrials int `json:"block_trials,omitempty"`
+}
+
+// withDefaults returns the spec with every optional field resolved, the
+// canonical form the manifest persists (and the spec hash commits to).
+func (s JobSpec) withDefaults(daemonBlock int) JobSpec {
+	if s.Backend == "" {
+		s.Backend = "fp32"
+	}
+	if s.Scenario == "" {
+		if s.Backend == "int8" {
+			s.Scenario = "bitflip-int8"
+		} else {
+			s.Scenario = "bitflip"
+		}
+	}
+	if s.Faults <= 0 {
+		s.Faults = 1
+	}
+	if s.Protect == "" {
+		s.Protect = "none"
+	}
+	if s.ProfileSamples <= 0 {
+		s.ProfileSamples = DefaultProfileSamples
+	}
+	if s.Format == "" && s.Backend != "int8" {
+		s.Format = "q32"
+	}
+	if s.Inputs <= 0 {
+		s.Inputs = 1
+	}
+	if s.BlockTrials <= 0 {
+		s.BlockTrials = daemonBlock
+	}
+	if s.BlockTrials <= 0 {
+		s.BlockTrials = DefaultBlockTrials
+	}
+	return s
+}
+
+// validate rejects specs the runner could not execute. It assumes
+// withDefaults has run.
+func (s JobSpec) validate() error {
+	if s.Model == "" {
+		return fmt.Errorf("service: spec: model is required")
+	}
+	if s.Trials <= 0 {
+		return fmt.Errorf("service: spec: trials = %d", s.Trials)
+	}
+	scen, err := inject.NewScenario(s.Scenario, s.Faults)
+	if err != nil {
+		return fmt.Errorf("service: spec: %w", err)
+	}
+	_, int8Scen := scen.(inject.Int8Scenario)
+	switch s.Backend {
+	case "fp32":
+		if int8Scen {
+			return fmt.Errorf("service: spec: scenario %q needs the int8 backend", s.Scenario)
+		}
+		if s.Format != "q32" && s.Format != "q16" {
+			return fmt.Errorf("service: spec: format %q (want q32 or q16)", s.Format)
+		}
+	case "int8":
+		if !int8Scen {
+			return fmt.Errorf("service: spec: int8 backend needs an int8 scenario, got %q", s.Scenario)
+		}
+	default:
+		return fmt.Errorf("service: spec: backend %q (want fp32 or int8)", s.Backend)
+	}
+	switch s.Protect {
+	case "none", "ranger":
+	default:
+		return fmt.Errorf("service: spec: protect %q (want none or ranger)", s.Protect)
+	}
+	return nil
+}
+
+// Manifest is a job's immutable identity, written once at submission.
+// SpecHash — the SHA-256 of the manifest's canonical JSON with the hash
+// field empty — is the genesis hash of the job's block chain, so the
+// chain commits to exactly this spec and grid.
+type Manifest struct {
+	ID      string  `json:"id"`
+	Created string  `json:"created"` // RFC3339
+	Spec    JobSpec `json:"spec"`
+	// GridTotal is the linearized trial-grid size: Inputs * Trials.
+	GridTotal int64  `json:"grid_total"`
+	SpecHash  string `json:"spec_hash,omitempty"`
+}
+
+// seal computes and stores the manifest's spec hash.
+func (m *Manifest) seal() error {
+	m.SpecHash = ""
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(raw)
+	m.SpecHash = hex.EncodeToString(sum[:])
+	return nil
+}
+
+// VerifySeal recomputes the spec hash and reports tampering.
+func (m Manifest) VerifySeal() error {
+	want := m.SpecHash
+	if err := (&m).seal(); err != nil {
+		return err
+	}
+	if m.SpecHash != want {
+		return fmt.Errorf("service: manifest %s: spec hash mismatch (stored %s, computed %s)", m.ID, want, m.SpecHash)
+	}
+	return nil
+}
+
+// NewManifest builds a sealed manifest for a validated spec.
+func NewManifest(spec JobSpec, now time.Time) (Manifest, error) {
+	id, err := newJobID()
+	if err != nil {
+		return Manifest{}, err
+	}
+	m := Manifest{
+		ID:        id,
+		Created:   now.UTC().Format(time.RFC3339),
+		Spec:      spec,
+		GridTotal: int64(spec.Inputs) * int64(spec.Trials),
+	}
+	if err := m.seal(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// jobIDPattern is the store-safe job-id alphabet.
+var jobIDPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9-]{0,63}$`)
+
+// ValidJobID reports whether id is a well-formed job id (and safe as a
+// store path component).
+func ValidJobID(id string) bool { return jobIDPattern.MatchString(id) }
+
+// newJobID returns a fresh random job id.
+func newJobID() (string, error) {
+	var b [9]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("service: job id: %w", err)
+	}
+	return "j" + hex.EncodeToString(b[:]), nil
+}
+
+// OutcomeRecord is the JSON-safe persisted form of an aggregate Outcome.
+// Deviations are stored as IEEE-754 bit patterns because they can be
+// +Inf (a NaN steering output judges as infinite deviation), which JSON
+// numbers cannot carry — and because bits, unlike decimal re-rendering,
+// are trivially byte-exact.
+type OutcomeRecord struct {
+	Trials        int      `json:"trials"`
+	Top1SDC       int      `json:"top1_sdc"`
+	Top5SDC       int      `json:"top5_sdc"`
+	DeviationBits []uint64 `json:"deviation_bits,omitempty"`
+}
+
+// RecordOutcome converts an aggregate campaign Outcome.
+func RecordOutcome(o inject.Outcome) OutcomeRecord {
+	r := OutcomeRecord{Trials: o.Trials, Top1SDC: o.Top1SDC, Top5SDC: o.Top5SDC}
+	for _, d := range o.Deviations {
+		r.DeviationBits = append(r.DeviationBits, math.Float64bits(d))
+	}
+	return r
+}
+
+// Outcome converts back to the campaign Outcome, bit-exactly.
+func (r OutcomeRecord) Outcome() inject.Outcome {
+	o := inject.Outcome{Trials: r.Trials, Top1SDC: r.Top1SDC, Top5SDC: r.Top5SDC}
+	for _, b := range r.DeviationBits {
+		o.Deviations = append(o.Deviations, math.Float64frombits(b))
+	}
+	return o
+}
+
+// Status is a job's mutable progress record, atomically replaced after
+// every persisted block and state change.
+type Status struct {
+	State State `json:"state"`
+	// Frontier is the durable linearized grid position: every trial in
+	// [0, Frontier) is persisted in the chain. Execution resumes here.
+	Frontier int64 `json:"frontier"`
+	// Blocks is the number of persisted chain blocks.
+	Blocks int `json:"blocks"`
+	// LastHash is the hash of the latest block (the manifest's spec hash
+	// while the chain is empty); the final value is the job's published,
+	// re-verifiable result digest.
+	LastHash string `json:"last_hash"`
+	// Error carries the failure cause for StateFailed.
+	Error string `json:"error,omitempty"`
+	// Outcome is the aggregate result, set when the job completes.
+	Outcome *OutcomeRecord `json:"outcome,omitempty"`
+	// UpdatedUnix is the wall-clock time of the last status write.
+	UpdatedUnix int64 `json:"updated_unix"`
+}
+
+// TrialRecord is one persisted trial result. Deviation is stored as
+// float64 bits (see OutcomeRecord).
+type TrialRecord struct {
+	Input   int    `json:"input"`
+	Trial   int    `json:"trial"`
+	Top1    bool   `json:"top1,omitempty"`
+	Top5    bool   `json:"top5,omitempty"`
+	Reg     bool   `json:"reg,omitempty"`
+	DevBits uint64 `json:"dev_bits,omitempty"`
+}
+
+// NewTrialRecord converts a streamed campaign TrialResult.
+func NewTrialRecord(tr inject.TrialResult) TrialRecord {
+	r := TrialRecord{Input: tr.Input, Trial: tr.Trial, Top1: tr.Top1SDC, Top5: tr.Top5SDC, Reg: tr.IsRegression}
+	if tr.IsRegression {
+		r.DevBits = math.Float64bits(tr.Deviation)
+	}
+	return r
+}
+
+// pos returns the record's linearized grid position for a campaign with
+// the given per-input trial count.
+func (r TrialRecord) pos(trials int) int64 {
+	return int64(r.Input)*int64(trials) + int64(r.Trial)
+}
+
+// apply folds the record into an aggregate Outcome exactly as
+// Campaign.Run folds the live verdict.
+func (r TrialRecord) apply(o *inject.Outcome) {
+	if r.Top1 {
+		o.Top1SDC++
+	}
+	if r.Top5 {
+		o.Top5SDC++
+	}
+	if r.Reg {
+		o.Deviations = append(o.Deviations, math.Float64frombits(r.DevBits))
+	}
+	o.Trials++
+}

@@ -1,0 +1,305 @@
+// Durable job storage: a pluggable Store interface and its filesystem
+// implementation. One directory per job holds an immutable manifest, an
+// atomically-replaced status record, and the append-only JSONL block
+// chain — the layout `rangerd verify` re-validates offline.
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store persists jobs. Implementations must make Append durable before
+// returning (a crash after Append must preserve the block) and SetStatus
+// atomic (readers never observe a torn status).
+type Store interface {
+	// Create persists a new job's manifest and initial status.
+	Create(man Manifest, st Status) error
+	// Manifest returns a job's immutable manifest.
+	Manifest(id string) (Manifest, error)
+	// Status returns a job's current status record.
+	Status(id string) (Status, error)
+	// SetStatus atomically replaces a job's status record.
+	SetStatus(id string, st Status) error
+	// Append durably appends one sealed block to the job's chain.
+	Append(id string, b Block) error
+	// Blocks returns the job's full chain, strictly: any undecodable
+	// line — including a torn tail from a crash mid-append — is an
+	// error. Verification uses this.
+	Blocks(id string) ([]Block, error)
+	// RecoverBlocks returns the job's decodable chain prefix, tolerating
+	// (and reporting) a torn final line — the resume path after a crash.
+	RecoverBlocks(id string) (blocks []Block, torn bool, err error)
+	// ChainReader streams the chain's raw bytes (for clients that verify
+	// the exact persisted representation).
+	ChainReader(id string) (io.ReadCloser, error)
+	// List returns every stored job id, oldest manifest first.
+	List() ([]string, error)
+}
+
+// ErrNoJob reports an unknown job id; branch with errors.Is.
+var ErrNoJob = errors.New("service: no such job")
+
+// FSStore is the filesystem Store: dir/<id>/{manifest.json,
+// status.json, chain.jsonl}.
+type FSStore struct {
+	dir string
+}
+
+// OpenFSStore opens (creating if needed) a filesystem store rooted at
+// dir.
+func OpenFSStore(dir string) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: store: %w", err)
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FSStore) Dir() string { return s.dir }
+
+func (s *FSStore) jobDir(id string) (string, error) {
+	if !ValidJobID(id) {
+		return "", fmt.Errorf("%w: invalid id %q", ErrNoJob, id)
+	}
+	return filepath.Join(s.dir, id), nil
+}
+
+func (s *FSStore) path(id, file string) (string, error) {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, file), nil
+}
+
+// writeAtomic writes data to path via a temp file, fsync, and rename.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Create persists a new job's manifest and initial status.
+func (s *FSStore) Create(man Manifest, st Status) error {
+	dir, err := s.jobDir(man.ID)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(dir); err == nil {
+		return fmt.Errorf("service: store: job %s already exists", man.ID)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: store: %w", err)
+	}
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(dir, "manifest.json"), append(raw, '\n')); err != nil {
+		return fmt.Errorf("service: store: manifest %s: %w", man.ID, err)
+	}
+	return s.SetStatus(man.ID, st)
+}
+
+// Manifest returns a job's immutable manifest.
+func (s *FSStore) Manifest(id string) (Manifest, error) {
+	path, err := s.path(id, "manifest.json")
+	if err != nil {
+		return Manifest{}, err
+	}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Manifest{}, fmt.Errorf("%w: %s", ErrNoJob, id)
+	} else if err != nil {
+		return Manifest{}, fmt.Errorf("service: store: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return Manifest{}, fmt.Errorf("service: store: manifest %s: %w", id, err)
+	}
+	return man, nil
+}
+
+// Status returns a job's current status record.
+func (s *FSStore) Status(id string) (Status, error) {
+	path, err := s.path(id, "status.json")
+	if err != nil {
+		return Status{}, err
+	}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Status{}, fmt.Errorf("%w: %s", ErrNoJob, id)
+	} else if err != nil {
+		return Status{}, fmt.Errorf("service: store: %w", err)
+	}
+	var st Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return Status{}, fmt.Errorf("service: store: status %s: %w", id, err)
+	}
+	return st, nil
+}
+
+// SetStatus atomically replaces a job's status record.
+func (s *FSStore) SetStatus(id string, st Status) error {
+	path, err := s.path(id, "status.json")
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(path, append(raw, '\n')); err != nil {
+		return fmt.Errorf("service: store: status %s: %w", id, err)
+	}
+	return nil
+}
+
+// Append durably appends one sealed block to the job's chain: the line
+// is written and fsynced before Append returns, making the block
+// boundary the service's durability boundary.
+func (s *FSStore) Append(id string, b Block) error {
+	path, err := s.path(id, "chain.jsonl")
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: store: chain %s: %w", id, err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("service: store: chain %s: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("service: store: chain %s: %w", id, err)
+	}
+	return nil
+}
+
+// readChain decodes the chain file. In strict mode any bad line is an
+// error; otherwise decoding stops at the first undecodable line (a torn
+// tail from a crash mid-append) and reports it.
+func (s *FSStore) readChain(id string, strict bool) ([]Block, bool, error) {
+	path, err := s.path(id, "chain.jsonl")
+	if err != nil {
+		return nil, false, err
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		// No chain yet: an empty chain, not a missing job (callers that
+		// care check the manifest).
+		return nil, false, nil
+	} else if err != nil {
+		return nil, false, fmt.Errorf("service: store: %w", err)
+	}
+	defer f.Close()
+	var blocks []Block
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var b Block
+		if err := json.Unmarshal(raw, &b); err != nil {
+			if strict {
+				return nil, false, fmt.Errorf("service: store: chain %s line %d: %w", id, line, err)
+			}
+			return blocks, true, nil
+		}
+		blocks = append(blocks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, fmt.Errorf("service: store: chain %s: %w", id, err)
+	}
+	return blocks, false, nil
+}
+
+// Blocks returns the job's full chain, strictly.
+func (s *FSStore) Blocks(id string) ([]Block, error) {
+	blocks, _, err := s.readChain(id, true)
+	return blocks, err
+}
+
+// RecoverBlocks returns the decodable chain prefix, tolerating a torn
+// final line.
+func (s *FSStore) RecoverBlocks(id string) ([]Block, bool, error) {
+	return s.readChain(id, false)
+}
+
+// ChainReader streams the chain's raw bytes.
+func (s *FSStore) ChainReader(id string) (io.ReadCloser, error) {
+	path, err := s.path(id, "chain.jsonl")
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return io.NopCloser(bytes.NewReader(nil)), nil
+	} else if err != nil {
+		return nil, fmt.Errorf("service: store: %w", err)
+	}
+	return f, nil
+}
+
+// List returns every stored job id, oldest manifest first (creation
+// order, ties broken by id).
+func (s *FSStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: store: %w", err)
+	}
+	type job struct{ id, created string }
+	var jobs []job
+	for _, e := range entries {
+		if !e.IsDir() || !ValidJobID(e.Name()) {
+			continue
+		}
+		man, err := s.Manifest(e.Name())
+		if err != nil {
+			continue // half-created job dir; skip rather than wedge the daemon
+		}
+		jobs = append(jobs, job{man.ID, man.Created})
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].created != jobs[j].created {
+			return jobs[i].created < jobs[j].created
+		}
+		return jobs[i].id < jobs[j].id
+	})
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.id
+	}
+	return ids, nil
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestFSStoreRoundTrip(t *testing.T) {
+	store, err := OpenFSStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenFSStore: %v", err)
+	}
+	man := sealedManifest(t, testSpec(4, 2))
+	st := Status{State: StateQueued, LastHash: man.SpecHash}
+	if err := store.Create(man, st); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := store.Create(man, st); err == nil {
+		t.Fatal("Create accepted a duplicate job")
+	}
+
+	got, err := store.Manifest(man.ID)
+	if err != nil {
+		t.Fatalf("Manifest: %v", err)
+	}
+	if !reflect.DeepEqual(got, man) {
+		t.Fatalf("manifest round trip changed: %+v vs %+v", got, man)
+	}
+	st.State = StateRunning
+	st.Frontier = 3
+	if err := store.SetStatus(man.ID, st); err != nil {
+		t.Fatalf("SetStatus: %v", err)
+	}
+	gotSt, err := store.Status(man.ID)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if !reflect.DeepEqual(gotSt, st) {
+		t.Fatalf("status round trip changed: %+v vs %+v", gotSt, st)
+	}
+
+	blocks := fakeChain(t, man, 3)
+	for _, b := range blocks {
+		if err := store.Append(man.ID, b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	gotBlocks, err := store.Blocks(man.ID)
+	if err != nil {
+		t.Fatalf("Blocks: %v", err)
+	}
+	if !reflect.DeepEqual(gotBlocks, blocks) {
+		t.Fatalf("chain round trip changed")
+	}
+}
+
+func TestFSStoreTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenFSStore(dir)
+	if err != nil {
+		t.Fatalf("OpenFSStore: %v", err)
+	}
+	man := sealedManifest(t, testSpec(4, 2))
+	if err := store.Create(man, Status{State: StateQueued, LastHash: man.SpecHash}); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	blocks := fakeChain(t, man, 3)
+	for _, b := range blocks[:2] {
+		if err := store.Append(man.ID, b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Simulate a crash mid-append: a torn, undecodable final line.
+	chain := filepath.Join(dir, man.ID, "chain.jsonl")
+	f, err := os.OpenFile(chain, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open chain: %v", err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"start":6,"resu`); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+	f.Close()
+
+	if _, err := store.Blocks(man.ID); err == nil {
+		t.Fatal("strict Blocks accepted a torn tail")
+	}
+	rec, torn, err := store.RecoverBlocks(man.ID)
+	if err != nil {
+		t.Fatalf("RecoverBlocks: %v", err)
+	}
+	if !torn {
+		t.Fatal("RecoverBlocks did not report the torn tail")
+	}
+	if !reflect.DeepEqual(rec, blocks[:2]) {
+		t.Fatalf("recovered prefix changed")
+	}
+}
+
+func TestFSStoreUnknownJob(t *testing.T) {
+	store, err := OpenFSStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenFSStore: %v", err)
+	}
+	if _, err := store.Manifest("jdeadbeef"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("Manifest(unknown) = %v, want ErrNoJob", err)
+	}
+	if _, err := store.Status("../escape"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("Status(traversal id) = %v, want ErrNoJob", err)
+	}
+}
+
+func TestFSStoreListIsCreationOrdered(t *testing.T) {
+	store, err := OpenFSStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenFSStore: %v", err)
+	}
+	var want []string
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		norm, err := normalizeSpec(testSpec(4, 1), 4)
+		if err != nil {
+			t.Fatalf("normalizeSpec: %v", err)
+		}
+		man, err := NewManifest(norm, base.Add(time.Duration(i)*time.Second))
+		if err != nil {
+			t.Fatalf("NewManifest: %v", err)
+		}
+		if err := store.Create(man, Status{State: StateQueued}); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		want = append(want, man.ID)
+	}
+	got, err := store.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+}

@@ -20,7 +20,7 @@
 // $RANGER_CACHE (or the user cache dir), so the first run is slower.
 // -cpuprofile writes a pprof CPU profile for local hot-path analysis.
 // -json FILE additionally writes the machine-readable results of
-// experiments that support it (campaignspeed) as a {"id": result} JSON
+// experiments that support it (overhead, quantoverhead, campaignspeed) as a {"id": result} JSON
 // object — the format the BENCH_*.json bench trajectory ingests.
 // Interrupting (Ctrl-C) cancels the in-flight campaign promptly.
 package main
@@ -120,7 +120,7 @@ func run(ctx context.Context, args []string) error {
 			}
 		}
 		if !any {
-			return fmt.Errorf("-json: none of the selected experiments emit machine-readable results (campaignspeed does)")
+			return fmt.Errorf("-json: none of the selected experiments emit machine-readable results (overhead, quantoverhead, and campaignspeed do)")
 		}
 	}
 	fmt.Printf("rangerbench: %d experiments, %d trials x %d inputs per campaign, %d workers\n\n",

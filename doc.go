@@ -135,6 +135,51 @@
 // (large external models, memory-constrained hosts); rangerbench
 // -exp campaignspeed quantifies the trade across the zoo.
 //
+// # Lane-batched execution
+//
+// Every kernel in this repository is lane-wise over a leading batch
+// axis: it never mixes values across lanes, and each lane's reduction
+// order matches the batch-1 kernel, so lane l of a B-batched run is
+// bit-identical to its own batch-1 run (int8 kernels accumulate in
+// exact int32 arithmetic, which is order-free). Placeholders declare
+// their batch dimension as 0 ("any"), so the same compiled plan accepts
+// [1, ...] and [B, ...] feeds. Two execution paths exploit this:
+//
+// Inference: RunBatch (graph-level and on CompiledModel /
+// QuantizedModel) stacks consecutive same-shaped single-sample feeds
+// into one [B, ...] run — the batched GEMM packs each weight panel once
+// and reuses it across all B lanes instead of streaming the weights
+// per feed — and splits the batched fetch back into per-feed outputs,
+// falling back to per-feed runs whenever stacking does not apply.
+//
+// Campaigns: incremental workers pack Campaign.LaneWidth consecutive
+// depth-ordered trials into one lane-batched suffix replay, starting
+// from the chunk's earliest struck step. The checkpoint's live set is
+// replicated across B lanes (lazily, per node), each packed trial
+// corrupts its own lane in place, and one batched replay produces all
+// B faulty outputs, judged per lane into their trial slots. Lane
+// batching is on by default (LaneWidth 0 means DefaultLaneWidth, 8)
+// because outcomes are byte-identical at every width — the golden
+// campaign suite pins zoo × {fp32, int8} × worker counts × widths. The
+// cost is memory: each worker holds up to B× the checkpoint's live set
+// in batched buffers, so cap LaneWidth (or a JobSpec's lane_width) on
+// memory-constrained hosts, or set it to 1 to disable lane batching
+// entirely.
+//
+// Because each lane keeps the batch-1 reduction order (the price of
+// bit-identity), a lane-batched replay performs exactly the per-lane
+// kernel work of B batch-1 replays — lane batching amortizes what
+// surrounds the kernels (per-step dispatch, weight-panel packing, live
+// set restores), not the kernels themselves, so single-core throughput
+// gains appear where those overheads dominate (small late-layer
+// tensors) and flatten out where conv GEMMs do. rangerbench
+// -exp campaignspeed reports late-layer trials/sec at widths 1, 4,
+// and 16. Profiling the batched trial loop exposed the actual
+// dominant per-trial cost — math/rand's 607-word reseed, paid per
+// sampled trial — and replacing the per-trial streams with SplitMix64
+// (O(1) reseed) multiplied small-model campaign throughput by ~5×
+// at every lane width.
+//
 // # The rangerd service lifecycle
 //
 // cmd/rangerd turns campaigns into a durable, observable service:

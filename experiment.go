@@ -83,12 +83,13 @@ var experimentFns = map[string]experimentEntry{
 	// overhead is not a paper artifact: it measures protected-model
 	// inference latency under the legacy executor and compiled plans
 	// (fused and unfused), quantifying the negligible-overhead claim on
-	// this substrate.
-	"overhead": wrapExperiment(experiments.Overhead),
+	// this substrate. Emits JSON for the bench trajectory.
+	"overhead": wrapJSONExperiment(experiments.Overhead),
 	// quantoverhead extends that claim to the int8 PTQ backend: fp32 vs
 	// int8 vs int8+restriction latency, plus bitflip-int8 campaign SDC
-	// rates with and without restriction.
-	"quantoverhead": wrapExperiment(experiments.QuantOverhead),
+	// rates with and without restriction. Emits JSON for the bench
+	// trajectory.
+	"quantoverhead": wrapJSONExperiment(experiments.QuantOverhead),
 	// campaignspeed measures fault-campaign throughput (trials/sec):
 	// full per-trial replay vs checkpointed suffix replay, over the full
 	// and late-layer fault spaces. Emits machine-readable JSON through

@@ -93,3 +93,61 @@ func TestErrFeedShapeOnEveryEntryPoint(t *testing.T) {
 	_, err = qc.Run(context.Background(), []graph.Feeds{bad})
 	wantFeedShape(t, "quantized Campaign.Run", err)
 }
+
+// TestErrFeedShapeOnBatchedFeeds is the lane-batched twin: a feed
+// carrying a leading batch axis B > 1 is valid on every plan entry point
+// (placeholders declare the batch dimension as 0, "any"), but batched
+// feeds that contradict the declared sample shape must still surface
+// ErrFeedShape — and BatchFeeds itself must reject feeds that are not
+// single-sample.
+func TestErrFeedShapeOnBatchedFeeds(t *testing.T) {
+	m, good, _ := badFeedModel(t)
+	batchedGood, err := graph.BatchFeeds(good, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchedBad := graph.Feeds{m.Input: tensor.New(3, 27, 27, 1)}
+
+	plan, err := graph.Compile(m.Graph, m.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plan.NewState()
+	outs, err := plan.Run(st, batchedGood)
+	if err != nil {
+		t.Fatalf("Plan.Run rejected well-shaped batched feeds: %v", err)
+	}
+	if outs[0].Dim(0) != 3 {
+		t.Fatalf("Plan.Run batched fetch has leading dim %d, want 3", outs[0].Dim(0))
+	}
+	_, err = plan.Run(st, batchedBad)
+	wantFeedShape(t, "Plan.Run (batched)", err)
+
+	_, err = graph.RunBatch(m.Graph, []graph.Feeds{good, batchedBad}, 0, m.Output)
+	wantFeedShape(t, "graph.RunBatch (batched)", err)
+
+	calib, err := core.CalibrateModel(m, 1, func(int) (graph.Feeds, error) { return good, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := m.Quantize(calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qouts, err := qm.Run(batchedGood)
+	if err != nil {
+		t.Fatalf("Quantized.Run rejected well-shaped batched feeds: %v", err)
+	}
+	if qouts.Dim(0) != 3 {
+		t.Fatalf("Quantized.Run batched fetch has leading dim %d, want 3", qouts.Dim(0))
+	}
+	_, err = qm.Run(batchedBad)
+	wantFeedShape(t, "Quantized.Run (batched)", err)
+
+	// BatchFeeds demands single-sample inputs: a multi-sample feed and a
+	// scalar (rank-0) feed both fail with ErrFeedShape.
+	_, err = graph.BatchFeeds(batchedGood, 2)
+	wantFeedShape(t, "BatchFeeds (multi-sample)", err)
+	_, err = graph.BatchFeeds(graph.Feeds{m.Input: tensor.New()}, 2)
+	wantFeedShape(t, "BatchFeeds (scalar)", err)
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -15,30 +16,38 @@ import (
 // unprotected baseline (0.07 = 7% slower than the same engine running
 // the unprotected model).
 type OverheadRow struct {
-	Model string
+	Model string `json:"model"`
 	// Unprotected is the fused-plan latency of the unprotected model,
 	// the reference the paper's Table III "negligible overhead" claim
 	// is about.
-	Unprotected time.Duration
+	Unprotected time.Duration `json:"unprotected_ns"`
 	// Legacy is the protected/unprotected ratio-1 of the per-call
 	// executor (the pre-plan engine).
-	Legacy float64
+	Legacy float64 `json:"legacy_overhead"`
 	// PlanUnfused is the same for a compiled plan with fusion disabled:
 	// static buffers, but every RangerClip still a separate pass.
-	PlanUnfused float64
+	PlanUnfused float64 `json:"plan_unfused_overhead"`
 	// PlanFused is the same for the fully fused plan, where each clamp
 	// runs in the same loop as the activation it follows.
-	PlanFused float64
+	PlanFused float64 `json:"plan_fused_overhead"`
 	// FusedNodes is how many nodes the fusion pass eliminated from the
 	// protected model's plan.
-	FusedNodes int
+	FusedNodes int `json:"fused_nodes"`
 }
 
 // OverheadResult reports protected-vs-unprotected inference latency for
 // the legacy executor and for compiled plans with fusion off and on —
-// the runtime side of the paper's negligible-overhead claim.
+// the runtime side of the paper's negligible-overhead claim. It
+// marshals to JSON (rangerbench -json) so the bench trajectory can
+// track protection overhead release over release.
 type OverheadResult struct {
-	Rows []OverheadRow
+	Rows []OverheadRow `json:"rows"`
+}
+
+// JSON implements the machine-readable result extension used by
+// rangerbench -json.
+func (r *OverheadResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
 }
 
 // Render implements the experiment result interface.

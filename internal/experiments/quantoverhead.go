@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -18,31 +19,38 @@ import (
 // clamps; plus SDC rates of bitflip-int8 campaigns against the plain
 // and restricted quantized models.
 type QuantOverheadRow struct {
-	Model string
+	Model string `json:"model"`
 	// FP32 is the fused float plan's latency (unprotected model).
-	FP32 time.Duration
+	FP32 time.Duration `json:"fp32_ns"`
 	// Int8 is the quantized plan's latency (unprotected model).
-	Int8 time.Duration
+	Int8 time.Duration `json:"int8_ns"`
 	// Int8Restricted is the quantized protected model's latency: the
 	// restriction bounds live inside the kernels' saturating clamps.
-	Int8Restricted time.Duration
+	Int8Restricted time.Duration `json:"int8_restricted_ns"`
 	// RestrictOverhead is Int8Restricted/Int8 - 1, the runtime cost of
 	// protection in the quantized domain (the paper's negligible-
 	// overhead claim, which int8 sharpens to ~0 by construction).
-	RestrictOverhead float64
+	RestrictOverhead float64 `json:"restrict_overhead"`
 	// SDCInt8 and SDCInt8Restricted are the campaign SDC rates
 	// (classifiers: top-1; steering models: deviation > 15°) under one
 	// random int8 bit flip per execution.
-	SDCInt8           float64
-	SDCInt8Restricted float64
+	SDCInt8           float64 `json:"sdc_int8"`
+	SDCInt8Restricted float64 `json:"sdc_int8_restricted"`
 	// Trials is the campaign size behind the SDC rates.
-	Trials int
+	Trials int `json:"trials"`
 }
 
 // QuantOverheadResult is the quantized-backend counterpart of the
-// overhead experiment.
+// overhead experiment. It marshals to JSON (rangerbench -json) for the
+// bench trajectory.
 type QuantOverheadResult struct {
-	Rows []QuantOverheadRow
+	Rows []QuantOverheadRow `json:"rows"`
+}
+
+// JSON implements the machine-readable result extension used by
+// rangerbench -json.
+func (r *QuantOverheadResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
 }
 
 // Render implements the experiment result interface.

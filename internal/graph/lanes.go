@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"ranger/internal/tensor"
+)
+
+// This file implements lane-batched suffix replay: B independent
+// "lanes" stacked along a leading batch axis, executed by one pass over
+// the plan's suffix. Every kernel in this repository is lane-wise — it
+// never mixes values across the leading dimension, and each lane's
+// reduction order matches the batch-1 kernels — so lane l of a B-lane
+// run is bit-identical to its own batch-1 run. Fault campaigns exploit
+// that: a LaneReplay restores one checkpoint's live set replicated
+// across B lanes, a hook corrupts each lane independently, and the B
+// faulty outputs come back from a single batched replay.
+
+// BatchFeeds replicates single-sample feeds into b stacked lanes: every
+// feed must carry a leading batch dimension of 1, and the result feeds
+// the same placeholders with shape [b, ...] (lane-major replication).
+// Feeding a model's plan the batched feeds is valid whenever the
+// placeholders declare their batch dimension as 0 ("any"); mis-shaped
+// feeds fail with ErrFeedShape exactly like batch-1 feeds do.
+func BatchFeeds(feeds Feeds, b int) (Feeds, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("graph: batch feeds into %d lanes", b)
+	}
+	out := make(Feeds, len(feeds))
+	for name, t := range feeds {
+		if t.Rank() == 0 || t.Dim(0) != 1 {
+			return nil, fmt.Errorf("%w: feed %q shape %v is not single-sample (lane batching wants a leading dimension of 1)",
+				ErrFeedShape, name, t.Shape())
+		}
+		shape := append([]int{b}, t.Shape()[1:]...)
+		data := make([]float32, b*t.Size())
+		for l := 0; l < b; l++ {
+			copy(data[l*t.Size():], t.Data())
+		}
+		bt, err := tensor.FromSlice(data, shape...)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = bt
+	}
+	return out, nil
+}
+
+// shapesEqual reports whether two inferred shapes are identical.
+func shapesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, d := range a {
+		if b[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// LaneReplay is a reusable B-lane suffix replayer bound to one (plan,
+// checkpoint, lane count): batched feeds built once, the batched layout
+// resolved once, and the checkpoint's live values replicated across
+// lanes lazily (per node, on the first boundary that restores it) and
+// then shared by every later replay — the values are read-only during
+// replay, since faults only strike steps at or after the boundary. The
+// memory cost is therefore up to B× the checkpoint's live set, plus B×
+// the feeds. A LaneReplay is immutable after construction and safe to
+// share across worker states, though campaigns keep one per worker.
+type LaneReplay struct {
+	plan   *Plan
+	ck     *Checkpoint
+	b      int
+	feeds  Feeds
+	layout *planLayout
+	vals   []*tensor.Tensor // per node id; lane-replicated live values
+}
+
+// NewLaneReplay builds a B-lane suffix replayer over the checkpoint.
+// The checkpoint's feeds must be single-sample (leading dimension 1);
+// batched shape inference runs here, so a plan that cannot take the
+// stacked feeds fails up front, not mid-replay.
+func (p *Plan) NewLaneReplay(ck *Checkpoint, b int) (*LaneReplay, error) {
+	if ck == nil || ck.plan != p {
+		return nil, errCheckpointPlan
+	}
+	bfeeds, err := BatchFeeds(ck.feeds, b)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := p.layoutFor(bfeeds)
+	if err != nil {
+		return nil, err
+	}
+	return &LaneReplay{
+		plan: p, ck: ck, b: b, feeds: bfeeds, layout: layout,
+		vals: make([]*tensor.Tensor, p.g.Len()),
+	}, nil
+}
+
+// Lanes returns the replay's lane count.
+func (lr *LaneReplay) Lanes() int { return lr.b }
+
+// laneVal resolves the lane-replicated value of step si: lane-invariant
+// values (weights, bias vectors — identical shape in both layouts) are
+// shared with the checkpoint, batch-scaled values are replicated B
+// times along the leading axis.
+func (lr *LaneReplay) laneVal(si int) (*tensor.Tensor, error) {
+	p, ck := lr.plan, lr.ck
+	s := &p.steps[si]
+	if _, ok := s.anchor.op.(*Placeholder); ok {
+		return lr.feeds[s.node.name], nil
+	}
+	src := ck.vals[s.node.id]
+	if src == nil {
+		return nil, fmt.Errorf("graph: checkpoint has no value for %q", s.node.name)
+	}
+	sh1, shb := ck.layout.shapes[si], lr.layout.shapes[si]
+	if sh1 == nil || shb == nil {
+		return nil, fmt.Errorf("graph: lane replay: no inferred shape for %q", s.node.name)
+	}
+	s1, sb := ck.layout.sizes[si], lr.layout.sizes[si]
+	if sb == s1 && shapesEqual(sh1, shb) {
+		return src, nil
+	}
+	if sb != lr.b*s1 {
+		return nil, fmt.Errorf("graph: lane replay: %q is not lane-batchable (%v -> %v at %d lanes)",
+			s.node.name, sh1, shb, lr.b)
+	}
+	buf := make([]float32, sb)
+	for l := 0; l < lr.b; l++ {
+		copy(buf[l*s1:], src.Data())
+	}
+	return tensor.FromSlice(buf, shb...)
+}
+
+// RunFrom restores the checkpoint's live set at boundary startStep —
+// replicated across the replay's B lanes — into st and executes steps
+// [startStep, Steps()) once over all lanes. hook observes batched
+// outputs ([B, ...] tensors) exactly like Plan.RunFrom observes batch-1
+// ones; lane l of every output and of the returned fetches is
+// bit-identical to a batch-1 RunFrom whose hook applied lane l's
+// corruptions. The returned tensors are state-owned and valid until the
+// state's next run.
+func (lr *LaneReplay) RunFrom(st *PlanState, startStep int, hook Hook) ([]*tensor.Tensor, error) {
+	p := lr.plan
+	if st == nil || st.plan != p {
+		return nil, errors.New("graph: plan state belongs to a different plan")
+	}
+	if startStep < 0 || startStep > len(p.steps) {
+		return nil, fmt.Errorf("graph: RunFrom step %d of %d", startStep, len(p.steps))
+	}
+	for si := 0; si < startStep; si++ {
+		s := &p.steps[si]
+		id := s.node.id
+		if p.lastUse[id] < startStep {
+			continue
+		}
+		v := lr.vals[id]
+		if v == nil {
+			var err error
+			if v, err = lr.laneVal(si); err != nil {
+				return nil, err
+			}
+			lr.vals[id] = v
+		}
+		st.cache[id] = v
+	}
+	return p.runFrom(st, lr.layout, lr.feeds, startStep, hook, nil)
+}
+
+// QLaneReplay is LaneReplay for a quantized plan: the checkpoint's live
+// int8 values replicate across lanes, the batched replay runs the int8
+// kernels once over all lanes, and the fetches dequantize batched.
+type QLaneReplay struct {
+	plan   *QPlan
+	ck     *QCheckpoint
+	b      int
+	feeds  Feeds
+	layout *planLayout
+	vals   []*tensor.QTensor
+}
+
+// NewLaneReplay builds a B-lane suffix replayer over the quantized
+// checkpoint; semantics mirror Plan.NewLaneReplay.
+func (q *QPlan) NewLaneReplay(ck *QCheckpoint, b int) (*QLaneReplay, error) {
+	if ck == nil || ck.plan != q {
+		return nil, errCheckpointPlan
+	}
+	bfeeds, err := BatchFeeds(ck.feeds, b)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := q.src.layoutFor(bfeeds)
+	if err != nil {
+		return nil, err
+	}
+	return &QLaneReplay{
+		plan: q, ck: ck, b: b, feeds: bfeeds, layout: layout,
+		vals: make([]*tensor.QTensor, q.src.g.Len()),
+	}, nil
+}
+
+// Lanes returns the replay's lane count.
+func (lr *QLaneReplay) Lanes() int { return lr.b }
+
+// laneVal mirrors LaneReplay.laneVal for quantized step values. Every
+// quantized step is slot-backed, so the checkpoint value is always a
+// clone; replicating it along the leading axis is byte-identical to
+// quantizing the replicated input, because quantization is per-element.
+func (lr *QLaneReplay) laneVal(si int) (*tensor.QTensor, error) {
+	q, ck := lr.plan, lr.ck
+	s := &q.steps[si]
+	src := ck.vals[s.node.id]
+	if src == nil {
+		return nil, fmt.Errorf("graph: checkpoint has no value for %q", s.node.name)
+	}
+	sh1, shb := ck.layout.shapes[s.srcIdx], lr.layout.shapes[s.srcIdx]
+	if sh1 == nil || shb == nil {
+		return nil, fmt.Errorf("graph: lane replay: no inferred shape for %q", s.node.name)
+	}
+	s1, sb := ck.layout.sizes[s.srcIdx], lr.layout.sizes[s.srcIdx]
+	if sb == s1 && shapesEqual(sh1, shb) {
+		return src, nil
+	}
+	if sb != lr.b*s1 {
+		return nil, fmt.Errorf("graph: lane replay: %q is not lane-batchable (%v -> %v at %d lanes)",
+			s.node.name, sh1, shb, lr.b)
+	}
+	buf := make([]int8, sb)
+	for l := 0; l < lr.b; l++ {
+		copy(buf[l*s1:], src.Data())
+	}
+	return tensor.QFromSlice(buf, src.P, shb...)
+}
+
+// RunFrom restores the quantized live set at boundary startStep across
+// B lanes, executes the int8 suffix once, and returns the batched
+// dequantized fetch outputs (state-owned, valid until the state's next
+// run). Lane semantics match LaneReplay.RunFrom.
+func (lr *QLaneReplay) RunFrom(st *QPlanState, startStep int, hook QHook) ([]*tensor.Tensor, error) {
+	q := lr.plan
+	if st == nil || st.plan != q {
+		return nil, errors.New("graph: quantized state belongs to a different plan")
+	}
+	if startStep < 0 || startStep > len(q.steps) {
+		return nil, fmt.Errorf("graph: RunFrom step %d of %d", startStep, len(q.steps))
+	}
+	for si := 0; si < startStep; si++ {
+		s := &q.steps[si]
+		id := s.node.id
+		if q.lastUse[id] < startStep {
+			continue
+		}
+		v := lr.vals[id]
+		if v == nil {
+			var err error
+			if v, err = lr.laneVal(si); err != nil {
+				return nil, err
+			}
+			lr.vals[id] = v
+		}
+		st.cache[id] = v
+	}
+	if err := q.runFrom(st, lr.layout, lr.feeds, startStep, hook, nil); err != nil {
+		return nil, err
+	}
+	for i, id := range q.fetchID {
+		qt := st.cache[id]
+		d := st.deq[i]
+		if d == nil || d.Size() != qt.Size() {
+			d = tensor.New(qt.Shape()...)
+			st.deq[i] = d
+		}
+		if _, err := qt.DequantizeInto(d); err != nil {
+			return nil, err
+		}
+		st.fetch[i] = d
+	}
+	return st.fetch, nil
+}

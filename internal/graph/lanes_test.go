@@ -1,0 +1,247 @@
+package graph_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ranger/internal/graph"
+	"ranger/internal/tensor"
+)
+
+// laneSlice views lane l of a batched [B, ...] tensor's data.
+func laneSlice(t *tensor.Tensor, b, l int) []float32 {
+	size := t.Size() / b
+	return t.Data()[l*size : (l+1)*size]
+}
+
+func lanesBitsEqual(t *testing.T, ctxt string, want []float32, got []float32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: size %d != %d", ctxt, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+			t.Fatalf("%s: element %d: %g != %g", ctxt, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchFeedsShapes pins BatchFeeds: lane-major replication of
+// single-sample feeds, and ErrFeedShape for anything else.
+func TestBatchFeedsShapes(t *testing.T) {
+	feeds := testFeeds(1)[0]
+	b, err := graph.BatchFeeds(feeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := b["input"]
+	if in.Dim(0) != 3 || in.Size() != 3*feeds["input"].Size() {
+		t.Fatalf("batched feed shape %v", in.Shape())
+	}
+	for l := 0; l < 3; l++ {
+		lanesBitsEqual(t, "replicated feed", feeds["input"].Data(), laneSlice(in, 3, l))
+	}
+	multi := graph.Feeds{"input": tensor.New(2, 8, 8, 2)}
+	if _, err := graph.BatchFeeds(multi, 4); !errors.Is(err, graph.ErrFeedShape) {
+		t.Fatalf("multi-sample feed: got %v, want ErrFeedShape", err)
+	}
+	scalar := graph.Feeds{"input": tensor.New()}
+	if _, err := graph.BatchFeeds(scalar, 2); !errors.Is(err, graph.ErrFeedShape) {
+		t.Fatalf("scalar feed: got %v, want ErrFeedShape", err)
+	}
+	if _, err := graph.BatchFeeds(feeds, 0); err == nil {
+		t.Fatal("BatchFeeds(0) succeeded")
+	}
+}
+
+// TestLaneReplayBitIdenticalToBatch1 is the tentpole invariant: from
+// every fault boundary, each lane of a B-lane replay with per-lane
+// corruption must be bit-identical to its own batch-1 suffix replay
+// applying that lane's corruption alone.
+func TestLaneReplayBitIdenticalToBatch1(t *testing.T) {
+	g, output := buildConvNet(t)
+	plan, err := graph.CompileWith(g, graph.CompileOptions{ObserveAll: true}, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := testFeeds(1)[0]
+	ck, err := plan.Checkpoint(plan.NewState(), feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneSt := plan.NewState()
+	for _, bn := range []int{1, 3, 8} {
+		lr, err := plan.NewLaneReplay(ck, bn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lr.Lanes() != bn {
+			t.Fatalf("Lanes() = %d, want %d", lr.Lanes(), bn)
+		}
+		laneSt := plan.NewState()
+		for _, node := range []string{"conv", "act", "pool", "flat", "fc", "out"} {
+			start := plan.StepOf(node)
+			if start < 0 {
+				t.Fatalf("no step for %q", node)
+			}
+			// Batched replay: lane l flips element l (mod lane size) by a
+			// lane-specific factor, all lanes in one pass.
+			hook := func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+				if n.Name() == node {
+					d := out.Data()
+					size := len(d) / bn
+					for l := 0; l < bn; l++ {
+						d[l*size+l%size] *= float32(-(l + 2))
+					}
+				}
+				return nil
+			}
+			got, err := lr.RunFrom(laneSt, start, hook)
+			if err != nil {
+				t.Fatalf("B=%d node=%s: %v", bn, node, err)
+			}
+			batched := got[0].Clone()
+			if batched.Dim(0) != bn {
+				t.Fatalf("B=%d node=%s: fetch shape %v", bn, node, batched.Shape())
+			}
+			// Batch-1 references, one replay per lane.
+			for l := 0; l < bn; l++ {
+				lane := l
+				h1 := func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+					if n.Name() == node {
+						d := out.Data()
+						d[lane%len(d)] *= float32(-(lane + 2))
+					}
+					return nil
+				}
+				want, err := plan.RunFrom(oneSt, ck, start, h1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lanesBitsEqual(t, node+" lane", want[0].Data(), laneSlice(batched, bn, l))
+			}
+		}
+	}
+}
+
+// TestLaneReplayIsolation corrupts a single lane and checks the other
+// lanes stay bit-identical to the clean output: no cross-lane leakage
+// through any kernel, epilogue, or shared restored value.
+func TestLaneReplayIsolation(t *testing.T) {
+	g, output := buildConvNet(t)
+	plan, err := graph.CompileWith(g, graph.CompileOptions{ObserveAll: true}, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := testFeeds(1)[0]
+	ck, err := plan.Checkpoint(plan.NewState(), feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := ck.Output(0)
+	const bn = 4
+	lr, err := plan.NewLaneReplay(ck, bn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := plan.StepOf("act")
+	st := plan.NewState()
+	hook := func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
+		if n.Name() == "act" {
+			d := out.Data()
+			size := len(d) / bn
+			for i := 2 * size; i < 3*size; i++ {
+				d[i] = -d[i] - 1 // trash all of lane 2
+			}
+		}
+		return nil
+	}
+	got, err := lr.RunFrom(st, start, hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < bn; l++ {
+		if l == 2 {
+			same := true
+			lane := laneSlice(got[0], bn, l)
+			for i, v := range clean.Data() {
+				if math.Float32bits(v) != math.Float32bits(lane[i]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("corrupted lane 2 matches clean output")
+			}
+			continue
+		}
+		lanesBitsEqual(t, "clean lane", clean.Data(), laneSlice(got[0], bn, l))
+	}
+}
+
+// TestQLaneReplayBitIdenticalToBatch1 is the int8 twin of the fp32 lane
+// identity: exact int32 accumulation makes this hold at every worker
+// count by construction, but the restore path (replicated quantized
+// live values, batched dequantize) is what's under test.
+func TestQLaneReplayBitIdenticalToBatch1(t *testing.T) {
+	g, output := buildConvNet(t)
+	feeds := testFeeds(2)
+	calib := calibrate(t, g, output, feeds)
+	plan, err := graph.CompileWith(g, graph.CompileOptions{ObserveAll: true}, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := graph.Quantize(plan, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := qp.Checkpoint(qp.NewState(), feeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneSt := qp.NewState()
+	for _, bn := range []int{1, 3, 8} {
+		lr, err := qp.NewLaneReplay(ck, bn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		laneSt := qp.NewState()
+		for _, node := range []string{"conv", "clip", "flat", "out"} {
+			start := qp.StepOf(node)
+			if start < 0 {
+				t.Fatalf("no quantized step for %q", node)
+			}
+			hook := func(n *graph.Node, out *tensor.QTensor) *tensor.QTensor {
+				if n.Name() == node {
+					d := out.Data()
+					size := len(d) / bn
+					for l := 0; l < bn; l++ {
+						d[l*size+l%size] ^= 1 << (1 + l%6)
+					}
+				}
+				return nil
+			}
+			got, err := lr.RunFrom(laneSt, start, hook)
+			if err != nil {
+				t.Fatalf("B=%d node=%s: %v", bn, node, err)
+			}
+			batched := got[0].Clone()
+			for l := 0; l < bn; l++ {
+				lane := l
+				h1 := func(n *graph.Node, out *tensor.QTensor) *tensor.QTensor {
+					if n.Name() == node {
+						d := out.Data()
+						d[lane%len(d)] ^= 1 << (1 + lane%6)
+					}
+					return nil
+				}
+				want, err := qp.RunFrom(oneSt, ck, start, h1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lanesBitsEqual(t, node+" q-lane", want[0].Data(), laneSlice(batched, bn, l))
+			}
+		}
+	}
+}

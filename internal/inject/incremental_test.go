@@ -128,7 +128,7 @@ func TestIncrementalTrialZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, _ := exec.newTrial(feeds[0], fs)
+	run := exec.newTrial(feeds[0], fs).run
 	const trials = 64
 	for trial := 0; trial < trials; trial++ {
 		if _, err := run(0, trial); err != nil {
@@ -146,6 +146,69 @@ func TestIncrementalTrialZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("incremental trial loop allocates %.2f allocs/trial in steady state, want 0", avg)
+	}
+}
+
+// TestIncrementalLaneBatchedZeroAlloc extends the zero-alloc gate to the
+// lane-batched hot path: once the worker's LaneReplay for a width is
+// warm, a B-trial batched chunk — reseed and sample B streams, one
+// batched suffix replay with per-lane in-place corruption, B per-lane
+// judgements — must not allocate at all. Allocations therefore cannot
+// scale with B. Run without -race (instrumentation allocates).
+func TestIncrementalLaneBatchedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	m, feeds := lenetInputs(t, 1)
+	late := lateCorruptibleNodes(t, m, 3)
+	const lanes = 4
+	c := &Campaign{Model: m, Trials: 1, Seed: 9, TargetNodes: late, LaneWidth: lanes}
+	exec, err := c.newExec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := buildFaultSpace(m, feeds[0], nil, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := exec.prepare(feeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := exec.newTrial(feeds[0], fs)
+	if tr.runLanes == nil {
+		t.Fatal("incremental trial runner has no lane-batched path")
+	}
+	// Chunks of a fixed width keep the worker's LaneReplay, batched
+	// buffers, and sampling state shapes stable across iterations.
+	const chunks = 16
+	trials := make([]int, lanes)
+	runChunk := func(chunk int) {
+		for l := range trials {
+			trials[l] = chunk*lanes + l
+		}
+		batched, err := tr.runLanes(0, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := batched.Data()
+		laneSize := len(data) / lanes
+		for l := 0; l < lanes; l++ {
+			c.judgeData(ref, data[l*laneSize:(l+1)*laneSize])
+		}
+	}
+	for chunk := 0; chunk < chunks; chunk++ {
+		runChunk(chunk)
+	}
+	chunk := 0
+	avg := testing.AllocsPerRun(chunks-1, func() {
+		runChunk(chunk % chunks)
+		chunk++
+	})
+	if avg != 0 {
+		t.Fatalf("lane-batched chunk allocates %.2f allocs/chunk in steady state, want 0", avg)
 	}
 }
 
@@ -194,6 +257,38 @@ func TestTop5ContainsMatchesTopK(t *testing.T) {
 		}
 		if got := top5Contains(data, c); got != inTop5 {
 			t.Fatalf("data=%v c=%d: top5Contains=%v, TopK says %v", data, c, got, inTop5)
+		}
+	}
+}
+
+// TestArgmaxDataMatchesTensor pins the allocation-free raw-slice argmax
+// against tensor.ArgMax, including ties, NaN and ±Inf scores, and
+// NaN-only vectors (both must yield index 0).
+func TestArgmaxDataMatchesTensor(t *testing.T) {
+	if got := argmaxData([]float32{float32(math.NaN()), float32(math.NaN())}); got != 0 {
+		t.Fatalf("NaN-only argmax = %d, want 0", got)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 3000; iter++ {
+		n := 1 + rng.Intn(12)
+		data := make([]float32, n)
+		for i := range data {
+			switch rng.Intn(8) {
+			case 0:
+				data[i] = float32(math.NaN())
+			case 1:
+				data[i] = float32(rng.Intn(3)) // force ties
+			case 2:
+				data[i] = float32(math.Inf(-1))
+			case 3:
+				data[i] = float32(math.Inf(1))
+			default:
+				data[i] = rng.Float32()
+			}
+		}
+		want := tensor.MustFromSlice(append([]float32{}, data...), n).ArgMax()
+		if got := argmaxData(data); got != want {
+			t.Fatalf("data=%v: argmaxData=%d, ArgMax says %d", data, got, want)
 		}
 	}
 }

@@ -42,11 +42,35 @@ func trialSeed(seed int64, input, trial int) int64 {
 	return int64(h & 0x7FFFFFFFFFFFFFFF)
 }
 
+// splitmixSource is the rand.Source64 behind every per-trial sampling
+// stream: the SplitMix64 generator, whose whole state is one word.
+// Campaign workers reseed one long-lived *rand.Rand per trial, and
+// math/rand's default source rebuilds its 607-word lagged-Fibonacci
+// table on every Seed — ~14µs that dominated the trial loop on small
+// models (≈80% of a late-layer lenet campaign's CPU). SplitMix64 seeds
+// in one assignment, and each (input, trial) stream is keyed by an
+// already-mixed 64-bit trialSeed, so the streams stay independent and
+// byte-identical at every worker count and lane width.
+type splitmixSource struct{ state uint64 }
+
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 emits the canonical SplitMix64 sequence: parallel.Mix64 is the
+// SplitMix64 step (golden-ratio increment + finalizer) applied to a
+// state that advances by the same golden-ratio constant.
+func (s *splitmixSource) Uint64() uint64 {
+	v := parallel.Mix64(s.state)
+	s.state += 0x9E3779B97F4A7C15
+	return v
+}
+
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
 // trialRNG builds the fault-sampling stream for one (input, trial) pair;
 // workers instead reseed one long-lived *rand.Rand with trialSeed, which
 // produces the identical stream without a per-trial allocation.
 func trialRNG(seed int64, input, trial int) *rand.Rand {
-	return rand.New(rand.NewSource(trialSeed(seed, input, trial)))
+	return rand.New(&splitmixSource{state: uint64(trialSeed(seed, input, trial))})
 }
 
 // ErrFaultSpaceMismatch reports a sampled fault site whose element index
@@ -106,6 +130,18 @@ type Campaign struct {
 	// trade the checkpoint's memory (one clean copy of the live
 	// activations per input) for full per-trial replay.
 	Incremental IncrementalMode
+	// LaneWidth sets how many consecutive depth-ordered trials an
+	// incremental worker packs into one lane-batched suffix replay: B
+	// trials stack along a leading batch axis, each corrupting its own
+	// lane, and one batched replay (from the chunk's earliest struck
+	// step) produces all B faulty outputs. Every lane is bit-identical
+	// to its batch-1 trial (the kernels are lane-wise with unchanged
+	// per-lane reduction order), so the Outcome is byte-identical at
+	// every width. Each worker holds up to LaneWidth× the checkpoint's
+	// live set in batched buffers — cap it to bound memory. 0 means
+	// DefaultLaneWidth; 1 disables lane batching; ignored (batch-1)
+	// under IncrementalOff.
+	LaneWidth int
 	// OnTrial, when non-nil, streams each trial's judged result as it
 	// completes. Calls are serialized but arrive in scheduling order, not
 	// trial order; the final Outcome is still folded deterministically.
@@ -124,8 +160,22 @@ const (
 	IncrementalOff
 )
 
+// DefaultLaneWidth is the lane-batched replay width campaigns use when
+// LaneWidth is 0: wide enough that the weight panels a batched GEMM
+// packs once amortize across many lanes, small enough that a worker's
+// batched live set stays modest on the deepest zoo models.
+const DefaultLaneWidth = 8
+
 // incremental reports whether suffix replay is enabled.
 func (c *Campaign) incremental() bool { return c.Incremental == IncrementalOn }
+
+// laneWidth returns the effective lane-batched replay width.
+func (c *Campaign) laneWidth() int {
+	if c.LaneWidth == 0 {
+		return DefaultLaneWidth
+	}
+	return c.LaneWidth
+}
 
 // format returns the effective datapath encoding.
 func (c *Campaign) format() fixpoint.Format {
@@ -155,6 +205,9 @@ func (c *Campaign) regSDCThreshold() float64 {
 func (c *Campaign) validate(inputs []graph.Feeds) error {
 	if c.Trials <= 0 {
 		return fmt.Errorf("inject: trials = %d", c.Trials)
+	}
+	if c.LaneWidth < 0 {
+		return fmt.Errorf("inject: lane width = %d", c.LaneWidth)
 	}
 	if len(inputs) == 0 {
 		return fmt.Errorf("inject: no inputs")
@@ -354,7 +407,8 @@ func (c *Campaign) sampleFaultSites(fs *FaultSpace, rng *rand.Rand) map[string][
 // replays only the plan suffix at or after its earliest fault site,
 // corrupting struck elements in place (no per-trial cloning); workers
 // group their trial blocks by injection depth so deep-layer faults
-// replay only a handful of steps back to back. Trials are sharded across
+// replay only a handful of steps back to back, and pack LaneWidth
+// consecutive depth-ordered trials into one lane-batched replay. Trials are sharded across
 // workers, each trial sampling from its own hash(Seed, input, trial)
 // stream and judged into an index slot, then reduced in trial order — the
 // Outcome is byte-identical at every worker count, between the
@@ -423,7 +477,7 @@ func (c *Campaign) RunSlice(ctx context.Context, inputs []graph.Feeds, start, en
 		errs := make([]error, n)
 		ii := ii
 		parallel.Shard(workers, n, func(lo, hi int) {
-			run, depth := exec.newTrial(feeds, fs)
+			tr := exec.newTrial(feeds, fs)
 			// Group this worker's block by injection depth (suffix
 			// replay only): execution order changes, but verdicts and
 			// errors land in their trial slots, so the reduction below
@@ -431,30 +485,83 @@ func (c *Campaign) RunSlice(ctx context.Context, inputs []graph.Feeds, start, en
 			var order []int
 			if c.incremental() {
 				order = parallel.OrderByKey(lo, hi, func(slot int) int {
-					return depth(ii, t0+slot)
+					return tr.depth(ii, t0+slot)
 				})
 			}
-			for i := lo; i < hi; i++ {
-				slot := i
+			slotAt := func(i int) int {
 				if order != nil {
-					slot = order[i-lo]
+					return order[i-lo]
 				}
-				if err := ctx.Err(); err != nil {
-					errs[slot] = err
-					return
-				}
-				trial := t0 + slot
-				faulty, err := run(ii, trial)
-				if err != nil {
-					errs[slot] = err
-					continue
-				}
-				verdicts[slot] = c.judgeTrial(ref, faulty)
+				return i
+			}
+			emit := func(slot int) {
 				if c.OnTrial != nil {
 					cbMu.Lock()
-					c.OnTrial(verdicts[slot].result(ii, trial))
+					c.OnTrial(verdicts[slot].result(ii, t0+slot))
 					cbMu.Unlock()
 				}
+			}
+			laneW := 1
+			if tr.runLanes != nil && c.incremental() {
+				laneW = c.laneWidth()
+			}
+			var laneTrials, laneSlots []int
+			for i := lo; i < hi; {
+				if err := ctx.Err(); err != nil {
+					errs[slotAt(i)] = err
+					return
+				}
+				// Pack a chunk of exactly laneW consecutive depth-ordered
+				// slots; the replay starts at the chunk's earliest struck
+				// step, so deeper lanes recompute a few checkpoint-clean
+				// steps — still bit-identical to their batch-1 runs (and
+				// depth ordering keeps the chunk's depths adjacent, so the
+				// waste is small). Only full chunks batch: a fixed width
+				// means each worker warms exactly one lane replay (batched
+				// layout, feeds, and replicated live set) and reuses it
+				// for every chunk; the short block tail runs batch-1.
+				// Verdicts land in trial slots either way, so the Outcome
+				// is unchanged at every lane width.
+				j := i + 1
+				if laneW > 1 && hi-i >= laneW {
+					j = i + laneW
+				}
+				if j-i == 1 {
+					slot := slotAt(i)
+					faulty, err := tr.run(ii, t0+slot)
+					if err != nil {
+						errs[slot] = err
+						i = j
+						continue
+					}
+					verdicts[slot] = c.judgeData(ref, faulty.Data())
+					emit(slot)
+					i = j
+					continue
+				}
+				laneTrials, laneSlots = laneTrials[:0], laneSlots[:0]
+				for p := i; p < j; p++ {
+					slot := slotAt(p)
+					laneSlots = append(laneSlots, slot)
+					laneTrials = append(laneTrials, t0+slot)
+				}
+				batched, err := tr.runLanes(ii, laneTrials)
+				if err != nil {
+					// A batched replay fails as a unit: every packed
+					// trial reports the error.
+					for _, slot := range laneSlots {
+						errs[slot] = err
+					}
+					i = j
+					continue
+				}
+				data := batched.Data()
+				laneSize := len(data) / len(laneSlots)
+				for l, slot := range laneSlots {
+					verdicts[slot] = c.judgeData(ref, data[l*laneSize:(l+1)*laneSize])
+					emit(slot)
+				}
+				i = j
 			}
 		})
 		for slot := 0; slot < n; slot++ {
@@ -487,16 +594,28 @@ func min64(a, b int64) int64 {
 	return b
 }
 
+// trialRunner is one worker's trial-execution surface. run executes a
+// single (input, trial) and returns the faulty fetch; runLanes packs
+// len(trials) trials into one lane-batched suffix replay and returns
+// the lane-major stacked faulty fetches (nil when the backend cannot
+// lane-batch — full replay has no checkpoint to batch). Returned
+// tensors stay valid until the worker's next trial; depth probes a
+// trial's earliest struck plan step.
+type trialRunner struct {
+	run      func(input, trial int) (*tensor.Tensor, error)
+	runLanes func(input int, trials []int) (*tensor.Tensor, error)
+	depth    func(input, trial int) int
+}
+
 // campaignExec abstracts the campaign's execution backend: the fp32
 // compiled plan, or the int8 quantized plan when Calibration is set.
 // prepare runs one input's clean pass (capturing the suffix-replay
 // checkpoint in incremental mode) and returns the SDC reference, which
-// stays valid until the next prepare call. newTrial returns a worker's
-// trial function — run one (input, trial) and return the faulty fetch,
-// valid until the worker's next trial — plus its injection-depth probe.
+// stays valid until the next prepare call. newTrial builds a worker's
+// trialRunner.
 type campaignExec struct {
 	prepare  func(feeds graph.Feeds) (*tensor.Tensor, error)
-	newTrial func(feeds graph.Feeds, fs *FaultSpace) (run func(input, trial int) (*tensor.Tensor, error), depth func(input, trial int) int)
+	newTrial func(feeds graph.Feeds, fs *FaultSpace) trialRunner
 }
 
 // newExec builds the campaign's execution backend, compiling the shared
@@ -526,7 +645,7 @@ func (c *Campaign) newExec() (*campaignExec, error) {
 		}
 		return outs[0].Clone(), nil
 	}
-	newTrial := func(feeds graph.Feeds, fs *FaultSpace) (func(int, int) (*tensor.Tensor, error), func(int, int) int) {
+	newTrial := func(feeds graph.Feeds, fs *FaultSpace) trialRunner {
 		w := &fp32Worker{
 			c:     c,
 			plan:  plan,
@@ -534,9 +653,14 @@ func (c *Campaign) newExec() (*campaignExec, error) {
 			ckpt:  ckpt, // captured by the preceding prepare
 			feeds: feeds,
 			sites: newTrialSites(c, fs, plan.StepOf, plan.Steps()),
+			lanes: 1,
 		}
 		w.makeHook()
-		return w.run, w.depth
+		tr := trialRunner{run: w.run, depth: w.depth}
+		if w.ckpt != nil {
+			tr.runLanes = w.runLanes
+		}
+		return tr
 	}
 	return &campaignExec{prepare: prepare, newTrial: newTrial}, nil
 }
@@ -569,7 +693,7 @@ func (c *Campaign) newExecInt8(plan *graph.Plan) (*campaignExec, error) {
 		}
 		return outs[0], nil
 	}
-	newTrial := func(feeds graph.Feeds, fs *FaultSpace) (func(int, int) (*tensor.Tensor, error), func(int, int) int) {
+	newTrial := func(feeds graph.Feeds, fs *FaultSpace) trialRunner {
 		w := &int8Worker{
 			c:     c,
 			qp:    qp,
@@ -578,17 +702,31 @@ func (c *Campaign) newExecInt8(plan *graph.Plan) (*campaignExec, error) {
 			feeds: feeds,
 			scen:  scen,
 			sites: newTrialSites(c, fs, qp.StepOf, qp.Steps()),
+			lanes: 1,
 		}
 		w.makeHook()
-		return w.run, w.depth
+		tr := trialRunner{run: w.run, depth: w.depth}
+		if w.ckpt != nil {
+			tr.runLanes = w.runLanes
+		}
+		return tr
 	}
 	return &campaignExec{prepare: prepare, newTrial: newTrial}, nil
 }
 
+// laneSite is one sampled fault site tagged with the replay lane it
+// strikes: lane 0 for batch-1 trials, lane l for the l-th trial of a
+// lane-batched replay.
+type laneSite struct {
+	lane int
+	s    Site
+}
+
 // trialSites is a worker's reusable fault-sampling state: the sampled
 // site buffer, the per-node site groups (sampling order preserved
-// within each node), and the earliest injected plan step. All storage
-// recycles across trials, so steady-state sampling allocates nothing.
+// within each node, lanes appended in trial order), and the earliest
+// injected plan step across all lanes. All storage recycles across
+// trials, so steady-state sampling allocates nothing.
 type trialSites struct {
 	scen    Scenario
 	format  fixpoint.Format
@@ -597,7 +735,7 @@ type trialSites struct {
 	nSteps  int
 	rng     *rand.Rand
 	buf     []Site
-	byNode  map[string][]Site
+	byNode  map[string][]laneSite
 	used    []string
 	minStep int
 }
@@ -609,21 +747,28 @@ func newTrialSites(c *Campaign, fs *FaultSpace, stepOf func(string) int, nSteps 
 		space:  fs,
 		stepOf: stepOf,
 		nSteps: nSteps,
-		rng:    rand.New(rand.NewSource(0)),
+		rng:    rand.New(&splitmixSource{}),
 	}
 }
 
-// sample draws one trial's fault sites from its private hash(seed,
-// input, trial) stream (reseeding the worker's RNG reproduces exactly
-// the stream a fresh trialRNG would emit) and groups them by node.
-// minStep becomes the trial's suffix-replay boundary; sites naming
-// nodes the plan does not produce are ignored, as the name-keyed hook
-// lookup always ignored them.
-func (ts *trialSites) sample(seed int64, input, trial int) {
+// reset clears the per-node groups and the replay boundary ahead of a
+// fresh sampling pass, recycling all storage.
+func (ts *trialSites) reset() {
 	for _, name := range ts.used {
 		ts.byNode[name] = ts.byNode[name][:0]
 	}
 	ts.used = ts.used[:0]
+	ts.minStep = ts.nSteps
+}
+
+// appendTrial draws one trial's fault sites from its private hash(seed,
+// input, trial) stream (reseeding the worker's RNG reproduces exactly
+// the stream a fresh trialRNG would emit) and folds them into the
+// per-node groups tagged with the given replay lane, lowering minStep
+// to the trial's earliest struck step. Sites naming nodes the plan does
+// not produce are ignored, as the name-keyed hook lookup always ignored
+// them.
+func (ts *trialSites) appendTrial(lane int, seed int64, input, trial int) {
 	ts.rng.Seed(trialSeed(seed, input, trial))
 	if ap, ok := ts.scen.(SiteAppender); ok {
 		ts.buf = ap.AppendSites(ts.buf[:0], ts.space, ts.format, ts.rng)
@@ -631,9 +776,8 @@ func (ts *trialSites) sample(seed int64, input, trial int) {
 		ts.buf = ts.scen.Sample(ts.space, ts.format, ts.rng)
 	}
 	if ts.byNode == nil {
-		ts.byNode = make(map[string][]Site, len(ts.buf))
+		ts.byNode = make(map[string][]laneSite, len(ts.buf))
 	}
-	ts.minStep = ts.nSteps
 	for _, s := range ts.buf {
 		si := ts.stepOf(s.Node)
 		if si < 0 {
@@ -642,10 +786,27 @@ func (ts *trialSites) sample(seed int64, input, trial int) {
 		if len(ts.byNode[s.Node]) == 0 {
 			ts.used = append(ts.used, s.Node)
 		}
-		ts.byNode[s.Node] = append(ts.byNode[s.Node], s)
+		ts.byNode[s.Node] = append(ts.byNode[s.Node], laneSite{lane, s})
 		if si < ts.minStep {
 			ts.minStep = si
 		}
+	}
+}
+
+// sample prepares one batch-1 trial's sites (lane 0).
+func (ts *trialSites) sample(seed int64, input, trial int) {
+	ts.reset()
+	ts.appendTrial(0, seed, input, trial)
+}
+
+// sampleLanes prepares a lane-batched replay's sites: trial trials[l]
+// strikes lane l. minStep becomes the earliest struck step across all
+// lanes — replaying a lane from earlier than its own boundary is still
+// bit-identical, since the extra steps recompute checkpoint values.
+func (ts *trialSites) sampleLanes(seed int64, input int, trials []int) {
+	ts.reset()
+	for l, trial := range trials {
+		ts.appendTrial(l, seed, input, trial)
 	}
 }
 
@@ -668,6 +829,8 @@ type fp32Worker struct {
 	ckpt  *graph.Checkpoint // nil when Incremental is off
 	feeds graph.Feeds
 	sites trialSites
+	lanes int // lanes in the current replay: 1, or len(trials) in runLanes
+	lrs   map[int]*graph.LaneReplay
 	undo  []undoF32
 	err   error
 	hook  graph.Hook
@@ -677,7 +840,11 @@ type fp32Worker struct {
 // reads the refreshed sampling state. Corruption is in place — the
 // struck tensors are slot-backed (or per-run allocations) that every
 // replay fully rewrites, and restore() reverts the bytes before the
-// next trial anyway — so the hot path never clones a tensor.
+// next trial anyway — so the hot path never clones a tensor. Under a
+// lane-batched replay the observed tensor stacks w.lanes lanes, each
+// site strikes element Elem of its own lane, and the bounds check is
+// against the per-lane size — a batch-1 site out of bounds is equally
+// out of bounds in every lane.
 func (w *fp32Worker) makeHook() {
 	w.hook = func(n *graph.Node, out *tensor.Tensor) *tensor.Tensor {
 		ss := w.sites.byNode[n.Name()]
@@ -685,18 +852,21 @@ func (w *fp32Worker) makeHook() {
 			return nil
 		}
 		data := out.Data()
-		for _, s := range ss {
-			if s.Elem < 0 || s.Elem >= len(data) {
-				w.err = siteBoundsError(s, len(data))
+		laneSize := len(data) / w.lanes
+		for _, ls := range ss {
+			s := ls.s
+			if s.Elem < 0 || s.Elem >= laneSize {
+				w.err = siteBoundsError(s, laneSize)
 				return nil
 			}
-			v, err := w.sites.scen.Corrupt(w.sites.format, data[s.Elem], s)
+			idx := ls.lane*laneSize + s.Elem
+			v, err := w.sites.scen.Corrupt(w.sites.format, data[idx], s)
 			if err != nil {
 				w.err = fmt.Errorf("inject: corrupt %s[%d]: %w", s.Node, s.Elem, err)
 				return nil
 			}
-			w.undo = append(w.undo, undoF32{data, s.Elem, data[s.Elem]})
-			data[s.Elem] = v
+			w.undo = append(w.undo, undoF32{data, idx, data[idx]})
+			data[idx] = v
 		}
 		return nil
 	}
@@ -716,6 +886,7 @@ func (w *fp32Worker) restore() {
 func (w *fp32Worker) run(input, trial int) (*tensor.Tensor, error) {
 	w.restore()
 	w.err = nil
+	w.lanes = 1
 	w.sites.sample(w.c.Seed, input, trial)
 	var outs []*tensor.Tensor
 	var err error
@@ -729,6 +900,40 @@ func (w *fp32Worker) run(input, trial int) (*tensor.Tensor, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("inject: faulty run: %w", err)
+	}
+	return outs[0], nil
+}
+
+// runLanes executes len(trials) trials as one lane-batched suffix
+// replay: trial trials[l] corrupts lane l, and the returned tensor
+// stacks the faulty outputs lane-major ([B, ...], valid until the
+// worker's next trial). Lane l is bit-identical to run(input,
+// trials[l]). Replays are cached per lane count against the worker's
+// checkpoint, so repeated chunks of the same width reuse the batched
+// feeds, layout, and replicated live values.
+func (w *fp32Worker) runLanes(input int, trials []int) (*tensor.Tensor, error) {
+	w.restore()
+	w.err = nil
+	b := len(trials)
+	lr := w.lrs[b]
+	if lr == nil {
+		var err error
+		if lr, err = w.plan.NewLaneReplay(w.ckpt, b); err != nil {
+			return nil, err
+		}
+		if w.lrs == nil {
+			w.lrs = make(map[int]*graph.LaneReplay)
+		}
+		w.lrs[b] = lr
+	}
+	w.lanes = b
+	w.sites.sampleLanes(w.c.Seed, input, trials)
+	outs, err := lr.RunFrom(w.st, w.sites.minStep, w.hook)
+	if w.err != nil {
+		return nil, w.err
+	}
+	if err != nil {
+		return nil, fmt.Errorf("inject: faulty lane replay: %w", err)
 	}
 	return outs[0], nil
 }
@@ -763,6 +968,8 @@ type int8Worker struct {
 	feeds graph.Feeds
 	scen  Int8Scenario
 	sites trialSites
+	lanes int // lanes in the current replay: 1, or len(trials) in runLanes
+	lrs   map[int]*graph.QLaneReplay
 	undo  []undoI8
 	err   error
 	hook  graph.QHook
@@ -775,18 +982,21 @@ func (w *int8Worker) makeHook() {
 			return nil
 		}
 		data := out.Data()
-		for _, s := range ss {
-			if s.Elem < 0 || s.Elem >= len(data) {
-				w.err = siteBoundsError(s, len(data))
+		laneSize := len(data) / w.lanes
+		for _, ls := range ss {
+			s := ls.s
+			if s.Elem < 0 || s.Elem >= laneSize {
+				w.err = siteBoundsError(s, laneSize)
 				return nil
 			}
-			q, err := w.scen.CorruptInt8(data[s.Elem], s)
+			idx := ls.lane*laneSize + s.Elem
+			q, err := w.scen.CorruptInt8(data[idx], s)
 			if err != nil {
 				w.err = fmt.Errorf("inject: corrupt %s[%d]: %w", s.Node, s.Elem, err)
 				return nil
 			}
-			w.undo = append(w.undo, undoI8{data, s.Elem, data[s.Elem]})
-			data[s.Elem] = q
+			w.undo = append(w.undo, undoI8{data, idx, data[idx]})
+			data[idx] = q
 		}
 		return nil
 	}
@@ -803,6 +1013,7 @@ func (w *int8Worker) restore() {
 func (w *int8Worker) run(input, trial int) (*tensor.Tensor, error) {
 	w.restore()
 	w.err = nil
+	w.lanes = 1
 	w.sites.sample(w.c.Seed, input, trial)
 	var outs []*tensor.Tensor
 	var err error
@@ -816,6 +1027,36 @@ func (w *int8Worker) run(input, trial int) (*tensor.Tensor, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("inject: faulty run: %w", err)
+	}
+	return outs[0], nil
+}
+
+// runLanes mirrors fp32Worker.runLanes on the quantized plan: faults
+// strike the stored int8 lanes in place and the batched dequantized
+// fetch stacks the faulty outputs lane-major.
+func (w *int8Worker) runLanes(input int, trials []int) (*tensor.Tensor, error) {
+	w.restore()
+	w.err = nil
+	b := len(trials)
+	lr := w.lrs[b]
+	if lr == nil {
+		var err error
+		if lr, err = w.qp.NewLaneReplay(w.ckpt, b); err != nil {
+			return nil, err
+		}
+		if w.lrs == nil {
+			w.lrs = make(map[int]*graph.QLaneReplay)
+		}
+		w.lrs[b] = lr
+	}
+	w.lanes = b
+	w.sites.sampleLanes(w.c.Seed, input, trials)
+	outs, err := lr.RunFrom(w.st, w.sites.minStep, w.hook)
+	if w.err != nil {
+		return nil, w.err
+	}
+	if err != nil {
+		return nil, fmt.Errorf("inject: faulty lane replay: %w", err)
 	}
 	return outs[0], nil
 }
@@ -861,14 +1102,22 @@ func (v trialVerdict) result(input, trial int) TrialResult {
 
 // judgeTrial compares the faulty output against the fault-free reference.
 func (c *Campaign) judgeTrial(ref, faulty *tensor.Tensor) trialVerdict {
+	return c.judgeData(ref, faulty.Data())
+}
+
+// judgeData judges one faulty output given as raw data — a whole
+// batch-1 fetch, or one lane of a lane-batched fetch (the per-lane
+// slice of a [B, ...] tensor is exactly that lane's batch-1 output).
+// It allocates nothing.
+func (c *Campaign) judgeData(ref *tensor.Tensor, faulty []float32) trialVerdict {
 	var v trialVerdict
 	switch c.Model.Kind {
 	case models.Classifier:
 		cleanLabel := ref.ArgMax()
-		v.top1 = faulty.ArgMax() != cleanLabel
-		v.top5 = !top5Contains(faulty.Data(), cleanLabel)
+		v.top1 = argmaxData(faulty) != cleanLabel
+		v.top5 = !top5Contains(faulty, cleanLabel)
 	case models.Regressor:
-		dev := math.Abs(float64(faulty.Data()[0] - ref.Data()[0]))
+		dev := math.Abs(float64(faulty[0] - ref.Data()[0]))
 		if !c.Model.OutputInDegrees {
 			dev = dev * 180 / math.Pi
 		}
@@ -879,6 +1128,19 @@ func (c *Campaign) judgeTrial(ref, faulty *tensor.Tensor) trialVerdict {
 		v.dev = dev
 	}
 	return v
+}
+
+// argmaxData mirrors tensor.ArgMax on a raw slice: first strict
+// maximum against a -Inf start, so NaN-only data yields index 0
+// (pinned by TestArgmaxDataMatchesTensor).
+func argmaxData(data []float32) int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, v := range data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
 }
 
 // top5Contains reports whether label c would appear in TopK(5) of data,

@@ -64,11 +64,15 @@ func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 // TestCampaignOutcomePinnedToPreRedesignValues pins the default
-// single-bit campaign Outcome to the exact values the pre-Scenario
-// FaultModel engine produced at this seed (captured before the API
-// redesign). It is the determinism contract across the refactor: the
-// pluggable scenario path must consume the per-trial RNG stream in the
-// same order the closed struct did.
+// single-bit campaign Outcome to exact reference values at this seed.
+// It is the determinism contract across refactors: the pluggable
+// scenario path must consume the per-trial RNG stream in a fixed order,
+// so any accidental draw reorder (or an engine change that silently
+// alters sampling) shows up as drift here. The reference was first
+// captured from the pre-Scenario FaultModel engine and re-captured once,
+// deliberately, when the per-trial streams moved from math/rand's
+// lagged-Fibonacci source to SplitMix64 (whose O(1) reseed removed the
+// dominant per-trial cost of small-model campaigns).
 func TestCampaignOutcomePinnedToPreRedesignValues(t *testing.T) {
 	m, feeds := lenetInputs(t, 2)
 	c := &Campaign{Model: m, Trials: 40, Seed: 123, Workers: 3}
@@ -76,8 +80,8 @@ func TestCampaignOutcomePinnedToPreRedesignValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Trials != 80 || out.Top1SDC != 22 || out.Top5SDC != 4 {
-		t.Fatalf("outcome drifted from pre-redesign reference: %+v (want Trials:80 Top1SDC:22 Top5SDC:4)", out)
+	if out.Trials != 80 || out.Top1SDC != 21 || out.Top5SDC != 6 {
+		t.Fatalf("outcome drifted from the pinned reference: %+v (want Trials:80 Top1SDC:21 Top5SDC:6)", out)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ranger/internal/graph"
-	"ranger/internal/parallel"
 	"ranger/internal/tensor"
 )
 
@@ -53,27 +52,18 @@ func (c *Compiled) Run(feeds graph.Feeds) (*tensor.Tensor, error) {
 }
 
 // RunBatch evaluates the compiled model over independent feed sets,
-// sharded across workers (0 means the process default). out[i] is the
-// model output for feeds[i]; results are identical at every worker
-// count.
+// sharded across workers (0 means the process default) with runs of up
+// to graph.DefaultBatchLanes same-shaped single-sample feeds stacked
+// into one lane-batched pass. out[i] is the model output for feeds[i];
+// results are identical at every worker count and lane width.
 func (c *Compiled) RunBatch(feeds []graph.Feeds, workers int) ([]*tensor.Tensor, error) {
+	batched, err := graph.RunPlanBatch(c.Plan, feeds, workers, graph.DefaultBatchLanes)
+	if err != nil {
+		return nil, err
+	}
 	outs := make([]*tensor.Tensor, len(feeds))
-	errs := make([]error, len(feeds))
-	parallel.Shard(parallel.Resolve(workers), len(feeds), func(lo, hi int) {
-		st := c.Plan.NewState()
-		for i := lo; i < hi; i++ {
-			res, err := c.Plan.Run(st, feeds[i])
-			if err != nil {
-				errs[i] = err
-				continue
-			}
-			outs[i] = res[0].Clone()
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	for i, res := range batched {
+		outs[i] = res[0]
 	}
 	return outs, nil
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ranger/internal/graph"
-	"ranger/internal/parallel"
 	"ranger/internal/tensor"
 )
 
@@ -60,27 +59,19 @@ func (q *Quantized) Run(feeds graph.Feeds) (*tensor.Tensor, error) {
 }
 
 // RunBatch evaluates the quantized model over independent feed sets,
-// sharded across workers (0 means the process default). out[i] is the
-// model output for feeds[i]; integer arithmetic makes results identical
-// at every worker count.
+// sharded across workers (0 means the process default) with runs of up
+// to graph.DefaultBatchLanes same-shaped single-sample feeds stacked
+// into one lane-batched int8 pass. out[i] is the model output for
+// feeds[i]; integer arithmetic makes results identical at every worker
+// count and lane width.
 func (q *Quantized) RunBatch(feeds []graph.Feeds, workers int) ([]*tensor.Tensor, error) {
+	batched, err := graph.RunQPlanBatch(q.Plan, feeds, workers, graph.DefaultBatchLanes)
+	if err != nil {
+		return nil, err
+	}
 	outs := make([]*tensor.Tensor, len(feeds))
-	errs := make([]error, len(feeds))
-	parallel.Shard(parallel.Resolve(workers), len(feeds), func(lo, hi int) {
-		st := q.Plan.NewState()
-		for i := lo; i < hi; i++ {
-			res, err := q.Plan.Run(st, feeds[i])
-			if err != nil {
-				errs[i] = err
-				continue
-			}
-			outs[i] = res[0]
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	for i, res := range batched {
+		outs[i] = res[0]
 	}
 	return outs, nil
 }

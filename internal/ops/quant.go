@@ -238,10 +238,15 @@ func (DenseOp) QuantKernel(spec graph.QuantSpec) (graph.QuantKernel, error) {
 		return nil, err
 	}
 	za := spec.In[0].Zero
-	return func(ins []*tensor.QTensor, out *tensor.QTensor, _ *tensor.QScratch) error {
+	return func(ins []*tensor.QTensor, out *tensor.QTensor, tmp *tensor.QScratch) error {
 		x := ins[0]
 		if x == nil || x.Rank() != 2 || x.Dim(1) != k {
 			return fmt.Errorf("matmul: quantized input does not match (?,%d)", k)
+		}
+		if m := x.Dim(0); m >= tensor.PackMinRows {
+			// Lane-batched input: packed panels, int32 accumulation —
+			// identical results (exact integer arithmetic).
+			return tensor.QMatMulPack(x.Data(), za, m, k, wq, n, out.Data(), requant, tmp)
 		}
 		return tensor.QMatMul(x.Data(), za, x.Dim(0), k, wq, n, out.Data(), requant)
 	}, nil
@@ -276,6 +281,9 @@ func (c *Conv2DOp) QuantKernel(spec graph.QuantSpec) (graph.QuantKernel, error) 
 		patch := tmp.Int8(rows * rowLen)
 		if err := tensor.QIm2ColInto(patch, x, geom, pad); err != nil {
 			return err
+		}
+		if rows >= tensor.PackMinRows {
+			return tensor.QMatMulPack(patch, za, rows, rowLen, wq, n, out.Data(), requant, tmp)
 		}
 		return tensor.QMatMul(patch, za, rows, rowLen, wq, n, out.Data(), requant)
 	}, nil

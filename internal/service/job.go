@@ -93,6 +93,14 @@ type JobSpec struct {
 	// BlockTrials overrides the daemon's trials-per-block durability
 	// granularity for this job.
 	BlockTrials int `json:"block_trials,omitempty"`
+	// LaneWidth caps how many same-depth trials pack into one
+	// lane-batched suffix replay (0 = campaign default, 1 = disable).
+	// Outcomes are byte-identical at every width, so resumed jobs may
+	// safely run under a different LaneWidth than the one that produced
+	// earlier blocks; the spec records it because it shapes memory use
+	// (each campaign worker holds up to LaneWidth× the model's live
+	// activation set).
+	LaneWidth int `json:"lane_width,omitempty"`
 }
 
 // withDefaults returns the spec with every optional field resolved, the
@@ -165,6 +173,9 @@ func (s JobSpec) validate() error {
 	case "none", "ranger":
 	default:
 		return fmt.Errorf("service: spec: protect %q (want none or ranger)", s.Protect)
+	}
+	if s.LaneWidth < 0 {
+		return fmt.Errorf("service: spec: lane width = %d", s.LaneWidth)
 	}
 	return nil
 }

@@ -91,11 +91,12 @@ func buildRuntime(spec JobSpec, campaignWorkers int) (*jobRuntime, error) {
 		return nil, fmt.Errorf("service: scenario: %w", err)
 	}
 	c := &inject.Campaign{
-		Model:    m,
-		Scenario: scen,
-		Trials:   spec.Trials,
-		Seed:     spec.Seed,
-		Workers:  campaignWorkers,
+		Model:     m,
+		Scenario:  scen,
+		Trials:    spec.Trials,
+		Seed:      spec.Seed,
+		Workers:   campaignWorkers,
+		LaneWidth: spec.LaneWidth,
 	}
 	switch spec.Backend {
 	case "int8":

@@ -1,0 +1,114 @@
+// Golden determinism suite for adaptive stratified campaigns: on the
+// fp32 backend (classifier and regressor) and the int8 quantized
+// backend, an adaptive campaign must produce an AdaptiveOutcome —
+// aggregate fold, per-stratum evidence, and post-stratified estimate —
+// byte-identical at every worker count and lane width, in both the
+// stratified and worst-case-directed modes. This is the adaptive twin
+// of the incremental/lane-batched golden suites: fixed seed ⇒ identical
+// outcomes, regardless of execution shape.
+package ranger_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ranger"
+	"ranger/internal/models"
+)
+
+// adaptiveGoldenShapes are the execution shapes swept against the
+// (workers=1, lanes=1) reference.
+var adaptiveGoldenShapes = []struct{ workers, lanes int }{
+	{1, 1}, {2, 1}, {2, 3}, {0, 8},
+}
+
+func adaptiveGoldenCampaign(m *models.Model, mode ranger.SamplingMode, workers, lanes int) *ranger.Campaign {
+	return &ranger.Campaign{
+		Model: m, Trials: 48, Seed: 2027,
+		Workers: workers, LaneWidth: lanes,
+		Adaptive: mode, CITarget: 0.2, Strata: 2,
+	}
+}
+
+// TestGoldenAdaptiveCampaignDeterminism sweeps a classifier (lenet) and
+// a regressor (dave) on the fp32 backend.
+func TestGoldenAdaptiveCampaignDeterminism(t *testing.T) {
+	for _, name := range []string{"lenet", "dave"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, err := models.Build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feeds := campaignFeeds(t, m)
+			for _, mode := range []ranger.SamplingMode{ranger.AdaptiveStratified, ranger.AdaptiveWorstCase} {
+				run := func(workers, lanes int) ranger.AdaptiveOutcome {
+					out, err := adaptiveGoldenCampaign(m, mode, workers, lanes).RunAdaptive(context.Background(), feeds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return out
+				}
+				want := run(1, 1)
+				if want.Trials == 0 || len(want.Strata) == 0 {
+					t.Fatalf("mode %v: empty adaptive outcome %+v", mode, want)
+				}
+				for _, shape := range adaptiveGoldenShapes {
+					got := run(shape.workers, shape.lanes)
+					outcomesEqual(t, name, want.Outcome, got.Outcome)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("mode %v workers=%d lanes=%d: adaptive outcome differs:\n%+v\nvs\n%+v",
+							mode, shape.workers, shape.lanes, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenAdaptiveInt8CampaignDeterminism is the int8 twin: adaptive
+// campaigns striking stored int8 words must also be byte-identical at
+// every execution shape.
+func TestGoldenAdaptiveInt8CampaignDeterminism(t *testing.T) {
+	m, err := models.Build("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := campaignFeeds(t, m)
+	calib, err := ranger.CalibrateModel(m, len(feeds), func(i int) (ranger.Feeds, error) {
+		return feeds[i], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers, lanes int) ranger.AdaptiveOutcome {
+		c := adaptiveGoldenCampaign(m, ranger.AdaptiveStratified, workers, lanes)
+		c.Scenario = ranger.BitFlipInt8{Flips: 1}
+		c.Calibration = calib
+		out, err := c.RunAdaptive(context.Background(), feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1, 1)
+	if want.Trials == 0 {
+		t.Fatalf("empty int8 adaptive outcome %+v", want)
+	}
+	// int8 campaigns stratify the stored word's 8 bits, not the fp32
+	// datapath's 32.
+	for _, sr := range want.Strata {
+		if sr.BitHi > 7 {
+			t.Fatalf("int8 stratum spans bits %d-%d", sr.BitLo, sr.BitHi)
+		}
+	}
+	for _, shape := range adaptiveGoldenShapes {
+		got := run(shape.workers, shape.lanes)
+		outcomesEqual(t, "lenet int8", want.Outcome, got.Outcome)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d lanes=%d: int8 adaptive outcome differs", shape.workers, shape.lanes)
+		}
+	}
+}

@@ -35,6 +35,52 @@ const (
 // with errors.Is.
 var ErrFaultSpaceMismatch = inject.ErrFaultSpaceMismatch
 
+// SamplingMode selects how a campaign draws its trials: classic uniform
+// sampling (the zero value), or adaptive stratified sampling over
+// (layer x bit-band) strata with per-stratum Wilson early stopping. Set
+// Campaign.Adaptive and call RunAdaptive.
+type SamplingMode = inject.SamplingMode
+
+// The campaign sampling modes.
+const (
+	// SamplingUniform draws hash(Seed, input, trial) streams over the
+	// full fault space (the default).
+	SamplingUniform = inject.SamplingUniform
+	// AdaptiveStratified allocates trials round-robin over open strata,
+	// retiring each stratum when its Wilson CI reaches CITarget.
+	AdaptiveStratified = inject.AdaptiveStratified
+	// AdaptiveWorstCase orders open strata by Wilson upper bound (then
+	// high bits first), concentrating the budget on the likely-worst
+	// corners of the fault space.
+	AdaptiveWorstCase = inject.AdaptiveWorstCase
+)
+
+// Adaptive campaign defaults.
+const (
+	// DefaultCITarget is the per-stratum Wilson half-width campaigns
+	// stop at when Campaign.CITarget is zero.
+	DefaultCITarget = inject.DefaultCITarget
+	// DefaultStrataBands is the bit-band count per fault-space node when
+	// Campaign.Strata is zero.
+	DefaultStrataBands = inject.DefaultStrataBands
+)
+
+// AdaptiveOutcome is an adaptive campaign's result: the classic Outcome
+// fold plus per-stratum evidence and the post-stratified SDC estimate.
+type AdaptiveOutcome = inject.AdaptiveOutcome
+
+// StratumResult is one stratum's evidence in an AdaptiveOutcome.
+type StratumResult = inject.StratumResult
+
+// AdaptiveRun is a resumable adaptive campaign: replay persisted trials
+// with ReplayTrial, then call NextRound until Done.
+type AdaptiveRun = inject.AdaptiveRun
+
+// StratumScenario marks scenarios that can confine their primary fault
+// site to one (node, bit-band) stratum; adaptive campaigns require it.
+// All built-in scenarios implement it.
+type StratumScenario = inject.StratumScenario
+
 // Outcome aggregates a campaign's results.
 type Outcome = inject.Outcome
 

@@ -21,6 +21,15 @@
 //	rangerinject -model vgg16 -format q16 -scenario consecutive -faults 2
 //	rangerinject -model alexnet -scenario randomvalue -progress
 //	rangerinject -model lenet -int8 -trials 1000
+//	rangerinject -model lenet -adaptive -ci-target 0.05
+//	rangerinject -model lenet -adaptive -worstcase -strata 8
+//
+// With -adaptive the campaign samples (layer x bit-band) strata instead
+// of the uniform grid, stopping each stratum once its Wilson 95% CI
+// half-width reaches -ci-target; -trials bounds the total budget.
+// -worstcase spends the budget highest-Wilson-upper-bound first. The
+// report adds the post-stratified SDC estimate and per-stratum
+// evidence.
 //
 // Interrupting (Ctrl-C) cancels the campaign promptly.
 package main
@@ -62,6 +71,10 @@ func run(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "campaign seed")
 	workers := fs.Int("workers", 0, "worker-pool width (default from RANGER_WORKERS or the core count)")
 	progress := fs.Bool("progress", false, "stream per-trial progress while campaigns run")
+	adaptive := fs.Bool("adaptive", false, "stratified sampling with per-stratum Wilson early stopping")
+	worstcase := fs.Bool("worstcase", false, "with -adaptive: spend the budget highest-Wilson-upper-bound first")
+	ciTarget := fs.Float64("ci-target", 0, "with -adaptive: per-stratum CI half-width to stop at (default 0.05)")
+	strata := fs.Int("strata", 0, "with -adaptive: bit bands per layer (default 4)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,6 +118,14 @@ func run(ctx context.Context, args []string) error {
 
 	report := func(label string, target *ranger.Model) error {
 		c := &ranger.Campaign{Model: target, Format: fmtFixed, Scenario: scen, Trials: *trials, Seed: *seed}
+		if *adaptive {
+			c.Adaptive = ranger.AdaptiveStratified
+			if *worstcase {
+				c.Adaptive = ranger.AdaptiveWorstCase
+			}
+			c.CITarget = *ciTarget
+			c.Strata = *strata
+		}
 		if *int8Backend {
 			calib, err := ranger.Calibrate(target, *profileSamples)
 			if err != nil {
@@ -124,9 +145,34 @@ func run(ctx context.Context, args []string) error {
 				}
 			}
 		}
-		out, err := c.Run(ctx, feeds)
-		if err != nil {
-			return err
+		var out ranger.Outcome
+		if *adaptive {
+			res, err := c.RunAdaptive(ctx, feeds)
+			if err != nil {
+				return err
+			}
+			out = res.Outcome
+			status := "converged"
+			if !res.Converged {
+				status = "budget spent"
+			}
+			fmt.Printf("%-10s estimate %s after %d/%d trials in %d rounds (%s, target +/-%.3f)\n",
+				label, res.Estimate.Percent(), out.Trials, res.Budget, res.Rounds, status, res.CITarget)
+			for _, sr := range res.Strata {
+				mark := " "
+				if sr.Converged {
+					mark = "*"
+				}
+				fmt.Printf("  %s bits %2d-%2d  %-24s w=%.4f  %s\n",
+					mark, sr.BitLo, sr.BitHi, sr.Node, sr.Weight,
+					ranger.NewProportion(sr.SDCs, sr.Trials).Percent())
+			}
+		} else {
+			var err error
+			out, err = c.Run(ctx, feeds)
+			if err != nil {
+				return err
+			}
 		}
 		switch target.Kind {
 		case ranger.Classifier:

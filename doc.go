@@ -25,7 +25,9 @@
 //   - Campaigns: Campaign runs TensorFI-style fault injection with a
 //     cancellable context; OnTrial or Stream deliver per-trial results
 //     while long campaigns run, and outcomes are byte-identical at every
-//     worker count for a fixed seed.
+//     worker count for a fixed seed. Campaigns with Campaign.Adaptive
+//     set run through RunAdaptive's sequential stratified design (see
+//     the adaptive campaign lifecycle below).
 //   - Fault scenarios: the fault model is pluggable. BitFlips,
 //     ConsecutiveBits, RandomValue, and StuckAt ship built in, live in a
 //     name-keyed registry (NewScenario / ScenarioNames), and new models
@@ -179,6 +181,47 @@
 // sampled trial — and replacing the per-trial streams with SplitMix64
 // (O(1) reseed) multiplied small-model campaign throughput by ~5×
 // at every lane width.
+//
+// # Adaptive campaign lifecycle
+//
+// SDC probability is wildly non-uniform across the fault space: high
+// exponent bits flip predictions, low mantissa bits almost never do,
+// and layers differ by orders of magnitude. Uniform sampling therefore
+// spends most of its budget where faults are benign. Setting
+// Campaign.Adaptive (AdaptiveStratified or AdaptiveWorstCase) and
+// calling RunAdaptive runs a sequential stratified design instead: the
+// fault space is partitioned into (fault-space node × bit band) strata
+// — Strata bands per node, high bits first; int8 campaigns stratify
+// the stored word's 8 bits — and trials are allocated round by round
+// to the strata whose Wilson 95% intervals are still wider than
+// CITarget, until every stratum converges or the Trials budget is
+// exhausted. AdaptiveWorstCase directs the surplus at the
+// highest-upper-bound stratum — the campaign shape for "how bad is the
+// worst layer" questions. The AdaptiveOutcome carries the aggregate
+// fold, per-stratum evidence (StratumResult), and a post-stratified
+// estimate: each stratum's rate weighted by its share of the fault
+// space, so adaptive allocation never biases the headline number.
+//
+// The stopping rule is sound at the extremes because every interval in
+// this repository is a Wilson score interval, not a Wald interval: zero
+// observed SDCs in n trials yields a strictly positive upper bound
+// (z²/(n+z²)), so a quiet stratum keeps earning samples until there is
+// real evidence it is quiet — a Wald interval would collapse to ±0 and
+// stop after the first lucky round. Percent() formats these intervals
+// wherever proportions are reported, and a detector that saw zero SDCs
+// reports CoverageOfSDCs as NaN (CoverageOfSDCsOK false) rather than a
+// confident 0%.
+//
+// Allocation decisions are a pure function of the folded per-stratum
+// counts, so the determinism contract extends in full: a fixed seed
+// produces a byte-identical AdaptiveOutcome at every worker count and
+// lane width, and AdaptiveRun (NewAdaptiveRun → ReplayTrial* →
+// NextRound until Done) is the resumable form the rangerd service uses
+// — replaying persisted trial records reconstructs the exact
+// allocation state, so an interrupted adaptive job continues with the
+// decisions an uninterrupted run would have made. rangerbench
+// -exp adaptive measures the engine against uniform sampling under the
+// same stopping rule; CI gates on ≥3× fewer trials to target.
 //
 // # The rangerd service lifecycle
 //

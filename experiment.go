@@ -95,10 +95,14 @@ var experimentFns = map[string]experimentEntry{
 	// and late-layer fault spaces. Emits machine-readable JSON through
 	// rangerbench -json for the bench trajectory.
 	"campaignspeed": wrapJSONExperiment(experiments.CampaignSpeed),
+	// adaptive compares the stratified adaptive-campaign engine against
+	// uniform sampling: trials to reach the same per-stratum Wilson CI
+	// target. Emits JSON for the bench trajectory.
+	"adaptive": wrapJSONExperiment(experiments.AdaptiveCampaign),
 }
 
 // experimentOrder fixes the paper's presentation order.
-var experimentOrder = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt", "overhead", "quantoverhead", "campaignspeed"}
+var experimentOrder = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt", "overhead", "quantoverhead", "campaignspeed", "adaptive"}
 
 // ExperimentIDs lists every experiment id in the paper's presentation
 // order.

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"ranger/internal/inject"
+	"ranger/internal/models"
+)
+
+// Adaptive campaign-efficiency experiment knobs. The budgets are fixed
+// (not Config.Trials-scaled) so the emitted JSON is comparable across
+// bench runs.
+const (
+	// adaptiveBudget caps the adaptive run's trials.
+	adaptiveBudget = 20000
+	// adaptiveCITarget is the per-stratum Wilson half-width both
+	// samplers drive toward.
+	adaptiveCITarget = 0.08
+	// adaptiveBands is the bit-band count per fault-space node.
+	adaptiveBands = 4
+	// adaptiveUniformCap bounds the uniform baseline's trial count; a
+	// baseline that has not converged by the cap reports the cap (so
+	// the savings column is then a lower bound).
+	adaptiveUniformCap = 40000
+)
+
+// AdaptiveRow compares adaptive stratified sampling against the uniform
+// baseline on one model variant: trials each needs until every (layer ×
+// bit-band) stratum's Wilson 95% CI half-width reaches the target.
+type AdaptiveRow struct {
+	Model   string `json:"model"`
+	Variant string `json:"variant"` // original | ranger
+	Mode    string `json:"mode"`    // stratified | worstcase
+	// Trials / Rounds / Converged describe the adaptive run.
+	Trials    int  `json:"adaptive_trials"`
+	Rounds    int  `json:"rounds"`
+	Converged bool `json:"converged"`
+	// Estimate / CI95 are the post-stratified population SDC estimate.
+	Estimate float64 `json:"sdc_estimate"`
+	CI95     float64 `json:"sdc_ci95"`
+	// UniformTrials is how many classic uniform trials the same stopping
+	// rule needed (capped at the uniform cap when not Converged).
+	UniformTrials    int64 `json:"uniform_trials"`
+	UniformConverged bool  `json:"uniform_converged"`
+	// Savings is UniformTrials / Trials — how many times fewer trials
+	// the adaptive engine spent to reach the same evidence target.
+	Savings float64 `json:"savings"`
+}
+
+// AdaptiveResult reports the adaptive-vs-uniform comparison. It marshals
+// to JSON (rangerbench -exp adaptive -json) so the bench trajectory can
+// track campaign efficiency.
+type AdaptiveResult struct {
+	Budget     int           `json:"budget"`
+	CITarget   float64       `json:"ci_target"`
+	Strata     int           `json:"strata_bands"`
+	UniformCap int64         `json:"uniform_cap"`
+	Rows       []AdaptiveRow `json:"rows"`
+}
+
+// JSON implements the machine-readable result extension used by
+// rangerbench -json.
+func (r *AdaptiveResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render implements the experiment result interface.
+func (r *AdaptiveResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Adaptive stratified campaigns vs uniform sampling (target ±%.2f per stratum, %d bit bands)\n",
+		r.CITarget, r.Strata)
+	fmt.Fprintf(&b, "(uniform baseline capped at %d trials; savings = uniform/adaptive)\n\n", r.UniformCap)
+	fmt.Fprintf(&b, "%-10s %-9s %-11s %10s %7s %10s %9s %10s %9s\n",
+		"model", "variant", "mode", "adaptive", "rounds", "estimate", "ci95", "uniform", "savings")
+	for _, row := range r.Rows {
+		uni := fmt.Sprintf("%d", row.UniformTrials)
+		if !row.UniformConverged {
+			uni = ">" + uni
+		}
+		fmt.Fprintf(&b, "%-10s %-9s %-11s %10d %7d %9.2f%% %8.2f%% %10s %8.1fx\n",
+			row.Model, row.Variant, row.Mode, row.Trials, row.Rounds,
+			row.Estimate*100, row.CI95*100, uni, row.Savings)
+	}
+	return b.String()
+}
+
+// AdaptiveCampaign measures the statistical campaign engine: on lenet
+// (original and Ranger-protected), how many trials adaptive stratified
+// sampling needs until every (layer × bit-band) stratum's Wilson CI
+// reaches the target, against how many classic uniform trials the same
+// stopping rule takes. Low-weight strata (small late layers, narrow bit
+// bands) starve under uniform sampling, so the adaptive engine reaches
+// the evidence target with several times fewer executions — the gap the
+// worstcase mode widens further by spending the budget on the
+// highest-Wilson-upper-bound strata first.
+func AdaptiveCampaign(ctx context.Context, r *Runner) (*AdaptiveResult, error) {
+	m, err := r.Model("lenet")
+	if err != nil {
+		return nil, err
+	}
+	pm, err := r.Protected("lenet")
+	if err != nil {
+		return nil, err
+	}
+	feeds, err := r.Inputs("lenet")
+	if err != nil {
+		return nil, err
+	}
+	input := feeds[:1]
+	res := &AdaptiveResult{
+		Budget:     adaptiveBudget,
+		CITarget:   adaptiveCITarget,
+		Strata:     adaptiveBands,
+		UniformCap: adaptiveUniformCap,
+	}
+	newCampaign := func(tm *models.Model, mode inject.SamplingMode) *inject.Campaign {
+		return &inject.Campaign{
+			Model: tm, Scenario: inject.DefaultScenario(),
+			Trials: adaptiveBudget, Seed: r.cfg.Seed + 9901, Workers: r.cfg.Workers,
+			Adaptive: mode, CITarget: adaptiveCITarget, Strata: adaptiveBands,
+		}
+	}
+	modeName := map[inject.SamplingMode]string{
+		inject.AdaptiveStratified: "stratified",
+		inject.AdaptiveWorstCase:  "worstcase",
+	}
+	targets := []struct {
+		variant string
+		m       *models.Model
+		modes   []inject.SamplingMode
+	}{
+		{"original", m, []inject.SamplingMode{inject.AdaptiveStratified, inject.AdaptiveWorstCase}},
+		{"ranger", pm, []inject.SamplingMode{inject.AdaptiveStratified}},
+	}
+	for _, tgt := range targets {
+		// One uniform baseline per variant: the stopping rule does not
+		// depend on the adaptive allocation order.
+		uni, uconv, err := newCampaign(tgt.m, inject.AdaptiveStratified).UniformTrialsToTarget(ctx, input, adaptiveUniformCap)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive %s (uniform baseline): %w", tgt.variant, err)
+		}
+		for _, mode := range tgt.modes {
+			out, err := newCampaign(tgt.m, mode).RunAdaptive(ctx, input)
+			if err != nil {
+				return nil, fmt.Errorf("adaptive %s (%s): %w", tgt.variant, modeName[mode], err)
+			}
+			row := AdaptiveRow{
+				Model:            "lenet",
+				Variant:          tgt.variant,
+				Mode:             modeName[mode],
+				Trials:           out.Trials,
+				Rounds:           out.Rounds,
+				Converged:        out.Converged,
+				Estimate:         out.Estimate.Rate,
+				CI95:             out.Estimate.CI95,
+				UniformTrials:    uni,
+				UniformConverged: uconv,
+			}
+			if out.Trials > 0 {
+				row.Savings = float64(uni) / float64(out.Trials)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}

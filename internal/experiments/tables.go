@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -443,8 +444,14 @@ func (t *Table6Result) Render() string {
 	fmt.Fprintf(&b, "Table VI: protection techniques on %s (baseline SDC %s)\n", t.Model, t.BaselineSDC.Percent())
 	fmt.Fprintf(&b, "%-26s %-10s %-10s %-8s %-12s\n", "technique", "coverage", "overhead", "FP", "recompute?")
 	for _, row := range t.Rows {
-		fmt.Fprintf(&b, "%-26s %-10.2f %-10.3f %-8.3f %-12v\n",
-			row.Technique, row.Coverage*100, row.Overhead*100, row.FalsePositiveRate*100, row.NeedsRecompute)
+		// Coverage is undefined (NaN) when the campaign observed no SDCs
+		// to cover; render "n/a" rather than a vacuous number.
+		cov := "n/a"
+		if !math.IsNaN(row.Coverage) {
+			cov = fmt.Sprintf("%.2f", row.Coverage*100)
+		}
+		fmt.Fprintf(&b, "%-26s %-10s %-10.3f %-8.3f %-12v\n",
+			row.Technique, cov, row.Overhead*100, row.FalsePositiveRate*100, row.NeedsRecompute)
 	}
 	b.WriteString("coverage/overhead/FP in %; overhead excludes re-execution on detection\n")
 	return b.String()

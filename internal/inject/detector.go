@@ -3,6 +3,7 @@ package inject
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 
 	"ranger/internal/graph"
@@ -62,13 +63,37 @@ type DetectorOutcome struct {
 }
 
 // CoverageOfSDCs returns the fraction of SDC-causing faults that the
-// detector caught (the paper's "SDC coverage" in Table VI).
+// detector caught (the paper's "SDC coverage" in Table VI). With zero
+// observed SDCs the quantity is undefined — there was nothing to cover
+// — and the result is NaN rather than a vacuous 100%; table renderers
+// print "n/a". Use CoverageOfSDCsOK to branch without a NaN check. The
+// denominator is the per-trial SDC labels when present (which count
+// regressor SDCs too), falling back to Top1SDC for hand-built values.
 func (d DetectorOutcome) CoverageOfSDCs() float64 {
-	total := d.Top1SDC
-	if total == 0 {
-		return 1
+	c, ok := d.CoverageOfSDCsOK()
+	if !ok {
+		return math.NaN()
 	}
-	return 1 - float64(d.UncorrectedSDC)/float64(total)
+	return c
+}
+
+// CoverageOfSDCsOK returns the SDC coverage and whether it is defined
+// (at least one SDC was observed to cover).
+func (d DetectorOutcome) CoverageOfSDCsOK() (float64, bool) {
+	total := 0
+	if len(d.TrialSDC) > 0 {
+		for _, sdc := range d.TrialSDC {
+			if sdc {
+				total++
+			}
+		}
+	} else {
+		total = d.Top1SDC
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return 1 - float64(d.UncorrectedSDC)/float64(total), true
 }
 
 // RunWithDetector executes the campaign with a detection technique
@@ -88,6 +113,9 @@ func (c *Campaign) RunWithDetector(ctx context.Context, inputs []graph.Feeds, de
 	}
 	if c.Calibration != nil {
 		return DetectorOutcome{}, fmt.Errorf("inject: detectors observe fp32 values; quantized campaigns support Run only")
+	}
+	if c.Adaptive != SamplingUniform {
+		return DetectorOutcome{}, fmt.Errorf("inject: detector campaigns sample uniformly; unset Campaign.Adaptive")
 	}
 	if err := c.validate(inputs); err != nil {
 		return DetectorOutcome{}, err

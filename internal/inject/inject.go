@@ -103,8 +103,11 @@ type Campaign struct {
 	// to the model's own ExcludeFI list (the paper's last-FC exclusion).
 	Exclude []string
 	// RegSDCThresholdDeg is the steering deviation (degrees) above which
-	// a regressor trial counts as an SDC in detector accounting; 0 means
-	// the paper's smallest threshold, 15 degrees.
+	// a regressor trial counts as an SDC in detector accounting and
+	// adaptive stopping. The zero value means the paper's smallest
+	// threshold, 15 degrees; any negative value is the explicit
+	// zero-tolerance sentinel (every nonzero deviation is an SDC), since
+	// a literal 0 cannot be told apart from "unset".
 	RegSDCThresholdDeg float64
 	// TargetNodes, when non-empty, restricts the fault space to the named
 	// nodes (used for per-node vulnerability estimation by the selective
@@ -142,6 +145,24 @@ type Campaign struct {
 	// DefaultLaneWidth; 1 disables lane batching; ignored (batch-1)
 	// under IncrementalOff.
 	LaneWidth int
+	// Adaptive selects the sampling design. The zero value,
+	// SamplingUniform, is the classic uniform grid over the fault space
+	// (Trials injections per input, run by Run/RunSlice).
+	// AdaptiveStratified and AdaptiveWorstCase instead run the
+	// stratified engine (RunAdaptive): trials allocate across
+	// (layer × bit-band) strata in deterministic rounds, each stratum
+	// stopping once its Wilson CI half-width falls below CITarget, with
+	// Trials×len(inputs) as the total budget. Run/RunSlice reject
+	// adaptive campaigns.
+	Adaptive SamplingMode
+	// CITarget is the per-stratum 95% Wilson CI half-width at which a
+	// stratum stops drawing trials (adaptive modes only); 0 means
+	// DefaultCITarget.
+	CITarget float64
+	// Strata is the number of bit-position bands each fault-space node
+	// splits into, high bits first (adaptive modes only); 0 means
+	// DefaultStrataBands. Bands clamp to the datapath's bit width.
+	Strata int
 	// OnTrial, when non-nil, streams each trial's judged result as it
 	// completes. Calls are serialized but arrive in scheduling order, not
 	// trial order; the final Outcome is still folded deterministically.
@@ -193,8 +214,13 @@ func (c *Campaign) scenario() Scenario {
 	return c.Scenario
 }
 
-// regSDCThreshold returns the effective regressor SDC threshold.
+// regSDCThreshold returns the effective regressor SDC threshold: the
+// configured positive value, 0 under the negative zero-tolerance
+// sentinel, or the paper's smallest threshold (15°) for the zero value.
 func (c *Campaign) regSDCThreshold() float64 {
+	if c.RegSDCThresholdDeg < 0 {
+		return 0
+	}
 	if c.RegSDCThresholdDeg > 0 {
 		return c.RegSDCThresholdDeg
 	}
@@ -226,9 +252,16 @@ func (c *Campaign) validate(inputs []graph.Feeds) error {
 // TrialResult is one completed trial's judged result, streamed through
 // Campaign.OnTrial while the campaign runs.
 type TrialResult struct {
-	// Input and Trial locate the trial in the campaign grid.
+	// Input and Trial locate the trial in the campaign grid. For
+	// adaptive campaigns Trial is the stratum-local trial index instead.
 	Input int
 	Trial int
+	// Stratum and Seq locate adaptive trials (RunAdaptive only):
+	// Stratum indexes the engine's stratum definitions and Seq is the
+	// trial's position in the global allocation sequence — the durable
+	// frontier adaptive resume replays against.
+	Stratum int
+	Seq     int64
 	// Top1SDC / Top5SDC report classifier misclassification.
 	Top1SDC bool
 	Top5SDC bool
@@ -440,6 +473,9 @@ func (c *Campaign) GridSize(inputs []graph.Feeds) int64 {
 // Cancellation follows the Run contract: a cancelled slice returns
 // ctx.Err() and a zero Outcome, never a partial fold.
 func (c *Campaign) RunSlice(ctx context.Context, inputs []graph.Feeds, start, end int64) (Outcome, error) {
+	if c.Adaptive != SamplingUniform {
+		return Outcome{}, fmt.Errorf("inject: adaptive campaigns run through RunAdaptive, not Run/RunSlice")
+	}
 	if err := c.validate(inputs); err != nil {
 		return Outcome{}, err
 	}
@@ -453,7 +489,6 @@ func (c *Campaign) RunSlice(ctx context.Context, inputs []graph.Feeds, start, en
 	}
 	workers := parallel.Resolve(c.Workers)
 	var out Outcome
-	var cbMu sync.Mutex
 	for ii, feeds := range inputs {
 		inLo := int64(ii) * int64(c.Trials)
 		sliceLo, sliceHi := max64(start, inLo), min64(end, inLo+int64(c.Trials))
@@ -474,100 +509,15 @@ func (c *Campaign) RunSlice(ctx context.Context, inputs []graph.Feeds, start, en
 			return Outcome{}, fmt.Errorf("inject: clean run: %w", err)
 		}
 		verdicts := make([]trialVerdict, n)
-		errs := make([]error, n)
-		ii := ii
-		parallel.Shard(workers, n, func(lo, hi int) {
-			tr := exec.newTrial(feeds, fs)
-			// Group this worker's block by injection depth (suffix
-			// replay only): execution order changes, but verdicts and
-			// errors land in their trial slots, so the reduction below
-			// stays in trial order and the Outcome is unchanged.
-			var order []int
-			if c.incremental() {
-				order = parallel.OrderByKey(lo, hi, func(slot int) int {
-					return tr.depth(ii, t0+slot)
-				})
-			}
-			slotAt := func(i int) int {
-				if order != nil {
-					return order[i-lo]
-				}
-				return i
-			}
-			emit := func(slot int) {
-				if c.OnTrial != nil {
-					cbMu.Lock()
-					c.OnTrial(verdicts[slot].result(ii, t0+slot))
-					cbMu.Unlock()
-				}
-			}
-			laneW := 1
-			if tr.runLanes != nil && c.incremental() {
-				laneW = c.laneWidth()
-			}
-			var laneTrials, laneSlots []int
-			for i := lo; i < hi; {
-				if err := ctx.Err(); err != nil {
-					errs[slotAt(i)] = err
-					return
-				}
-				// Pack a chunk of exactly laneW consecutive depth-ordered
-				// slots; the replay starts at the chunk's earliest struck
-				// step, so deeper lanes recompute a few checkpoint-clean
-				// steps — still bit-identical to their batch-1 runs (and
-				// depth ordering keeps the chunk's depths adjacent, so the
-				// waste is small). Only full chunks batch: a fixed width
-				// means each worker warms exactly one lane replay (batched
-				// layout, feeds, and replicated live set) and reuses it
-				// for every chunk; the short block tail runs batch-1.
-				// Verdicts land in trial slots either way, so the Outcome
-				// is unchanged at every lane width.
-				j := i + 1
-				if laneW > 1 && hi-i >= laneW {
-					j = i + laneW
-				}
-				if j-i == 1 {
-					slot := slotAt(i)
-					faulty, err := tr.run(ii, t0+slot)
-					if err != nil {
-						errs[slot] = err
-						i = j
-						continue
-					}
-					verdicts[slot] = c.judgeData(ref, faulty.Data())
-					emit(slot)
-					i = j
-					continue
-				}
-				laneTrials, laneSlots = laneTrials[:0], laneSlots[:0]
-				for p := i; p < j; p++ {
-					slot := slotAt(p)
-					laneSlots = append(laneSlots, slot)
-					laneTrials = append(laneTrials, t0+slot)
-				}
-				batched, err := tr.runLanes(ii, laneTrials)
-				if err != nil {
-					// A batched replay fails as a unit: every packed
-					// trial reports the error.
-					for _, slot := range laneSlots {
-						errs[slot] = err
-					}
-					i = j
-					continue
-				}
-				data := batched.Data()
-				laneSize := len(data) / len(laneSlots)
-				for l, slot := range laneSlots {
-					verdicts[slot] = c.judgeData(ref, data[l*laneSize:(l+1)*laneSize])
-					emit(slot)
-				}
-				i = j
-			}
-		})
+		var emit func(slot int)
+		if c.OnTrial != nil {
+			ii := ii
+			emit = func(slot int) { c.OnTrial(verdicts[slot].result(ii, t0+slot)) }
+		}
+		if err := c.runShard(ctx, exec, feeds, ref, fs, ii, t0, workers, nil, verdicts, emit); err != nil {
+			return Outcome{}, err
+		}
 		for slot := 0; slot < n; slot++ {
-			if errs[slot] != nil {
-				return Outcome{}, errs[slot]
-			}
 			verdicts[slot].apply(&out)
 		}
 	}
@@ -578,6 +528,117 @@ func (c *Campaign) RunSlice(ctx context.Context, inputs []graph.Feeds, start, en
 		return Outcome{}, err
 	}
 	return out, nil
+}
+
+// runShard executes one input's block of len(verdicts) trials across
+// workers, with depth grouping and lane batching. Slot i's trial
+// identity is (ii, t0+i) under uniform sampling, or plan[i] when a
+// stratified plan is set (t0 is then 0 and the plan item carries the
+// sampling seed and stratum constraint). Verdicts land in their slots;
+// emit, when non-nil, is called under a shard-wide mutex as each slot's
+// verdict lands. The first per-trial error is returned after all
+// workers finish, so a shard never half-reports.
+func (c *Campaign) runShard(ctx context.Context, exec *campaignExec, feeds graph.Feeds, ref *tensor.Tensor, fs *FaultSpace, ii, t0, workers int, plan []plannedTrial, verdicts []trialVerdict, emit func(slot int)) error {
+	n := len(verdicts)
+	errs := make([]error, n)
+	var cbMu sync.Mutex
+	parallel.Shard(workers, n, func(lo, hi int) {
+		tr := exec.newTrial(feeds, fs)
+		if plan != nil {
+			tr.setPlan(plan)
+		}
+		// Group this worker's block by injection depth (suffix
+		// replay only): execution order changes, but verdicts and
+		// errors land in their trial slots, so the caller's reduction
+		// stays in trial order and the Outcome is unchanged.
+		var order []int
+		if c.incremental() {
+			order = parallel.OrderByKey(lo, hi, func(slot int) int {
+				return tr.depth(ii, t0+slot)
+			})
+		}
+		slotAt := func(i int) int {
+			if order != nil {
+				return order[i-lo]
+			}
+			return i
+		}
+		emitLocked := func(slot int) {
+			if emit != nil {
+				cbMu.Lock()
+				emit(slot)
+				cbMu.Unlock()
+			}
+		}
+		laneW := 1
+		if tr.runLanes != nil && c.incremental() {
+			laneW = c.laneWidth()
+		}
+		var laneTrials, laneSlots []int
+		for i := lo; i < hi; {
+			if err := ctx.Err(); err != nil {
+				errs[slotAt(i)] = err
+				return
+			}
+			// Pack a chunk of exactly laneW consecutive depth-ordered
+			// slots; the replay starts at the chunk's earliest struck
+			// step, so deeper lanes recompute a few checkpoint-clean
+			// steps — still bit-identical to their batch-1 runs (and
+			// depth ordering keeps the chunk's depths adjacent, so the
+			// waste is small). Only full chunks batch: a fixed width
+			// means each worker warms exactly one lane replay (batched
+			// layout, feeds, and replicated live set) and reuses it
+			// for every chunk; the short block tail runs batch-1.
+			// Verdicts land in trial slots either way, so the Outcome
+			// is unchanged at every lane width.
+			j := i + 1
+			if laneW > 1 && hi-i >= laneW {
+				j = i + laneW
+			}
+			if j-i == 1 {
+				slot := slotAt(i)
+				faulty, err := tr.run(ii, t0+slot)
+				if err != nil {
+					errs[slot] = err
+					i = j
+					continue
+				}
+				verdicts[slot] = c.judgeData(ref, faulty.Data())
+				emitLocked(slot)
+				i = j
+				continue
+			}
+			laneTrials, laneSlots = laneTrials[:0], laneSlots[:0]
+			for p := i; p < j; p++ {
+				slot := slotAt(p)
+				laneSlots = append(laneSlots, slot)
+				laneTrials = append(laneTrials, t0+slot)
+			}
+			batched, err := tr.runLanes(ii, laneTrials)
+			if err != nil {
+				// A batched replay fails as a unit: every packed
+				// trial reports the error.
+				for _, slot := range laneSlots {
+					errs[slot] = err
+				}
+				i = j
+				continue
+			}
+			data := batched.Data()
+			laneSize := len(data) / len(laneSlots)
+			for l, slot := range laneSlots {
+				verdicts[slot] = c.judgeData(ref, data[l*laneSize:(l+1)*laneSize])
+				emitLocked(slot)
+			}
+			i = j
+		}
+	})
+	for slot := 0; slot < n; slot++ {
+		if errs[slot] != nil {
+			return errs[slot]
+		}
+	}
+	return nil
 }
 
 func max64(a, b int64) int64 {
@@ -600,11 +661,14 @@ func min64(a, b int64) int64 {
 // the lane-major stacked faulty fetches (nil when the backend cannot
 // lane-batch — full replay has no checkpoint to batch). Returned
 // tensors stay valid until the worker's next trial; depth probes a
-// trial's earliest struck plan step.
+// trial's earliest struck plan step. setPlan installs a stratified
+// sampling plan: trial indices passed to run/runLanes/depth then index
+// the plan instead of naming uniform-grid trials.
 type trialRunner struct {
 	run      func(input, trial int) (*tensor.Tensor, error)
 	runLanes func(input int, trials []int) (*tensor.Tensor, error)
 	depth    func(input, trial int) int
+	setPlan  func(plan []plannedTrial)
 }
 
 // campaignExec abstracts the campaign's execution backend: the fp32
@@ -656,7 +720,7 @@ func (c *Campaign) newExec() (*campaignExec, error) {
 			lanes: 1,
 		}
 		w.makeHook()
-		tr := trialRunner{run: w.run, depth: w.depth}
+		tr := trialRunner{run: w.run, depth: w.depth, setPlan: func(p []plannedTrial) { w.sites.plan = p }}
 		if w.ckpt != nil {
 			tr.runLanes = w.runLanes
 		}
@@ -705,7 +769,7 @@ func (c *Campaign) newExecInt8(plan *graph.Plan) (*campaignExec, error) {
 			lanes: 1,
 		}
 		w.makeHook()
-		tr := trialRunner{run: w.run, depth: w.depth}
+		tr := trialRunner{run: w.run, depth: w.depth, setPlan: func(p []plannedTrial) { w.sites.plan = p }}
 		if w.ckpt != nil {
 			tr.runLanes = w.runLanes
 		}
@@ -738,6 +802,12 @@ type trialSites struct {
 	byNode  map[string][]laneSite
 	used    []string
 	minStep int
+	// plan, when non-nil, switches sampling to a stratified plan: the
+	// "trial" index passed to appendTrial indexes plan, whose item
+	// carries the trial's private sampling seed and stratum constraint.
+	// The scenario must then implement StratumScenario (checked by
+	// NewAdaptiveRun before any plan is built).
+	plan []plannedTrial
 }
 
 func newTrialSites(c *Campaign, fs *FaultSpace, stepOf func(string) int, nSteps int) trialSites {
@@ -769,11 +839,17 @@ func (ts *trialSites) reset() {
 // not produce are ignored, as the name-keyed hook lookup always ignored
 // them.
 func (ts *trialSites) appendTrial(lane int, seed int64, input, trial int) {
-	ts.rng.Seed(trialSeed(seed, input, trial))
-	if ap, ok := ts.scen.(SiteAppender); ok {
-		ts.buf = ap.AppendSites(ts.buf[:0], ts.space, ts.format, ts.rng)
+	if ts.plan != nil {
+		pt := ts.plan[trial]
+		ts.rng.Seed(pt.seed)
+		ts.buf = ts.scen.(StratumScenario).AppendStratumSites(ts.buf[:0], ts.space, ts.format, ts.rng, pt.node, pt.bitLo, pt.bitHi)
 	} else {
-		ts.buf = ts.scen.Sample(ts.space, ts.format, ts.rng)
+		ts.rng.Seed(trialSeed(seed, input, trial))
+		if ap, ok := ts.scen.(SiteAppender); ok {
+			ts.buf = ap.AppendSites(ts.buf[:0], ts.space, ts.format, ts.rng)
+		} else {
+			ts.buf = ts.scen.Sample(ts.space, ts.format, ts.rng)
+		}
 	}
 	if ts.byNode == nil {
 		ts.byNode = make(map[string][]laneSite, len(ts.buf))

@@ -67,6 +67,17 @@ func (b BitFlipInt8) AppendSites(buf []Site, space *FaultSpace, _ fixpoint.Forma
 	return buf
 }
 
+// AppendStratumSites implements StratumScenario over the 8-bit word:
+// the first flip lands in the stratum's band, any further independent
+// flips draw from the full space.
+func (b BitFlipInt8) AppendStratumSites(buf []Site, space *FaultSpace, _ fixpoint.Format, rng *rand.Rand, node, bitLo, bitHi int) []Site {
+	buf = append(buf, space.SampleSiteIn(rng, node, bitLo, bitHi))
+	for i := 1; i < b.Flips; i++ {
+		buf = append(buf, space.SampleSite(rng, 8))
+	}
+	return buf
+}
+
 // Corrupt implements Scenario; int8 scenarios only run on the quantized
 // backend.
 func (b BitFlipInt8) Corrupt(fixpoint.Format, float32, Site) (float32, error) {
@@ -112,6 +123,17 @@ func (s StuckAtInt8) Sample(space *FaultSpace, format fixpoint.Format, rng *rand
 // AppendSites implements SiteAppender.
 func (s StuckAtInt8) AppendSites(buf []Site, space *FaultSpace, _ fixpoint.Format, rng *rand.Rand) []Site {
 	for i := 0; i < s.Faults; i++ {
+		buf = append(buf, space.SampleSite(rng, 8))
+	}
+	return buf
+}
+
+// AppendStratumSites implements StratumScenario over the 8-bit word:
+// the first stuck bit lands in the stratum's band, any further faults
+// draw from the full space.
+func (s StuckAtInt8) AppendStratumSites(buf []Site, space *FaultSpace, _ fixpoint.Format, rng *rand.Rand, node, bitLo, bitHi int) []Site {
+	buf = append(buf, space.SampleSiteIn(rng, node, bitLo, bitHi))
+	for i := 1; i < s.Faults; i++ {
 		buf = append(buf, space.SampleSite(rng, 8))
 	}
 	return buf

@@ -41,6 +41,9 @@ type FaultSpace struct {
 // Nodes returns the node names in the space, in execution order.
 func (fs *FaultSpace) Nodes() []string { return fs.nodes }
 
+// NodeSize returns the sampleable element count of the i'th node.
+func (fs *FaultSpace) NodeSize(i int) int { return fs.sizes[i] }
+
 // Total returns the number of sampleable output elements.
 func (fs *FaultSpace) Total() int64 { return fs.total }
 
@@ -58,6 +61,19 @@ func (fs *FaultSpace) SampleSite(rng *rand.Rand, bits int) Site {
 	}
 	// Unreachable if sizes sum to total.
 	return Site{Node: fs.nodes[len(fs.nodes)-1], Elem: 0, Bit: rng.Intn(bits)}
+}
+
+// SampleSiteIn draws a fault location confined to one stratum: the
+// element uniform over node i's output, the bit uniform over the
+// inclusive band [bitLo, bitHi]. Like SampleSite it consumes exactly
+// two draws from the stream, so stratified trials inherit the
+// determinism contract.
+func (fs *FaultSpace) SampleSiteIn(rng *rand.Rand, node, bitLo, bitHi int) Site {
+	return Site{
+		Node: fs.nodes[node],
+		Elem: rng.Intn(fs.sizes[node]),
+		Bit:  bitLo + rng.Intn(bitHi-bitLo+1),
+	}
 }
 
 // Scenario is a pluggable hardware-fault model: it decides where faults
@@ -96,6 +112,24 @@ type SiteAppender interface {
 	AppendSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site
 }
 
+// StratumScenario is the optional Scenario extension the adaptive
+// campaign engine (Campaign.RunAdaptive) requires: AppendStratumSites
+// draws one execution's fault sites with the trial's primary site
+// confined to a stratum — one fault-space node and an inclusive bit
+// band [bitLo, bitHi] — while any additional sites of a multi-fault
+// scenario draw from the full space exactly as AppendSites would. The
+// statelessness contract carries over: the draw must be a pure function
+// of the rng stream, so stratified trials stay bit-reproducible at
+// every worker count and lane width. All built-in scenarios implement
+// it.
+type StratumScenario interface {
+	Scenario
+	// AppendStratumSites appends one execution's fault sites to buf,
+	// primary site confined to the stratum, and returns the extended
+	// slice.
+	AppendStratumSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand, node, bitLo, bitHi int) []Site
+}
+
 // DefaultScenario returns the paper's primary fault model: one random
 // bit flip per execution.
 func DefaultScenario() Scenario { return BitFlips{Flips: 1} }
@@ -131,6 +165,17 @@ func (b BitFlips) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Ra
 // AppendSites implements SiteAppender.
 func (b BitFlips) AppendSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
 	for i := 0; i < b.Flips; i++ {
+		buf = append(buf, space.SampleSite(rng, format.Bits()))
+	}
+	return buf
+}
+
+// AppendStratumSites implements StratumScenario: the first flip lands
+// in the stratum, any further independent flips draw from the full
+// space.
+func (b BitFlips) AppendStratumSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand, node, bitLo, bitHi int) []Site {
+	buf = append(buf, space.SampleSiteIn(rng, node, bitLo, bitHi))
+	for i := 1; i < b.Flips; i++ {
 		buf = append(buf, space.SampleSite(rng, format.Bits()))
 	}
 	return buf
@@ -182,6 +227,30 @@ func (c ConsecutiveBits) AppendSites(buf []Site, space *FaultSpace, format fixpo
 	return buf
 }
 
+// AppendStratumSites implements StratumScenario: the run's start bit is
+// drawn from the band, clamped so the run never crosses the word
+// boundary (a band at the very top of the word starts the run at
+// width-Flips, which still covers the band's bits).
+func (c ConsecutiveBits) AppendStratumSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand, node, bitLo, bitHi int) []Site {
+	width := format.Bits()
+	k := c.Flips
+	if k > width {
+		k = width
+	}
+	lo, hi := bitLo, bitHi
+	if top := width - k; hi > top {
+		hi = top
+	}
+	if lo > hi {
+		lo = hi
+	}
+	s := space.SampleSiteIn(rng, node, lo, hi)
+	for b := 0; b < k; b++ {
+		buf = append(buf, Site{Node: s.Node, Elem: s.Elem, Bit: s.Bit + b})
+	}
+	return buf
+}
+
 // Corrupt implements Scenario.
 func (c ConsecutiveBits) Corrupt(format fixpoint.Format, v float32, s Site) (float32, error) {
 	return format.FlipBit(v, s.Bit)
@@ -217,6 +286,24 @@ func (r RandomValue) Sample(space *FaultSpace, format fixpoint.Format, rng *rand
 func (r RandomValue) AppendSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
 	for i := 0; i < r.Faults; i++ {
 		s := space.SampleSite(rng, format.Bits())
+		s.Payload = uint64(rng.Int63())
+		buf = append(buf, s)
+	}
+	return buf
+}
+
+// AppendStratumSites implements StratumScenario: the first replaced
+// word lands in the stratum's node (the bit position classifies the
+// trial; the corruption still replaces the whole word), any further
+// faults draw from the full space.
+func (r RandomValue) AppendStratumSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand, node, bitLo, bitHi int) []Site {
+	for i := 0; i < r.Faults; i++ {
+		var s Site
+		if i == 0 {
+			s = space.SampleSiteIn(rng, node, bitLo, bitHi)
+		} else {
+			s = space.SampleSite(rng, format.Bits())
+		}
 		s.Payload = uint64(rng.Int63())
 		buf = append(buf, s)
 	}
@@ -263,6 +350,16 @@ func (s StuckAt) Sample(space *FaultSpace, format fixpoint.Format, rng *rand.Ran
 // AppendSites implements SiteAppender.
 func (s StuckAt) AppendSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand) []Site {
 	for i := 0; i < s.Faults; i++ {
+		buf = append(buf, space.SampleSite(rng, format.Bits()))
+	}
+	return buf
+}
+
+// AppendStratumSites implements StratumScenario: the first stuck bit
+// lands in the stratum, any further faults draw from the full space.
+func (s StuckAt) AppendStratumSites(buf []Site, space *FaultSpace, format fixpoint.Format, rng *rand.Rand, node, bitLo, bitHi int) []Site {
+	buf = append(buf, space.SampleSiteIn(rng, node, bitLo, bitHi))
+	for i := 1; i < s.Faults; i++ {
 		buf = append(buf, space.SampleSite(rng, format.Bits()))
 	}
 	return buf

@@ -21,9 +21,10 @@ import (
 // serializes, and flush is called only after RunSlice returns (which
 // orders all OnTrial calls before it).
 type batcher struct {
-	store  Store
-	id     string
-	trials int // per-input trial count (grid linearization)
+	store    Store
+	id       string
+	trials   int  // per-input trial count (grid linearization)
+	adaptive bool // records order by allocation sequence, not grid
 
 	seq      int
 	prev     string
@@ -40,6 +41,7 @@ func newBatcher(store Store, man Manifest, sum ChainSummary) *batcher {
 		store:    store,
 		id:       man.ID,
 		trials:   man.Spec.Trials,
+		adaptive: man.Spec.Adaptive != "",
 		seq:      sum.Blocks,
 		prev:     sum.LastHash,
 		frontier: sum.Frontier,
@@ -62,7 +64,7 @@ func (b *batcher) Flush(end int64, part inject.Outcome) (Block, error) {
 		return Block{}, fmt.Errorf("service: %s: chunk [%d,%d) streamed %d records, outcome folded %d",
 			b.id, b.frontier, end, len(b.pending), part.Trials)
 	}
-	blk, err := sealBlock(b.seq, b.frontier, end, b.prev, b.trials, b.pending)
+	blk, err := sealBlock(b.seq, b.frontier, end, b.prev, b.trials, b.adaptive, b.pending)
 	if err != nil {
 		return Block{}, fmt.Errorf("service: %s: %w", b.id, err)
 	}

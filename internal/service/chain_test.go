@@ -59,7 +59,7 @@ func fakeChain(t *testing.T, man Manifest, block int64) []Block {
 		if end > man.GridTotal {
 			end = man.GridTotal
 		}
-		b, err := sealBlock(seq, start, end, prev, man.Spec.Trials, fakeRecords(man.Spec.Trials, start, end))
+		b, err := sealBlock(seq, start, end, prev, man.Spec.Trials, false, fakeRecords(man.Spec.Trials, start, end))
 		if err != nil {
 			t.Fatalf("sealBlock: %v", err)
 		}
@@ -85,11 +85,11 @@ func TestManifestSealDetectsTamper(t *testing.T) {
 func TestSealBlockRejectsBadCoverage(t *testing.T) {
 	man := sealedManifest(t, testSpec(4, 2))
 	recs := fakeRecords(4, 0, 4)
-	if _, err := sealBlock(0, 0, 5, man.SpecHash, 4, recs); err == nil {
+	if _, err := sealBlock(0, 0, 5, man.SpecHash, 4, false, recs); err == nil {
 		t.Fatal("sealBlock accepted a record-count mismatch")
 	}
 	recs[1] = recs[2] // duplicate position, hole at 1
-	if _, err := sealBlock(0, 0, 4, man.SpecHash, 4, recs); err == nil {
+	if _, err := sealBlock(0, 0, 4, man.SpecHash, 4, false, recs); err == nil {
 		t.Fatal("sealBlock accepted a coverage hole")
 	}
 }
@@ -100,13 +100,13 @@ func TestSealBlockOrdersScheduledRecords(t *testing.T) {
 	// OnTrial delivers scheduling order, not grid order.
 	recs[0], recs[3] = recs[3], recs[0]
 	recs[1], recs[2] = recs[2], recs[1]
-	b, err := sealBlock(0, 0, 4, man.SpecHash, 4, recs)
+	b, err := sealBlock(0, 0, 4, man.SpecHash, 4, false, recs)
 	if err != nil {
 		t.Fatalf("sealBlock: %v", err)
 	}
 	for i, r := range b.Results {
-		if r.pos(4) != int64(i) {
-			t.Fatalf("result %d at grid position %d", i, r.pos(4))
+		if r.pos(4, false) != int64(i) {
+			t.Fatalf("result %d at grid position %d", i, r.pos(4, false))
 		}
 	}
 }

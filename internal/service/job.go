@@ -101,6 +101,19 @@ type JobSpec struct {
 	// (each campaign worker holds up to LaneWidth× the model's live
 	// activation set).
 	LaneWidth int `json:"lane_width,omitempty"`
+	// Adaptive selects stratified sampling with sequential early
+	// stopping: "" (classic uniform grid), "stratified", or "worstcase".
+	// Adaptive jobs treat Inputs×Trials as a budget and may complete
+	// with fewer trials; block boundaries coincide with allocation
+	// rounds and records carry (stratum, seq), the durable per-stratum
+	// frontier resume replays.
+	Adaptive string `json:"adaptive,omitempty"`
+	// CITarget is the per-stratum Wilson CI half-width adaptive jobs
+	// stop at (0 defaults to inject.DefaultCITarget).
+	CITarget float64 `json:"ci_target,omitempty"`
+	// Strata is the number of bit-position bands per fault-space node
+	// (0 defaults to inject.DefaultStrataBands).
+	Strata int `json:"strata,omitempty"`
 }
 
 // withDefaults returns the spec with every optional field resolved, the
@@ -136,6 +149,14 @@ func (s JobSpec) withDefaults(daemonBlock int) JobSpec {
 	}
 	if s.BlockTrials <= 0 {
 		s.BlockTrials = DefaultBlockTrials
+	}
+	if s.Adaptive != "" {
+		if s.CITarget == 0 {
+			s.CITarget = inject.DefaultCITarget
+		}
+		if s.Strata == 0 {
+			s.Strata = inject.DefaultStrataBands
+		}
 	}
 	return s
 }
@@ -176,6 +197,22 @@ func (s JobSpec) validate() error {
 	}
 	if s.LaneWidth < 0 {
 		return fmt.Errorf("service: spec: lane width = %d", s.LaneWidth)
+	}
+	switch s.Adaptive {
+	case "", "stratified", "worstcase":
+	default:
+		return fmt.Errorf("service: spec: adaptive %q (want stratified or worstcase)", s.Adaptive)
+	}
+	if s.Adaptive != "" {
+		if _, ok := scen.(inject.StratumScenario); !ok {
+			return fmt.Errorf("service: spec: scenario %q does not support stratified sampling", s.Scenario)
+		}
+		if s.CITarget < 0 || s.CITarget >= 1 {
+			return fmt.Errorf("service: spec: ci_target %v outside (0,1)", s.CITarget)
+		}
+		if s.Strata < 0 {
+			return fmt.Errorf("service: spec: strata = %d", s.Strata)
+		}
 	}
 	return nil
 }
@@ -303,10 +340,14 @@ type Status struct {
 }
 
 // TrialRecord is one persisted trial result. Deviation is stored as
-// float64 bits (see OutcomeRecord).
+// float64 bits (see OutcomeRecord). Adaptive jobs additionally carry
+// the trial's stratum and its global allocation sequence position
+// (Trial is then the stratum-local index).
 type TrialRecord struct {
 	Input   int    `json:"input"`
 	Trial   int    `json:"trial"`
+	Stratum int    `json:"stratum,omitempty"`
+	Seq     int64  `json:"seq,omitempty"`
 	Top1    bool   `json:"top1,omitempty"`
 	Top5    bool   `json:"top5,omitempty"`
 	Reg     bool   `json:"reg,omitempty"`
@@ -315,16 +356,21 @@ type TrialRecord struct {
 
 // NewTrialRecord converts a streamed campaign TrialResult.
 func NewTrialRecord(tr inject.TrialResult) TrialRecord {
-	r := TrialRecord{Input: tr.Input, Trial: tr.Trial, Top1: tr.Top1SDC, Top5: tr.Top5SDC, Reg: tr.IsRegression}
+	r := TrialRecord{Input: tr.Input, Trial: tr.Trial, Stratum: tr.Stratum, Seq: tr.Seq, Top1: tr.Top1SDC, Top5: tr.Top5SDC, Reg: tr.IsRegression}
 	if tr.IsRegression {
 		r.DevBits = math.Float64bits(tr.Deviation)
 	}
 	return r
 }
 
-// pos returns the record's linearized grid position for a campaign with
-// the given per-input trial count.
-func (r TrialRecord) pos(trials int) int64 {
+// pos returns the record's linearized chain position: the (input, trial)
+// grid position for uniform campaigns with the given per-input trial
+// count, or the allocation sequence position for adaptive campaigns
+// (whose trial order is the allocator's, not a rectangular grid's).
+func (r TrialRecord) pos(trials int, adaptive bool) int64 {
+	if adaptive {
+		return r.Seq
+	}
 	return int64(r.Input)*int64(trials) + int64(r.Trial)
 }
 

@@ -98,6 +98,14 @@ func buildRuntime(spec JobSpec, campaignWorkers int) (*jobRuntime, error) {
 		Workers:   campaignWorkers,
 		LaneWidth: spec.LaneWidth,
 	}
+	switch spec.Adaptive {
+	case "stratified":
+		c.Adaptive = inject.AdaptiveStratified
+	case "worstcase":
+		c.Adaptive = inject.AdaptiveWorstCase
+	}
+	c.CITarget = spec.CITarget
+	c.Strata = spec.Strata
 	switch spec.Backend {
 	case "int8":
 		calib, err := core.CalibrateModel(m, samples, feedAt)

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -374,19 +375,18 @@ func (s *Service) runJob(id string) {
 		s.hub.Publish(id, "trial", NewTrialRecord(tr))
 	}
 
+	if man.Spec.Adaptive != "" {
+		s.runAdaptive(jobCtx, id, man, st, blocks, rt, b)
+		return
+	}
+
 	block := int64(man.Spec.BlockTrials)
 	for b.Frontier() < man.GridTotal {
 		select {
 		case <-s.drainCh:
 			// Graceful drain: the current block is already persisted;
 			// park the job back on the durable queue.
-			st.State = StateQueued
-			st.UpdatedUnix = time.Now().Unix()
-			if err := s.store.SetStatus(id, st); err != nil {
-				s.cfg.Logf("rangerd: %s: %v", id, err)
-			}
-			s.Metrics.Inc(MetricJobsInterrupted, 1)
-			s.hub.Publish(id, "status", st)
+			s.park(id, st)
 			return
 		default:
 		}
@@ -398,27 +398,7 @@ func (s *Service) runJob(id string) {
 		t0 := time.Now()
 		part, err := rt.campaign.RunSlice(jobCtx, rt.inputs, start, end)
 		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				if s.rootCtx.Err() != nil {
-					// Hard stop: leave the job resumable; recovery
-					// re-queues it.
-					st.State = StateQueued
-					st.UpdatedUnix = time.Now().Unix()
-					_ = s.store.SetStatus(id, st)
-					s.Metrics.Inc(MetricJobsInterrupted, 1)
-					return
-				}
-				// API cancellation.
-				st.State = StateCancelled
-				st.UpdatedUnix = time.Now().Unix()
-				if err := s.store.SetStatus(id, st); err != nil {
-					s.cfg.Logf("rangerd: %s: %v", id, err)
-				}
-				s.Metrics.Inc(MetricJobsCancelled, 1)
-				s.hub.Close(id, st)
-				return
-			}
-			s.fail(id, st, err)
+			s.settleRunError(id, st, err)
 			return
 		}
 		blk, err := b.Flush(end, part)
@@ -426,25 +406,134 @@ func (s *Service) runJob(id string) {
 			s.fail(id, st, err)
 			return
 		}
-		s.Metrics.Inc(MetricBlocksPersisted, 1)
-		s.Metrics.Inc(MetricTrialsRun, uint64(part.Trials))
-		s.Metrics.ObserveTrials(part.Trials, time.Since(t0))
-		st.Frontier = b.Frontier()
-		st.Blocks = b.Blocks()
-		st.LastHash = b.LastHash()
-		st.UpdatedUnix = time.Now().Unix()
-		if err := s.store.SetStatus(id, st); err != nil {
+		if err := s.noteBlock(id, &st, b, blk, part.Trials, t0); err != nil {
 			s.fail(id, st, err)
 			return
 		}
-		s.hub.Publish(id, "block", struct {
-			Seq   int    `json:"seq"`
-			Start int64  `json:"start"`
-			End   int64  `json:"end"`
-			Hash  string `json:"hash"`
-		}{blk.Seq, blk.Start, blk.End, blk.Hash})
 	}
+	s.complete(id, st, b)
+}
 
+// runAdaptive executes an adaptive job from its durable frontier. The
+// engine's per-stratum state is restored by replaying every persisted
+// record in chain (allocation) order — round allocation is a pure
+// function of the restored counts, so the resumed job continues
+// byte-identically to an uninterrupted one. Each live round becomes one
+// chain block; the job completes when the engine stops (every stratum
+// at its CI target, or budget spent), usually with the chain frontier
+// well short of the manifest grid total.
+func (s *Service) runAdaptive(ctx context.Context, id string, man Manifest, st Status, blocks []Block, rt *jobRuntime, b *batcher) {
+	ar, err := rt.campaign.NewAdaptiveRun(rt.inputs)
+	if err != nil {
+		s.fail(id, st, err)
+		return
+	}
+	ar.RoundTrials = man.Spec.BlockTrials
+	for _, blk := range blocks {
+		for _, r := range blk.Results {
+			if err := ar.ReplayTrial(r.Stratum, r.Top1, r.Top5, r.Reg, math.Float64frombits(r.DevBits)); err != nil {
+				s.fail(id, st, fmt.Errorf("adaptive replay: %w", err))
+				return
+			}
+		}
+	}
+	if ar.Seq() != b.Frontier() {
+		s.fail(id, st, fmt.Errorf("adaptive replay reached seq %d, chain frontier %d", ar.Seq(), b.Frontier()))
+		return
+	}
+	for !ar.Done() {
+		select {
+		case <-s.drainCh:
+			// Graceful drain: completed rounds are already persisted;
+			// park the job back on the durable queue.
+			s.park(id, st)
+			return
+		default:
+		}
+		start := ar.Seq()
+		t0 := time.Now()
+		part, err := ar.NextRound(ctx)
+		if err != nil {
+			s.settleRunError(id, st, err)
+			return
+		}
+		end := ar.Seq()
+		if end == start {
+			break
+		}
+		blk, err := b.Flush(end, part)
+		if err != nil {
+			s.fail(id, st, err)
+			return
+		}
+		if err := s.noteBlock(id, &st, b, blk, part.Trials, t0); err != nil {
+			s.fail(id, st, err)
+			return
+		}
+	}
+	s.complete(id, st, b)
+}
+
+// park returns an interrupted job to the durable queue (graceful drain
+// or hard stop): its persisted frontier is intact, so recovery resumes
+// it exactly where it stopped.
+func (s *Service) park(id string, st Status) {
+	st.State = StateQueued
+	st.UpdatedUnix = time.Now().Unix()
+	if err := s.store.SetStatus(id, st); err != nil {
+		s.cfg.Logf("rangerd: %s: %v", id, err)
+	}
+	s.Metrics.Inc(MetricJobsInterrupted, 1)
+	s.hub.Publish(id, "status", st)
+}
+
+// settleRunError maps a chunk execution error to the job's fate: hard
+// stop parks the job for resume, API cancellation closes it, anything
+// else fails it.
+func (s *Service) settleRunError(id string, st Status, err error) {
+	if errors.Is(err, context.Canceled) {
+		if s.rootCtx.Err() != nil {
+			// Hard stop: leave the job resumable; recovery re-queues it.
+			s.park(id, st)
+			return
+		}
+		// API cancellation.
+		st.State = StateCancelled
+		st.UpdatedUnix = time.Now().Unix()
+		if serr := s.store.SetStatus(id, st); serr != nil {
+			s.cfg.Logf("rangerd: %s: %v", id, serr)
+		}
+		s.Metrics.Inc(MetricJobsCancelled, 1)
+		s.hub.Close(id, st)
+		return
+	}
+	s.fail(id, st, err)
+}
+
+// noteBlock records a freshly persisted block: metrics, the advancing
+// status record, and the block event for streaming watchers.
+func (s *Service) noteBlock(id string, st *Status, b *batcher, blk Block, trials int, t0 time.Time) error {
+	s.Metrics.Inc(MetricBlocksPersisted, 1)
+	s.Metrics.Inc(MetricTrialsRun, uint64(trials))
+	s.Metrics.ObserveTrials(trials, time.Since(t0))
+	st.Frontier = b.Frontier()
+	st.Blocks = b.Blocks()
+	st.LastHash = b.LastHash()
+	st.UpdatedUnix = time.Now().Unix()
+	if err := s.store.SetStatus(id, *st); err != nil {
+		return err
+	}
+	s.hub.Publish(id, "block", struct {
+		Seq   int    `json:"seq"`
+		Start int64  `json:"start"`
+		End   int64  `json:"end"`
+		Hash  string `json:"hash"`
+	}{blk.Seq, blk.Start, blk.End, blk.Hash})
+	return nil
+}
+
+// complete marks a job completed with the chain's folded outcome.
+func (s *Service) complete(id string, st Status, b *batcher) {
 	out := RecordOutcome(b.Outcome())
 	st.State = StateCompleted
 	st.Outcome = &out

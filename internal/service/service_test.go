@@ -408,6 +408,125 @@ func TestCancelRunningJob(t *testing.T) {
 	}
 }
 
+// adaptiveTestSpec returns a small stratified job spec: one input, a
+// 120-trial budget, and blocks of 32 (one chain block per round).
+func adaptiveTestSpec() JobSpec {
+	spec := testSpec(120, 1)
+	spec.Adaptive = "stratified"
+	spec.CITarget = 0.2
+	spec.Strata = 2
+	spec.BlockTrials = 32
+	return spec
+}
+
+// referenceAdaptiveOutcome runs the adaptive spec uninterrupted outside
+// the service, with the service's round size, as the byte-identity
+// reference.
+func referenceAdaptiveOutcome(t *testing.T, spec JobSpec) OutcomeRecord {
+	t.Helper()
+	rt, err := buildRuntime(spec, 0)
+	if err != nil {
+		t.Fatalf("buildRuntime: %v", err)
+	}
+	ar, err := rt.campaign.NewAdaptiveRun(rt.inputs)
+	if err != nil {
+		t.Fatalf("NewAdaptiveRun: %v", err)
+	}
+	ar.RoundTrials = spec.BlockTrials
+	for !ar.Done() {
+		if _, err := ar.NextRound(context.Background()); err != nil {
+			t.Fatalf("NextRound: %v", err)
+		}
+	}
+	return RecordOutcome(ar.Result().Outcome)
+}
+
+func TestServiceRunsAdaptiveJob(t *testing.T) {
+	svc := newTestService(t, t.TempDir(), nil)
+	svc.Start()
+	defer svc.Stop()
+	man, err := svc.Submit(adaptiveTestSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := waitTerminal(t, svc, man.ID, 60*time.Second)
+	if st.State != StateCompleted {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+	if st.Outcome == nil || st.Outcome.Trials == 0 || st.Frontier != int64(st.Outcome.Trials) {
+		t.Fatalf("outcome %+v, frontier %d", st.Outcome, st.Frontier)
+	}
+	blocks, err := svc.Store().Blocks(man.ID)
+	if err != nil {
+		t.Fatalf("Blocks: %v", err)
+	}
+	sum, err := VerifyChain(man, blocks)
+	if err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+	if sum.LastHash != st.LastHash || sum.Frontier != st.Frontier {
+		t.Fatalf("chain summary %+v disagrees with status %+v", sum, st)
+	}
+	if got := RecordOutcome(sum.Outcome); !reflect.DeepEqual(got, *st.Outcome) {
+		t.Fatalf("chain refold %+v != live outcome %+v", got, *st.Outcome)
+	}
+	if ref := referenceAdaptiveOutcome(t, man.Spec); !reflect.DeepEqual(ref, *st.Outcome) {
+		t.Fatalf("service outcome %+v != uninterrupted reference %+v", *st.Outcome, ref)
+	}
+}
+
+// TestAdaptiveResumeByteIdentical interrupts an adaptive job at every
+// round boundary and checks the replayed per-stratum frontier continues
+// to a byte-identical outcome and chain head.
+func TestAdaptiveResumeByteIdentical(t *testing.T) {
+	svc := newTestService(t, t.TempDir(), nil)
+	svc.Start()
+	man, err := svc.Submit(adaptiveTestSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	full := waitTerminal(t, svc, man.ID, 60*time.Second)
+	svc.Stop()
+	if full.State != StateCompleted {
+		t.Fatalf("reference job finished %s (%s)", full.State, full.Error)
+	}
+	blocks, err := svc.Store().Blocks(man.ID)
+	if err != nil {
+		t.Fatalf("Blocks: %v", err)
+	}
+	if len(blocks) < 2 {
+		t.Fatalf("reference chain has %d blocks; need >=2 for a resume boundary", len(blocks))
+	}
+	for k := 0; k < len(blocks); k++ {
+		st := resumeFrom(t, man, blocks, k)
+		if st.State != StateCompleted {
+			t.Fatalf("resume from block %d finished %s (%s)", k, st.State, st.Error)
+		}
+		if !reflect.DeepEqual(st.Outcome, full.Outcome) || st.LastHash != full.LastHash {
+			t.Fatalf("resume from block %d diverged: %+v / %s vs %+v / %s",
+				k, st.Outcome, st.LastHash, full.Outcome, full.LastHash)
+		}
+	}
+}
+
+func TestAdaptiveSpecValidation(t *testing.T) {
+	spec := adaptiveTestSpec()
+	spec.Adaptive = "bogus"
+	if _, err := normalizeSpec(spec, 4); err == nil {
+		t.Fatal("bogus adaptive mode accepted")
+	}
+	spec = adaptiveTestSpec()
+	spec.CITarget = 1.5
+	if _, err := normalizeSpec(spec, 4); err == nil {
+		t.Fatal("CITarget >= 1 accepted")
+	}
+	if norm, err := normalizeSpec(adaptiveTestSpec(), 4); err != nil {
+		t.Fatalf("valid adaptive spec rejected: %v", err)
+	} else if norm.CITarget != 0.2 || norm.Strata != 2 {
+		t.Fatalf("normalized spec lost adaptive knobs: %+v", norm)
+	}
+}
+
 func TestMetricsExposition(t *testing.T) {
 	m := NewMetrics()
 	m.Inc(MetricJobsSubmitted, 3)

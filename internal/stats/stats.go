@@ -15,25 +15,149 @@ const z95 = 1.96
 
 // Proportion summarizes a binomial estimate (e.g. an SDC rate).
 type Proportion struct {
-	Rate   float64 // point estimate in [0,1]
+	Rate   float64 // point estimate in [0,1] (k/n)
 	N      int     // trials
 	StdErr float64
-	CI95   float64 // half-width of the 95% confidence interval
+	// Lo and Hi are the Wilson score interval bounds at 95% confidence.
+	// Unlike the Wald interval, they are honest at the boundaries: k=0
+	// and k=n still yield a nonzero-width interval.
+	Lo, Hi float64
+	// CI95 is the half-width of the 95% interval rendered as Rate±CI95:
+	// the larger of Rate-Lo and Hi-Rate, so the symmetric bar always
+	// covers the (asymmetric) Wilson interval.
+	CI95 float64
 }
 
-// NewProportion computes the estimate for k successes in n trials.
+// Wilson returns the 95% Wilson score interval for k successes in n
+// trials. The interval is derived by inverting the normal test on the
+// true p rather than plugging in p̂, so its width never collapses to
+// zero: at k=0 the upper bound is z²/(n+z²) > 0, and symmetrically at
+// k=n — exactly the near-zero SDC rates a protected model produces,
+// where the Wald interval reports false certainty.
+func Wilson(k, n int) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z95 * z95
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z95 * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// wilsonVar is the Wilson-midpoint variance p̃(1-p̃)/ñ with
+// p̃ = (k+z²/2)/(n+z²), ñ = n+z² — the shrunk-toward-½ variance that
+// stays strictly positive at k=0 and k=n. It is the per-stratum
+// variance contribution Stratified combines, and the basis of StdErr.
+func wilsonVar(k, n int) float64 {
+	z2 := z95 * z95
+	nt := float64(n) + z2
+	pt := (float64(k) + z2/2) / nt
+	return pt * (1 - pt) / nt
+}
+
+// NewProportion computes the estimate for k successes in n trials. The
+// point estimate stays the unbiased k/n; the error bar is the 95%
+// Wilson score interval (see Wilson), so NewProportion(0, 50) reports a
+// strictly positive CI95 instead of the Wald interval's ±0.
 func NewProportion(k, n int) Proportion {
 	if n <= 0 {
 		return Proportion{}
 	}
 	p := float64(k) / float64(n)
-	se := math.Sqrt(p * (1 - p) / float64(n))
-	return Proportion{Rate: p, N: n, StdErr: se, CI95: z95 * se}
+	lo, hi := Wilson(k, n)
+	ci := p - lo
+	if hi-p > ci {
+		ci = hi - p
+	}
+	return Proportion{Rate: p, N: n, StdErr: math.Sqrt(wilsonVar(k, n)), Lo: lo, Hi: hi, CI95: ci}
 }
 
-// Percent renders the rate as a percentage string with its error bar.
+// Percent renders the rate as a percentage string with its error bar
+// (±CI95, the symmetric cover of the Wilson interval).
 func (p Proportion) Percent() string {
 	return fmt.Sprintf("%.2f%% ±%.2f%%", p.Rate*100, p.CI95*100)
+}
+
+// Stratum accumulates binomial observations for one stratum of a
+// stratified (or post-stratified) design: Weight is the stratum's share
+// of the sampling frame (fault-space elements × bit positions), N and K
+// the trials run and successes seen there.
+type Stratum struct {
+	Weight float64
+	N, K   int
+}
+
+// Add folds one trial into the stratum.
+func (s *Stratum) Add(success bool) {
+	s.N++
+	if success {
+		s.K++
+	}
+}
+
+// Proportion returns the stratum's own Wilson estimate.
+func (s Stratum) Proportion() Proportion { return NewProportion(s.K, s.N) }
+
+// HalfWidth returns the stratum's Wilson CI half-width — the quantity
+// sequential early stopping drives below a target. An unsampled stratum
+// reports 1 (maximal uncertainty), so stopping rules never skip it.
+func (s Stratum) HalfWidth() float64 {
+	if s.N <= 0 {
+		return 1
+	}
+	return s.Proportion().CI95
+}
+
+// Stratified combines per-stratum estimates into the post-stratified
+// population estimate: rate = Σ wₕ p̂ₕ with variance Σ wₕ² p̃ₕ(1-p̃ₕ)/ñₕ
+// (Wilson-midpoint per-stratum variances, so zero-count strata still
+// contribute nonzero uncertainty). Weights are normalized over the
+// given strata. An unsampled stratum contributes the maximally
+// uncertain p̂ = ½ with the n→0 Wilson variance, keeping the combined
+// interval honest rather than silently dropping unexplored strata. N
+// is the total trial count; Lo/Hi are the symmetric normal interval
+// clamped to [0,1].
+func Stratified(strata []Stratum) Proportion {
+	var wsum float64
+	n := 0
+	for _, s := range strata {
+		wsum += s.Weight
+		n += s.N
+	}
+	if len(strata) == 0 || wsum <= 0 {
+		return Proportion{}
+	}
+	var rate, varsum float64
+	for _, s := range strata {
+		w := s.Weight / wsum
+		if s.N > 0 {
+			rate += w * float64(s.K) / float64(s.N)
+			varsum += w * w * wilsonVar(s.K, s.N)
+		} else {
+			rate += w * 0.5
+			varsum += w * w * wilsonVar(0, 0) // = ¼/z² , the n→0 limit
+		}
+	}
+	se := math.Sqrt(varsum)
+	ci := z95 * se
+	lo, hi := rate-ci, rate+ci
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Proportion{Rate: rate, N: n, StdErr: se, Lo: lo, Hi: hi, CI95: ci}
 }
 
 // Mean returns the arithmetic mean of xs (0 for empty input).

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -11,12 +12,20 @@ func TestNewProportion(t *testing.T) {
 	if p.Rate != 0.25 {
 		t.Fatalf("rate = %v", p.Rate)
 	}
-	wantSE := math.Sqrt(0.25 * 0.75 / 200)
-	if math.Abs(p.StdErr-wantSE) > 1e-12 {
-		t.Fatalf("se = %v, want %v", p.StdErr, wantSE)
+	// Wilson interval for k=50, n=200, computed independently.
+	z2 := 1.96 * 1.96
+	denom := 1 + z2/200
+	center := (0.25 + z2/400) / denom
+	half := 1.96 * math.Sqrt(0.25*0.75/200+z2/(4*200*200)) / denom
+	if math.Abs(p.Lo-(center-half)) > 1e-12 || math.Abs(p.Hi-(center+half)) > 1e-12 {
+		t.Fatalf("wilson = [%v,%v], want [%v,%v]", p.Lo, p.Hi, center-half, center+half)
 	}
-	if math.Abs(p.CI95-1.96*wantSE) > 1e-12 {
-		t.Fatalf("ci = %v", p.CI95)
+	wantCI := math.Max(p.Rate-p.Lo, p.Hi-p.Rate)
+	if math.Abs(p.CI95-wantCI) > 1e-12 {
+		t.Fatalf("ci = %v, want %v", p.CI95, wantCI)
+	}
+	if p.Lo >= p.Rate || p.Hi <= p.Rate {
+		t.Fatalf("interval [%v,%v] does not bracket rate %v", p.Lo, p.Hi, p.Rate)
 	}
 }
 
@@ -24,11 +33,130 @@ func TestProportionEdges(t *testing.T) {
 	if p := NewProportion(0, 0); p.Rate != 0 || p.N != 0 {
 		t.Fatalf("empty = %+v", p)
 	}
-	if p := NewProportion(10, 10); p.Rate != 1 || p.StdErr != 0 {
-		t.Fatalf("all = %+v", p)
+	// Wilson at the boundaries: honest nonzero half-widths. The k=0
+	// upper bound is z²/(n+z²).
+	p := NewProportion(0, 50)
+	if p.Rate != 0 || p.CI95 <= 0 || p.Lo != 0 {
+		t.Fatalf("none = %+v, want strictly positive CI95", p)
+	}
+	if want := 1.96 * 1.96 / (50 + 1.96*1.96); math.Abs(p.Hi-want) > 1e-12 {
+		t.Fatalf("hi = %v, want %v", p.Hi, want)
+	}
+	if p := NewProportion(10, 10); p.Rate != 1 || p.CI95 <= 0 || p.StdErr <= 0 || p.Hi != 1 || p.Lo >= 1 {
+		t.Fatalf("all = %+v, want strictly positive CI95", p)
 	}
 	if s := NewProportion(1, 100).Percent(); s == "" {
 		t.Fatal("empty percent string")
+	}
+}
+
+// TestWilsonCoverage simulates binomials across the rate range —
+// including the p≈0 regime that motivates the Wilson switch — and
+// requires the 95% interval's empirical coverage to stay near nominal.
+// Wilson's exact coverage oscillates with (p, n) and is known to dip a
+// few points below 95% at very small p, so the floor there is 0.90; it
+// is never badly anti-conservative like Wald, whose coverage at these
+// same small-p points collapses (every k=0 draw yields a zero-width
+// interval that misses p), which the test also pins.
+func TestWilsonCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const reps = 2000
+	for _, tc := range []struct {
+		p     float64
+		n     int
+		floor float64
+	}{
+		{0, 50, 0.99}, {0.005, 100, 0.90}, {0.02, 50, 0.90},
+		{0.1, 40, 0.93}, {0.5, 30, 0.93}, {0.9, 40, 0.93}, {1, 50, 0.99},
+	} {
+		wilsonCovered, waldCovered := 0, 0
+		for r := 0; r < reps; r++ {
+			k := 0
+			for i := 0; i < tc.n; i++ {
+				if rng.Float64() < tc.p {
+					k++
+				}
+			}
+			lo, hi := Wilson(k, tc.n)
+			if tc.p >= lo && tc.p <= hi {
+				wilsonCovered++
+			}
+			ph := float64(k) / float64(tc.n)
+			wse := 1.96 * math.Sqrt(ph*(1-ph)/float64(tc.n))
+			if tc.p >= ph-wse && tc.p <= ph+wse {
+				waldCovered++
+			}
+		}
+		cov := float64(wilsonCovered) / reps
+		if cov < tc.floor {
+			t.Errorf("p=%v n=%d: wilson coverage %.3f < %.2f", tc.p, tc.n, cov, tc.floor)
+		}
+		if cov+1e-9 < float64(waldCovered)/reps {
+			t.Errorf("p=%v n=%d: wilson coverage %.3f below wald %.3f", tc.p, tc.n, cov, float64(waldCovered)/reps)
+		}
+	}
+}
+
+// TestStratifiedUnbiased checks the post-stratified estimator on a
+// synthetic fault space: three strata with known per-stratum rates and
+// unequal weights. Averaged over many simulated campaigns that sample
+// the strata at deliberately non-proportional rates (the adaptive
+// engine's whole point), the estimate must center on the true
+// population rate, and the combined CI must cover it ~95% of the time.
+func TestStratifiedUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	weights := []float64{0.7, 0.25, 0.05}
+	rates := []float64{0.02, 0.3, 0.8}
+	draws := []int{30, 60, 120} // inverse to weight: oversample rare strata
+	truth := 0.0
+	for i, w := range weights {
+		truth += w * rates[i]
+	}
+	const reps = 3000
+	var sum float64
+	covered := 0
+	for r := 0; r < reps; r++ {
+		strata := make([]Stratum, len(weights))
+		for i := range strata {
+			strata[i].Weight = weights[i]
+			for j := 0; j < draws[i]; j++ {
+				strata[i].Add(rng.Float64() < rates[i])
+			}
+		}
+		est := Stratified(strata)
+		sum += est.Rate
+		if truth >= est.Lo && truth <= est.Hi {
+			covered++
+		}
+	}
+	if mean := sum / reps; math.Abs(mean-truth) > 0.01 {
+		t.Errorf("stratified estimate mean %.4f, truth %.4f", mean, truth)
+	}
+	if cov := float64(covered) / reps; cov < 0.93 {
+		t.Errorf("stratified CI coverage %.3f < 0.93", cov)
+	}
+}
+
+// TestStratifiedEdges pins the estimator's degenerate shapes.
+func TestStratifiedEdges(t *testing.T) {
+	if p := Stratified(nil); p != (Proportion{}) {
+		t.Fatalf("empty = %+v", p)
+	}
+	// An unsampled stratum keeps the combined interval honest: it
+	// contributes p=½ with maximal variance instead of vanishing.
+	full := Stratified([]Stratum{{Weight: 0.5, N: 100, K: 0}, {Weight: 0.5, N: 100, K: 0}})
+	hole := Stratified([]Stratum{{Weight: 0.5, N: 100, K: 0}, {Weight: 0.5}})
+	if hole.CI95 <= full.CI95 {
+		t.Fatalf("unsampled stratum shrank the CI: %v <= %v", hole.CI95, full.CI95)
+	}
+	if hole.Rate <= full.Rate {
+		t.Fatalf("unsampled stratum rate %v, sampled %v", hole.Rate, full.Rate)
+	}
+	// One stratum with weight w behaves like weight 1 (normalization).
+	a := Stratified([]Stratum{{Weight: 0.3, N: 50, K: 5}})
+	b := Stratified([]Stratum{{Weight: 1, N: 50, K: 5}})
+	if math.Abs(a.Rate-b.Rate) > 1e-12 || math.Abs(a.CI95-b.CI95) > 1e-12 {
+		t.Fatalf("normalization: %+v vs %+v", a, b)
 	}
 }
 

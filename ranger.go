@@ -173,10 +173,17 @@ func SteeringMetrics(m *Model, ds Dataset, split Split, n int) (rmse, avgDev flo
 }
 
 // Proportion is a counted rate with its sample size, for reporting.
+// Its CI95 is a Wilson score interval, so boundary counts (k = 0 or
+// k = n) still get strictly positive widths.
 type Proportion = stats.Proportion
 
 // NewProportion builds a Proportion from k successes in n trials.
 func NewProportion(k, n int) Proportion { return stats.NewProportion(k, n) }
+
+// Wilson returns the 95% Wilson score interval for k successes in n
+// trials — the interval behind Proportion and the adaptive campaign
+// engine's per-stratum stopping rule.
+func Wilson(k, n int) (lo, hi float64) { return stats.Wilson(k, n) }
 
 // SetWorkers fixes the process-wide worker-pool width used by kernels,
 // campaigns, and experiment sweeps (overriding RANGER_WORKERS). Results

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Smoke for the adaptive campaign engine's efficiency claim: in the
+# bench trajectory (BENCH_adaptive.json), every adaptive run must have
+# reached the per-stratum Wilson CI target with at least 3x fewer
+# trials than uniform sampling needed under the same stopping rule, and
+# at least one adaptive run must actually have converged (hit the
+# target, not the budget).
+#
+# Usage: adaptive_smoke.sh [BENCH_adaptive.json]
+# Requires jq.
+set -euo pipefail
+
+FILE=${1:-BENCH_adaptive.json}
+
+fail() {
+  echo "ADAPTIVE SMOKE FAIL: $*" >&2
+  exit 1
+}
+
+[ -f "$FILE" ] || fail "$FILE missing (run: go run ./cmd/rangerbench -exp adaptive -json $FILE)"
+
+rows=$(jq '.adaptive.rows | length' "$FILE")
+[ "$rows" -ge 3 ] || fail "expected >=3 rows, got $rows"
+
+jq -e '[.adaptive.rows[] | select(.converged)] | length > 0' "$FILE" >/dev/null \
+  || fail "no adaptive run converged within its budget"
+
+min=$(jq '[.adaptive.rows[].savings] | min' "$FILE")
+jq -e '[.adaptive.rows[].savings] | min >= 3' "$FILE" >/dev/null \
+  || fail "adaptive savings fell below 3x (min ${min}x)"
+
+echo "ADAPTIVE SMOKE OK: $rows rows, min savings ${min}x"

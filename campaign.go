@@ -129,6 +129,65 @@ type (
 	StuckAt = inject.StuckAt
 )
 
+// Surface is a pluggable fault surface: where in the inference stack a
+// fault lands and whether it persists across inferences. Activation
+// faults (the paper's model) are transient; weight-memory and
+// quant-param faults are persistent and drive RunPersistent.
+type Surface = inject.Surface
+
+// The built-in fault surfaces.
+type (
+	// ActivationSurface is the paper's transient model: a fault strikes
+	// one operator output during one inference (the default).
+	ActivationSurface = inject.ActivationSurface
+	// WeightSurface is a persistent weight-memory fault: a flipped bit
+	// in a stored fp32 or int8 weight stays flipped across a sequence
+	// of inferences until detected (and optionally repaired).
+	WeightSurface = inject.WeightSurface
+	// QuantParamSurface is a persistent fault in a quantized step's
+	// scale or zero-point, skewing every value the step dequantizes
+	// (int8 backend only).
+	QuantParamSurface = inject.QuantParamSurface
+)
+
+// ErrUnknownSurface reports a surface name absent from the registry;
+// branch with errors.Is.
+var ErrUnknownSurface = inject.ErrUnknownSurface
+
+// DefaultSurface returns the paper's transient activation surface.
+func DefaultSurface() Surface { return inject.DefaultSurface() }
+
+// NewSurface builds a registered fault surface by name.
+func NewSurface(name string) (Surface, error) { return inject.NewSurface(name) }
+
+// RegisterSurface adds a named surface factory, making it selectable by
+// tools such as rangerinject -surface.
+func RegisterSurface(name string, f func() (Surface, error)) {
+	inject.RegisterSurface(name, f)
+}
+
+// SurfaceNames returns the registered surface names, sorted.
+func SurfaceNames() []string { return inject.SurfaceNames() }
+
+// DefaultSequenceLen is the persistent-campaign inference-sequence
+// length when Campaign.SequenceLen is zero.
+const DefaultSequenceLen = inject.DefaultSequenceLen
+
+// PersistentOutcome aggregates a persistent-surface campaign: sequences
+// run, detection rate and latency, SDCs before detection, repairs.
+type PersistentOutcome = inject.PersistentOutcome
+
+// SequenceResult is one completed persistent fault sequence's judged
+// result, streamed while a persistent campaign runs.
+type SequenceResult = inject.SequenceResult
+
+// Burst describes a multi-bit fault spanning adjacent 32-bit words of
+// one stored tensor, with word-boundary-correct corrupt and undo.
+type Burst = inject.Burst
+
+// BurstInt8 is Burst for int8 weight buffers (adjacent bytes).
+type BurstInt8 = inject.BurstInt8
+
 // DefaultScenario returns the paper's primary fault model: one random
 // bit flip per execution.
 func DefaultScenario() Scenario { return inject.DefaultScenario() }

@@ -215,11 +215,20 @@ func verifyJob(store ranger.JobStore, id string) error {
 		if !sum.Complete && man.Spec.Adaptive == "" {
 			return fmt.Errorf("status says completed but chain covers %d/%d trials", sum.Frontier, man.GridTotal)
 		}
-		if st.Outcome == nil {
-			return fmt.Errorf("status says completed but records no outcome")
-		}
-		if refold := ranger.RecordJobOutcome(sum.Outcome); !reflect.DeepEqual(*st.Outcome, refold) {
-			return fmt.Errorf("stored outcome disagrees with chain refold")
+		if man.Spec.Persistent() {
+			if st.Persistent == nil {
+				return fmt.Errorf("status says completed but records no persistent outcome")
+			}
+			if refold := ranger.RecordJobPersistentOutcome(sum.Persistent); !reflect.DeepEqual(*st.Persistent, refold) {
+				return fmt.Errorf("stored persistent outcome disagrees with chain refold")
+			}
+		} else {
+			if st.Outcome == nil {
+				return fmt.Errorf("status says completed but records no outcome")
+			}
+			if refold := ranger.RecordJobOutcome(sum.Outcome); !reflect.DeepEqual(*st.Outcome, refold) {
+				return fmt.Errorf("stored outcome disagrees with chain refold")
+			}
 		}
 		if st.LastHash != sum.LastHash {
 			return fmt.Errorf("stored head %s disagrees with chain head %s", st.LastHash, sum.LastHash)

@@ -23,6 +23,8 @@
 //	rangerinject -model lenet -int8 -trials 1000
 //	rangerinject -model lenet -adaptive -ci-target 0.05
 //	rangerinject -model lenet -adaptive -worstcase -strata 8
+//	rangerinject -model lenet -surface weight -trials 200 -repair
+//	rangerinject -model lenet -int8 -surface quantparam -trials 200
 //
 // With -adaptive the campaign samples (layer x bit-band) strata instead
 // of the uniform grid, stopping each stratum once its Wilson 95% CI
@@ -30,6 +32,17 @@
 // -worstcase spends the budget highest-Wilson-upper-bound first. The
 // report adds the post-stratified SDC estimate and per-stratum
 // evidence.
+//
+// With -surface weight or -surface quantparam the fault is persistent:
+// each trial becomes a sequence of -seqlen inferences over a stored
+// fault (a flipped weight bit, or a corrupted quantized scale /
+// zero-point), judged per inference against an activation-bound symptom
+// detector profiled on training data. The report switches to
+// inferences-to-detection and inferences-to-first-SDC; -repair scrubs
+// the corrupted tensor from a golden copy on detection and verifies the
+// restore byte-exactly. -surface quantparam requires -int8; -adaptive
+// composes with persistent surfaces, stratifying sequences over
+// (layer x bit-band).
 //
 // Interrupting (Ctrl-C) cancels the campaign promptly.
 package main
@@ -75,6 +88,11 @@ func run(ctx context.Context, args []string) error {
 	worstcase := fs.Bool("worstcase", false, "with -adaptive: spend the budget highest-Wilson-upper-bound first")
 	ciTarget := fs.Float64("ci-target", 0, "with -adaptive: per-stratum CI half-width to stop at (default 0.05)")
 	strata := fs.Int("strata", 0, "with -adaptive: bit bands per layer (default 4)")
+	surface := fs.String("surface", "activation",
+		"fault surface: "+strings.Join(ranger.SurfaceNames(), ", "))
+	seqLen := fs.Int("seqlen", 0,
+		fmt.Sprintf("persistent surfaces: inferences per fault sequence (default %d)", ranger.DefaultSequenceLen))
+	repair := fs.Bool("repair", false, "persistent surfaces: scrub-from-golden repair on detection")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +116,14 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	surf, err := ranger.NewSurface(*surface)
+	if err != nil {
+		return err
+	}
+	persistent := surf.Persistent()
+	if !persistent && (*seqLen != 0 || *repair) {
+		return fmt.Errorf("-seqlen and -repair need a persistent surface (weight or quantparam)")
+	}
 
 	zoo := ranger.DefaultZoo()
 	zoo.Quiet = false
@@ -113,11 +139,35 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("campaign: %s, %d trials x %d inputs, scenario=%s faults=%d (%s), %d workers\n",
-		m.Name, *trials, *inputs, scen.Name(), *faults, fmtFixed, ranger.WorkerCount())
+	if persistent {
+		fmt.Printf("campaign: %s, %d sequences x %d inputs, surface=%s scenario=%s faults=%d (%s), %d workers\n",
+			m.Name, *trials, *inputs, surf.Name(), scen.Name(), *faults, fmtFixed, ranger.WorkerCount())
+	} else {
+		fmt.Printf("campaign: %s, %d trials x %d inputs, scenario=%s faults=%d (%s), %d workers\n",
+			m.Name, *trials, *inputs, scen.Name(), *faults, fmtFixed, ranger.WorkerCount())
+	}
+
+	// Persistent surfaces judge every inference against an activation
+	// symptom detector; profile the unprotected model once and share the
+	// bounds between the detector and the Ranger transform.
+	var bounds ranger.Bounds
+	if persistent || *withRanger {
+		if bounds, err = ranger.Profile(m, *profileSamples); err != nil {
+			return err
+		}
+	}
+	var det ranger.Detector
+	if persistent {
+		maxima := make(map[string]float64, len(bounds))
+		for name, bd := range bounds {
+			maxima[name] = bd.High
+		}
+		det = ranger.NewSymptomDetector(maxima, 1)
+	}
 
 	report := func(label string, target *ranger.Model) error {
-		c := &ranger.Campaign{Model: target, Format: fmtFixed, Scenario: scen, Trials: *trials, Seed: *seed}
+		c := &ranger.Campaign{Model: target, Format: fmtFixed, Scenario: scen, Trials: *trials, Seed: *seed,
+			Surface: surf, SequenceLen: *seqLen, Repair: *repair, Detector: det}
 		if *adaptive {
 			c.Adaptive = ranger.AdaptiveStratified
 			if *worstcase {
@@ -135,8 +185,11 @@ func run(ctx context.Context, args []string) error {
 		}
 		if *progress {
 			total := int64(*trials * len(feeds))
+			if persistent {
+				total = int64(*trials)
+			}
 			var done atomic.Int64
-			c.OnTrial = func(ranger.TrialResult) {
+			tick := func() {
 				if n := done.Add(1); n%100 == 0 || n == total {
 					fmt.Fprintf(os.Stderr, "\r%-10s %d/%d trials", label, n, total)
 					if n == total {
@@ -144,6 +197,42 @@ func run(ctx context.Context, args []string) error {
 					}
 				}
 			}
+			if persistent {
+				c.OnSequence = func(ranger.SequenceResult) { tick() }
+			} else {
+				c.OnTrial = func(ranger.TrialResult) { tick() }
+			}
+		}
+		if persistent {
+			res, err := c.RunPersistent(ctx, feeds)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s detected %.1f%% of %d sequences (%d inferences)  mean detect latency %.2f  mean first-SDC %.2f\n",
+				label, res.DetectionRate()*100, res.Sequences, res.Inferences,
+				res.MeanDetectionLatency(), res.MeanFirstSDCLatency())
+			fmt.Printf("%-10s SDC inferences: %d before detection, %d undetected  DUEs %d\n",
+				label, res.SDCsBeforeDetection, res.UndetectedSDC, res.DUEs)
+			if *repair {
+				fmt.Printf("%-10s repairs %d (%d byte-exact restores)\n", label, res.Repairs, res.PostRepairOK)
+			}
+			if *adaptive {
+				status := "converged"
+				if !res.Converged {
+					status = "budget spent"
+				}
+				fmt.Printf("%-10s %d strata in %d rounds (%s)\n", label, len(res.Strata), res.Rounds, status)
+				for _, sr := range res.Strata {
+					mark := " "
+					if sr.Converged {
+						mark = "*"
+					}
+					fmt.Printf("  %s bits %2d-%2d  %-24s w=%.4f  %s\n",
+						mark, sr.BitLo, sr.BitHi, sr.Node, sr.Weight,
+						ranger.NewProportion(sr.SDCs, sr.Trials).Percent())
+				}
+			}
+			return nil
 		}
 		var out ranger.Outcome
 		if *adaptive {
@@ -193,10 +282,6 @@ func run(ctx context.Context, args []string) error {
 	}
 	if !*withRanger {
 		return nil
-	}
-	bounds, err := ranger.Profile(m, *profileSamples)
-	if err != nil {
-		return err
 	}
 	pm, res, err := ranger.Protect(m, bounds, ranger.ProtectOptions{})
 	if err != nil {

@@ -29,9 +29,17 @@
 //     set run through RunAdaptive's sequential stratified design (see
 //     the adaptive campaign lifecycle below).
 //   - Fault scenarios: the fault model is pluggable. BitFlips,
-//     ConsecutiveBits, RandomValue, and StuckAt ship built in, live in a
-//     name-keyed registry (NewScenario / ScenarioNames), and new models
-//     register with RegisterScenario.
+//     ConsecutiveBits, RandomValue, StuckAt, and the multi-word Burst /
+//     BurstInt8 ship built in, live in a name-keyed registry
+//     (NewScenario / ScenarioNames), and new models register with
+//     RegisterScenario.
+//   - Fault surfaces: where faults live is pluggable too. The default
+//     ActivationSurface is the paper's transient model; WeightSurface
+//     and QuantParamSurface are persistent — the fault stays in stored
+//     state across a sequence of inferences, run via RunPersistent with
+//     detection-triggered repair (see the persistent fault-surface
+//     lifecycle below). Surfaces live in their own registry (NewSurface
+//     / SurfaceNames / RegisterSurface / ErrUnknownSurface).
 //   - Protection techniques: Ranger and every Table VI baseline (TMR,
 //     selective duplication, symptom-based, ML-based, Tanh swap, ABFT)
 //     implement one Protector interface behind a second registry
@@ -223,6 +231,47 @@
 // -exp adaptive measures the engine against uniform sampling under the
 // same stopping rule; CI gates on ≥3× fewer trials to target.
 //
+// # Persistent fault-surface lifecycle
+//
+// The paper's fault model is transient: one activation value corrupted
+// during one inference. Campaign.Surface generalizes where faults live.
+// A persistent surface (WeightSurface, QuantParamSurface) plants the
+// fault in stored state — a bit of a stored fp32 or int8 weight word, or
+// a quantized step's scale/zero-point — where it stays across
+// inferences, the failure mode of stuck memory cells rather than
+// datapath glitches.
+//
+// RunPersistent runs Trials sequences. Each sequence: plant one fault
+// (sampled from a per-sequence seed stream), then run up to SequenceLen
+// inferences over the cycling input set. Every inference is judged
+// against its clean reference — persistent campaigns count SDCs served,
+// not a single SDC bit — and observed by Campaign.Detector (reset per
+// inference). Detection ends the sequence, recording the 1-based
+// inferences-to-detection latency; with Repair set it also triggers a
+// scrub-from-golden reload of the corrupted tensor, verified by checking
+// the next inference reproduces the clean reference byte-exactly
+// (PostRepairOK). A fault that makes the plan unexecutable (quant-param
+// corruption the kernels cannot be rebuilt under) is a DUE: counted,
+// zero inferences. The PersistentOutcome aggregates detection rate,
+// latency distributions, SDCs served before detection and undetected,
+// repairs, and DUEs; Campaign.Adaptive composes, stratifying sequences
+// over (layer × bit band) with the same Wilson stopping rule.
+//
+// The two backends expose different detector visibility, deliberately:
+// fp32 sequences replay through the hooked plan, so the detector
+// observes every materialized activation; int8 sequences observe only
+// the dequantized model output (the only float the quantized plan
+// fetches). Measured detection rates differ accordingly — quant-param
+// faults on int8 can serve SDCs that pass an activation-bound detector
+// silently (rangerbench -exp persistent quantifies this).
+//
+// Sequences shard across workers exactly like trials; each folds
+// through SequenceResult.Apply in sequence order — the one fold shared
+// by the live engine, RunPersistentSlice resume, and rangerd's chain
+// refold — so PersistentOutcome is byte-identical at every worker
+// count, across kill/resume boundaries, and under offline
+// re-verification.
+//
 // # The rangerd service lifecycle
 //
 // cmd/rangerd turns campaigns into a durable, observable service:
@@ -241,7 +290,11 @@
 // start re-queues the job, folds the persisted chain, and resumes from
 // its frontier — per-trial seeds are absolute grid positions, so the
 // final Outcome is byte-identical to an uninterrupted run, deviations
-// preserved as IEEE-754 bit patterns.
+// preserved as IEEE-754 bit patterns. A JobSpec naming a persistent
+// surface makes the grid Trials sequences instead (run as
+// RunPersistentSlice chunks, one sequence record per position) and the
+// completed job records a PersistentOutcome, resumable and verifiable
+// the same way.
 //
 // While a job runs, subscribers stream per-trial, per-block, and status
 // events (SSE over GET /v1/jobs/{id}/stream); a disconnected subscriber
@@ -279,8 +332,9 @@
 //     training substrate (SGD/Adam) with a cached model zoo
 //   - internal/core: Ranger itself — bound profiling and the Algorithm 1
 //     graph transform
-//   - internal/inject: the fault-injection campaign engine and the
-//     scenario registry
+//   - internal/inject: the fault-injection campaign engine, the
+//     scenario and surface registries, and the persistent sequence
+//     engine
 //   - internal/baselines: the Table VI comparator techniques and the
 //     Protector registry
 //   - internal/experiments: one entry point per paper table and figure

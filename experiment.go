@@ -99,10 +99,16 @@ var experimentFns = map[string]experimentEntry{
 	// uniform sampling: trials to reach the same per-stratum Wilson CI
 	// target. Emits JSON for the bench trajectory.
 	"adaptive": wrapJSONExperiment(experiments.AdaptiveCampaign),
+	// persistent sweeps the persistent fault surfaces (weight-memory on
+	// fp32/int8, quant-param on int8): detection rate and latency under
+	// the symptom detector, SDCs served before detection, and
+	// scrub-from-golden repair outcomes. Emits JSON for the bench
+	// trajectory.
+	"persistent": wrapJSONExperiment(experiments.PersistentSurfaces),
 }
 
 // experimentOrder fixes the paper's presentation order.
-var experimentOrder = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt", "overhead", "quantoverhead", "campaignspeed", "adaptive"}
+var experimentOrder = []string{"fig4", "fig6", "fig7", "fig8", "tab2", "tab3", "tab4", "fig9", "fig10", "tab5", "fig11", "fig12", "tab6", "alt", "overhead", "quantoverhead", "campaignspeed", "adaptive", "persistent"}
 
 // ExperimentIDs lists every experiment id in the paper's presentation
 // order.

@@ -119,6 +119,13 @@ func (p *Plan) RunFrom(st *PlanState, ck *Checkpoint, startStep int, hook Hook) 
 		if p.lastUse[id] < startStep {
 			continue // dead at the boundary: no later step reads it
 		}
+		// Weight-memory overrides shadow the checkpoint's (golden) value:
+		// Variables are aliased into the checkpoint, so a state carrying a
+		// corrupted weight must not read the clean copy back.
+		if t := st.vars[id]; t != nil {
+			st.cache[id] = t
+			continue
+		}
 		v := ck.vals[id]
 		if v == nil {
 			return nil, fmt.Errorf("graph: checkpoint has no value for %q", s.node.name)

@@ -104,6 +104,9 @@ type stageSpec struct {
 // bias variable right before the BiasAdd that consumes it), so they bind
 // straight to the variable's value.
 func (st *PlanState) auxTensor(n *Node) *tensor.Tensor {
+	if t := st.vars[n.id]; t != nil {
+		return t
+	}
 	if t := st.cache[n.id]; t != nil {
 		return t
 	}
@@ -383,6 +386,106 @@ func (p *Plan) StepOf(name string) int {
 	return -1
 }
 
+// Weights returns the names and element counts of the Variable nodes the
+// plan consumes, in schedule order — the stored-weight fault space of
+// the fp32 backend.
+func (p *Plan) Weights() (names []string, sizes []int) {
+	for si := range p.steps {
+		s := &p.steps[si]
+		v, ok := s.anchor.op.(*Variable)
+		if !ok || v.Value == nil {
+			continue
+		}
+		names = append(names, s.node.name)
+		sizes = append(sizes, v.Value.Size())
+	}
+	return names, sizes
+}
+
+// VarValue returns the golden (uncorrupted) value of the named Variable,
+// or nil if the plan has no such Variable step.
+func (p *Plan) VarValue(name string) *tensor.Tensor {
+	si := p.StepOf(name)
+	if si < 0 {
+		return nil
+	}
+	if v, ok := p.steps[si].anchor.op.(*Variable); ok {
+		return v.Value
+	}
+	return nil
+}
+
+// VarDepth returns the earliest step that reads the named Variable's
+// value — as a kernel input or a fused epilogue vector — which is where
+// a suffix replay must start after the variable's stored value changes.
+// Fused bias variables can be scheduled after the anchor that consumes
+// them, so this can be earlier than the variable's own step. Returns -1
+// if the plan has no such Variable.
+func (p *Plan) VarDepth(name string) int {
+	si := p.StepOf(name)
+	if si < 0 {
+		return -1
+	}
+	if _, ok := p.steps[si].anchor.op.(*Variable); !ok {
+		return -1
+	}
+	id := p.steps[si].node.id
+	depth := si
+	for sj := range p.steps {
+		s := &p.steps[sj]
+		for _, in := range s.inIDs {
+			if in == id && sj < depth {
+				depth = sj
+			}
+		}
+		for _, e := range s.epilogue {
+			if e.aux != nil && e.aux.id == id && sj < depth {
+				depth = sj
+			}
+		}
+	}
+	return depth
+}
+
+// OverrideVar installs a per-state override for the named Variable: every
+// run on st reads t in place of the variable's stored value, while the
+// plan's golden copy (and every other state) is untouched. t must match
+// the golden value's shape. Overriding the same variable again replaces
+// the previous override; ClearVarOverrides removes them all (the repair
+// path — the next run reads golden weights again).
+func (p *Plan) OverrideVar(st *PlanState, name string, t *tensor.Tensor) error {
+	if st == nil || st.plan != p {
+		return errors.New("graph: plan state belongs to a different plan")
+	}
+	si := p.StepOf(name)
+	if si < 0 {
+		return fmt.Errorf("graph: plan has no step %q", name)
+	}
+	v, ok := p.steps[si].anchor.op.(*Variable)
+	if !ok {
+		return fmt.Errorf("graph: step %q is not a variable", name)
+	}
+	if t == nil {
+		return fmt.Errorf("graph: nil override for variable %q", name)
+	}
+	if v.Value != nil && v.Value.Size() != t.Size() {
+		return fmt.Errorf("graph: override for %q has %d elements, variable has %d", name, t.Size(), v.Value.Size())
+	}
+	if st.vars == nil {
+		st.vars = make(map[int]*tensor.Tensor)
+	}
+	st.vars[p.steps[si].node.id] = t
+	return nil
+}
+
+// ClearVarOverrides removes every Variable override from the state: the
+// next run reads the plan's golden weights (scrub-from-golden repair).
+func (st *PlanState) ClearVarOverrides() {
+	for id := range st.vars {
+		delete(st.vars, id)
+	}
+}
+
 // InferredShapes resolves the plan against the given feeds and returns
 // the inferred output shape of every materialized node (nodes whose ops
 // cannot infer shapes are omitted).
@@ -548,6 +651,12 @@ type PlanState struct {
 	outT   []*tensor.Tensor
 	fetch  []*tensor.Tensor
 	layout *planLayout
+	// vars holds per-state Variable value overrides (node id -> tensor),
+	// the mechanism behind persistent weight-memory faults: an override
+	// shadows Variable.Value for this state only, so one worker can run
+	// with a corrupted weight while the shared plan (and every other
+	// state) keeps the golden copy. See Plan.OverrideVar.
+	vars map[int]*tensor.Tensor
 }
 
 // NewState returns a fresh execution state for the plan.
@@ -656,6 +765,10 @@ func (p *Plan) runFrom(st *PlanState, layout *planLayout, feeds Feeds, start int
 		case *Placeholder:
 			out = feeds[s.node.name]
 		case *Variable:
+			if t := st.vars[s.node.id]; t != nil {
+				out = t
+				break
+			}
 			if op.Value == nil {
 				return nil, fmt.Errorf("graph: variable %q has no value", s.node.name)
 			}

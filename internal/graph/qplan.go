@@ -68,6 +68,20 @@ type QuantizedOp interface {
 	QuantKernel(spec QuantSpec) (QuantKernel, error)
 }
 
+// QuantStoredOp is an optional QuantizedOp extension for operators whose
+// int8 kernel reads a stored, pre-quantized weight buffer at run time
+// (Dense, Conv2D). It is the hook behind persistent weight-memory faults
+// on the int8 backend: QPlan.MaterializeWeights compiles a state-private
+// kernel through it and hands the injector the live buffer to corrupt.
+type QuantStoredOp interface {
+	QuantizedOp
+	// QuantKernelStored compiles the kernel exactly like QuantKernel and
+	// additionally returns the stored int8 weight buffer the compiled
+	// kernel reads at run time. The buffer is private to this compilation
+	// — mutating it changes only this kernel's results.
+	QuantKernelStored(spec QuantSpec) (QuantKernel, []int8, error)
+}
+
 // qStep is one step of a quantized plan.
 type qStep struct {
 	node    *Node
@@ -79,12 +93,21 @@ type qStep struct {
 	observe bool
 }
 
+// qSpecEntry retains a kernel step's compile inputs so state-private
+// kernels can be rebuilt after a stored weight or quantization parameter
+// is corrupted. op is nil for placeholder (quantize) steps.
+type qSpecEntry struct {
+	op   QuantizedOp
+	spec QuantSpec
+}
+
 // QPlan is an immutable int8 execution schedule derived from a compiled
 // Plan. Like a Plan it is safe for concurrent use with per-worker
 // QPlanStates.
 type QPlan struct {
 	src     *Plan
 	steps   []qStep
+	specs   []qSpecEntry // aligned with steps
 	nSlots  int
 	fetchID []int
 	// lastUse[id] is the last quantized step index reading node id's
@@ -92,6 +115,9 @@ type QPlan struct {
 	// for slot recycling and suffix-replay checkpointing.
 	lastUse []int
 	stepOf  map[string]int // node name -> quantized step index
+	// nodeStep[id] is the quantized step producing node id (-1 if none);
+	// override rebuilds use it to find a corrupted input's producer.
+	nodeStep []int
 }
 
 // Quantize rewrites a compiled plan into an int8 execution plan using
@@ -133,6 +159,7 @@ func Quantize(p *Plan, calib Calibration) (*QPlan, error) {
 			q.steps = append(q.steps, qStep{
 				node: s.node, srcIdx: si, outQ: outQ, slot: -1, observe: s.observe,
 			})
+			q.specs = append(q.specs, qSpecEntry{spec: QuantSpec{Out: outQ}})
 			qpOf[s.node.id] = outQ
 			continue
 		}
@@ -182,6 +209,7 @@ func Quantize(p *Plan, calib Calibration) (*QPlan, error) {
 			node: s.node, srcIdx: si, inIDs: inIDs, kernel: kernel,
 			outQ: spec.Out, slot: -1, observe: s.observe,
 		})
+		q.specs = append(q.specs, qSpecEntry{op: qop, spec: spec})
 		qpOf[s.node.id] = spec.Out
 	}
 	for _, id := range p.fetchID {
@@ -191,8 +219,13 @@ func Quantize(p *Plan, calib Calibration) (*QPlan, error) {
 	}
 	q.assignSlots(isFetch)
 	q.stepOf = make(map[string]int, len(q.steps))
+	q.nodeStep = make([]int, p.g.Len())
+	for i := range q.nodeStep {
+		q.nodeStep[i] = -1
+	}
 	for si := range q.steps {
 		q.stepOf[q.steps[si].node.name] = si
+		q.nodeStep[q.steps[si].node.id] = si
 	}
 	return q, nil
 }
@@ -279,6 +312,14 @@ type QPlanState struct {
 	fetch  []*tensor.Tensor
 	deq    []*tensor.Tensor
 	layout *planLayout
+	// kernels and qOver are the persistent-fault overrides, both nil
+	// until first use and private to this state: kernels[si] shadows the
+	// plan's shared kernel (a corrupted stored-weight copy, or a kernel
+	// rebuilt under corrupted quantization parameters), and qOver[si]
+	// shadows step si's output parameters (corrupted scale/zero-point).
+	// ClearOverrides drops both — scrub-from-golden repair.
+	kernels []QuantKernel
+	qOver   []*tensor.QParams
 }
 
 // NewState returns a fresh execution state for the quantized plan.
@@ -311,6 +352,25 @@ func (st *QPlanState) outTensor(si int, layout *planLayout) (*tensor.QTensor, er
 		return nil, err
 	}
 	st.outT[si] = t
+	return t, nil
+}
+
+// stepOut is outTensor plus the state's output-parameter override: when
+// step si's quantization parameters are corrupted (PatchOutParams), the
+// header every consumer and dequantizer reads carries the corrupted
+// values; when the override is cleared the golden parameters return.
+func (st *QPlanState) stepOut(si int, layout *planLayout) (*tensor.QTensor, error) {
+	t, err := st.outTensor(si, layout)
+	if err != nil {
+		return nil, err
+	}
+	if st.qOver != nil {
+		if p := st.qOver[si]; p != nil {
+			t.P = *p
+		} else {
+			t.P = st.plan.steps[si].outQ
+		}
+	}
 	return t, nil
 }
 
@@ -381,11 +441,15 @@ func (q *QPlan) runFrom(st *QPlanState, layout *planLayout, feeds Feeds, start i
 		if layout.shapes[s.srcIdx] == nil {
 			return fmt.Errorf("graph: quantized step %q has no inferred shape", s.node.name)
 		}
-		out, err := st.outTensor(si, layout)
+		out, err := st.stepOut(si, layout)
 		if err != nil {
 			return err
 		}
-		if s.kernel == nil {
+		kernel := s.kernel
+		if st.kernels != nil && st.kernels[si] != nil {
+			kernel = st.kernels[si]
+		}
+		if kernel == nil {
 			// Placeholder: quantize the feed (presence and shape were
 			// validated by the layout signature).
 			if _, err := tensor.QuantizeInto(out, feeds[s.node.name]); err != nil {
@@ -404,7 +468,7 @@ func (q *QPlan) runFrom(st *QPlanState, layout *planLayout, feeds Feeds, start i
 				}
 				st.ins = append(st.ins, in)
 			}
-			if err := s.kernel(st.ins, out, st.tmp(si)); err != nil {
+			if err := kernel(st.ins, out, st.tmp(si)); err != nil {
 				return fmt.Errorf("eval int8 %q (%s): %w", s.node.name, s.node.op.Type(), err)
 			}
 		}
@@ -417,6 +481,178 @@ func (q *QPlan) runFrom(st *QPlanState, layout *planLayout, feeds Feeds, start i
 			onStep(si, out)
 		}
 		st.cache[s.node.id] = out
+	}
+	return nil
+}
+
+// ensureOverrides lazily allocates the state's override tables.
+func (st *QPlanState) ensureOverrides() {
+	if st.kernels == nil {
+		st.kernels = make([]QuantKernel, len(st.plan.steps))
+		st.qOver = make([]*tensor.QParams, len(st.plan.steps))
+	}
+}
+
+// ClearOverrides drops every kernel and parameter override from the
+// state: the next run executes the plan's shared golden kernels with
+// golden quantization parameters (scrub-from-golden repair).
+func (st *QPlanState) ClearOverrides() {
+	for i := range st.kernels {
+		st.kernels[i] = nil
+	}
+	for i := range st.qOver {
+		st.qOver[i] = nil
+	}
+}
+
+// StoredWeights returns the names and stored int8 weight element counts
+// of the quantized steps whose kernels read a stored weight buffer
+// (QuantStoredOp ops) — the stored-weight fault space of the int8
+// backend. Sizes come from an actual stored-kernel compilation, so they
+// match MaterializeWeights buffers exactly.
+func (q *QPlan) StoredWeights() (names []string, sizes []int, err error) {
+	for si := range q.steps {
+		sop, ok := q.specs[si].op.(QuantStoredOp)
+		if !ok {
+			continue
+		}
+		_, buf, err := sop.QuantKernelStored(q.specs[si].spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: stored weights of %q: %w", q.steps[si].node.name, err)
+		}
+		names = append(names, q.steps[si].node.name)
+		sizes = append(sizes, len(buf))
+	}
+	return names, sizes, nil
+}
+
+// MaterializeWeights compiles a state-private kernel for the named step
+// through its op's QuantStoredOp extension and installs it as the
+// state's kernel override, returning the live stored int8 weight buffer
+// the private kernel reads. Corrupting the buffer in place corrupts this
+// state's subsequent runs only; ClearOverrides restores the shared
+// golden kernel. The buffer starts as a fresh deterministic
+// re-quantization of the golden float weights, bit-identical to the
+// shared kernel's.
+func (q *QPlan) MaterializeWeights(st *QPlanState, name string) ([]int8, error) {
+	if st == nil || st.plan != q {
+		return nil, errors.New("graph: quantized state belongs to a different plan")
+	}
+	si := q.StepOf(name)
+	if si < 0 {
+		return nil, fmt.Errorf("graph: quantized plan has no step %q", name)
+	}
+	sop, ok := q.specs[si].op.(QuantStoredOp)
+	if !ok {
+		return nil, fmt.Errorf("graph: step %q has no stored weights", name)
+	}
+	st.ensureOverrides()
+	kernel, buf, err := sop.QuantKernelStored(q.effectiveSpec(st, si))
+	if err != nil {
+		return nil, fmt.Errorf("graph: materialize weights of %q: %w", name, err)
+	}
+	st.kernels[si] = kernel
+	return buf, nil
+}
+
+// StepParams returns the named quantized step's golden output
+// quantization parameters.
+func (q *QPlan) StepParams(name string) (tensor.QParams, bool) {
+	si := q.StepOf(name)
+	if si < 0 {
+		return tensor.QParams{}, false
+	}
+	return q.steps[si].outQ, true
+}
+
+// StepNames returns the names of every quantized step, in schedule order
+// — the quant-param fault space (each step owns one scale/zero-point
+// pair).
+func (q *QPlan) StepNames() []string {
+	names := make([]string, len(q.steps))
+	for si := range q.steps {
+		names[si] = q.steps[si].node.name
+	}
+	return names
+}
+
+// effectiveSpec is the named step's compile spec with the state's
+// parameter overrides applied: its own Out if overridden, and every
+// runtime input's params replaced by its producer's override. The
+// retained spec is never mutated.
+func (q *QPlan) effectiveSpec(st *QPlanState, si int) QuantSpec {
+	spec := q.specs[si].spec
+	if st.qOver == nil {
+		return spec
+	}
+	if p := st.qOver[si]; p != nil {
+		spec.Out = *p
+	}
+	var in []tensor.QParams
+	for i, id := range q.steps[si].inIDs {
+		if id < 0 {
+			continue
+		}
+		pj := q.nodeStep[id]
+		if pj < 0 || st.qOver[pj] == nil {
+			continue
+		}
+		if in == nil {
+			in = append([]tensor.QParams{}, spec.In...)
+		}
+		in[i] = *st.qOver[pj]
+	}
+	if in != nil {
+		spec.In = in
+	}
+	return spec
+}
+
+// PatchOutParams installs corrupted output quantization parameters for
+// the named step on this state: the step's output header carries p, the
+// step's own kernel (if any) is rebuilt to requantize into p, and every
+// consumer kernel is rebuilt to interpret its input under p — exactly
+// what a corrupted stored scale/zero-point does to a real deployment,
+// where producer and consumers read the same corrupted parameter memory.
+// A rebuild that fails (the corrupted parameters make a kernel
+// uncompilable, e.g. a NaN scale overflowing a folded bias) returns the
+// error with the state in a partial-override condition — callers must
+// ClearOverrides before reusing the state, and should account the trial
+// as a detected unrecoverable error (DUE).
+func (q *QPlan) PatchOutParams(st *QPlanState, name string, p tensor.QParams) error {
+	if st == nil || st.plan != q {
+		return errors.New("graph: quantized state belongs to a different plan")
+	}
+	si := q.StepOf(name)
+	if si < 0 {
+		return fmt.Errorf("graph: quantized plan has no step %q", name)
+	}
+	st.ensureOverrides()
+	st.qOver[si] = &p
+	if op := q.specs[si].op; op != nil {
+		kernel, err := op.QuantKernel(q.effectiveSpec(st, si))
+		if err != nil {
+			return fmt.Errorf("graph: rebuild %q under corrupted params: %w", name, err)
+		}
+		st.kernels[si] = kernel
+	}
+	id := q.steps[si].node.id
+	for sj := si + 1; sj < len(q.steps); sj++ {
+		consumes := false
+		for _, in := range q.steps[sj].inIDs {
+			if in == id {
+				consumes = true
+				break
+			}
+		}
+		if !consumes {
+			continue
+		}
+		kernel, err := q.specs[sj].op.QuantKernel(q.effectiveSpec(st, sj))
+		if err != nil {
+			return fmt.Errorf("graph: rebuild consumer %q under corrupted params: %w", q.steps[sj].node.name, err)
+		}
+		st.kernels[sj] = kernel
 	}
 	return nil
 }

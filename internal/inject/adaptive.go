@@ -146,6 +146,11 @@ func buildStrata(fs *FaultSpace, bits, bands int) []stratumDef {
 
 // StratumResult reports one stratum's accumulated evidence.
 type StratumResult struct {
+	// Surface names the fault surface the stratum samples ("activation"
+	// for classic adaptive runs; "weight"/"quantparam" for stratified
+	// persistent campaigns, whose strata cross surface nodes with bit
+	// bands the same way).
+	Surface string
 	// Node and the bit band identify the stratum.
 	Node         string
 	BitLo, BitHi int
@@ -234,6 +239,9 @@ func (c *Campaign) NewAdaptiveRun(inputs []graph.Feeds) (*AdaptiveRun, error) {
 	default:
 		return nil, fmt.Errorf("inject: unknown sampling mode %d", c.Adaptive)
 	}
+	if s := c.surface(); s.Persistent() {
+		return nil, fmt.Errorf("inject: stratified persistent campaigns run in-engine through RunPersistent, not NewAdaptiveRun")
+	}
 	if err := c.validate(inputs); err != nil {
 		return nil, err
 	}
@@ -317,21 +325,28 @@ func (ar *AdaptiveRun) roundTrials() int {
 }
 
 // openStrata returns the indices of strata still above the target, in
-// allocation order: stratum order for AdaptiveStratified, descending
+// allocation order.
+func (ar *AdaptiveRun) openStrata() []int {
+	return openStrataOrder(ar.c.Adaptive, ar.defs, ar.acc, ar.target)
+}
+
+// openStrataOrder returns the indices of strata still above the target,
+// in allocation order: stratum order for AdaptiveStratified, descending
 // Wilson upper bound (then higher bit band, then stratum order) for
 // AdaptiveWorstCase — the strata that could still hide the largest SDC
-// rate drain the round's budget first.
-func (ar *AdaptiveRun) openStrata() []int {
-	open := make([]int, 0, len(ar.acc))
-	for i := range ar.acc {
-		if ar.acc[i].HalfWidth() > ar.target {
+// rate drain the round's budget first. Shared by the activation-surface
+// AdaptiveRun and the stratified persistent engine.
+func openStrataOrder(mode SamplingMode, defs []stratumDef, acc []stats.Stratum, target float64) []int {
+	open := make([]int, 0, len(acc))
+	for i := range acc {
+		if acc[i].HalfWidth() > target {
 			open = append(open, i)
 		}
 	}
-	if ar.c.Adaptive == AdaptiveWorstCase {
+	if mode == AdaptiveWorstCase {
 		his := make([]float64, len(open))
 		for k, i := range open {
-			_, his[k] = stats.Wilson(ar.acc[i].K, ar.acc[i].N)
+			_, his[k] = stats.Wilson(acc[i].K, acc[i].N)
 		}
 		ord := make([]int, len(open))
 		for k := range ord {
@@ -343,8 +358,8 @@ func (ar *AdaptiveRun) openStrata() []int {
 				return his[ka] > his[kb]
 			}
 			ia, ib := open[ka], open[kb]
-			if ar.defs[ia].bitHi != ar.defs[ib].bitHi {
-				return ar.defs[ia].bitHi > ar.defs[ib].bitHi
+			if defs[ia].bitHi != defs[ib].bitHi {
+				return defs[ia].bitHi > defs[ib].bitHi
 			}
 			return ia < ib
 		})
@@ -520,6 +535,7 @@ func (ar *AdaptiveRun) Result() AdaptiveOutcome {
 			res.Converged = false
 		}
 		res.Strata[i] = StratumResult{
+			Surface:   ar.c.surface().Name(),
 			Node:      def.name,
 			BitLo:     def.bitLo,
 			BitHi:     def.bitHi,

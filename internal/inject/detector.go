@@ -117,6 +117,9 @@ func (c *Campaign) RunWithDetector(ctx context.Context, inputs []graph.Feeds, de
 	if c.Adaptive != SamplingUniform {
 		return DetectorOutcome{}, fmt.Errorf("inject: detector campaigns sample uniformly; unset Campaign.Adaptive")
 	}
+	if s := c.surface(); s.Persistent() {
+		return DetectorOutcome{}, fmt.Errorf("inject: persistent surface %q runs through RunPersistent (set Campaign.Detector)", s.Name())
+	}
 	if err := c.validate(inputs); err != nil {
 		return DetectorOutcome{}, err
 	}

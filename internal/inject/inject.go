@@ -167,6 +167,34 @@ type Campaign struct {
 	// completes. Calls are serialized but arrive in scheduling order, not
 	// trial order; the final Outcome is still folded deterministically.
 	OnTrial func(TrialResult)
+	// Surface selects where faults live. nil (or ActivationSurface) is
+	// the transient default: faults strike operator outputs in flight,
+	// one inference at a time, through Run/RunSlice. Persistent surfaces
+	// (weight, quantparam) instead corrupt stored state that outlives an
+	// inference and run sequence campaigns through RunPersistent.
+	Surface Surface
+	// SequenceLen is how many inferences each persistent sequence runs
+	// before giving up undetected; 0 means DefaultSequenceLen.
+	// Persistent surfaces only.
+	SequenceLen int
+	// Repair enables detection-triggered scrub-from-golden repair in
+	// persistent sequences; it requires a Detector (detection is the
+	// trigger). The post-repair replay is byte-checked against the clean
+	// reference and accounted in PersistentOutcome.PostRepairOK.
+	Repair bool
+	// Detector, when non-nil, observes every persistent inference (reset
+	// per inference) and its detections end sequences — the
+	// inferences-to-detection measurement. nil means sequences run their
+	// full length and every SDC counts as undetected. A detector that
+	// does not implement CloneableDetector forces sequential execution.
+	// Persistent surfaces only; transient detector campaigns go through
+	// RunWithDetector.
+	Detector Detector
+	// OnSequence, when non-nil, streams each persistent sequence's
+	// result as it completes. Calls are serialized but arrive in
+	// scheduling order; the PersistentOutcome still folds in sequence
+	// order.
+	OnSequence func(SequenceResult)
 }
 
 // IncrementalMode selects the campaign's trial execution strategy; the
@@ -475,6 +503,9 @@ func (c *Campaign) GridSize(inputs []graph.Feeds) int64 {
 func (c *Campaign) RunSlice(ctx context.Context, inputs []graph.Feeds, start, end int64) (Outcome, error) {
 	if c.Adaptive != SamplingUniform {
 		return Outcome{}, fmt.Errorf("inject: adaptive campaigns run through RunAdaptive, not Run/RunSlice")
+	}
+	if s := c.surface(); s.Persistent() {
+		return Outcome{}, fmt.Errorf("inject: persistent surface %q runs through RunPersistent, not Run/RunSlice", s.Name())
 	}
 	if err := c.validate(inputs); err != nil {
 		return Outcome{}, err

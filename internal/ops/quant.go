@@ -223,19 +223,27 @@ func quantizeWeights(w *tensor.Tensor) ([]int8, tensor.QParams) {
 
 // QuantKernel implements graph.QuantizedOp: int8 matmul with int32
 // accumulation and a fused requantization epilogue.
-func (DenseOp) QuantKernel(spec graph.QuantSpec) (graph.QuantKernel, error) {
+func (d DenseOp) QuantKernel(spec graph.QuantSpec) (graph.QuantKernel, error) {
+	kernel, _, err := d.QuantKernelStored(spec)
+	return kernel, err
+}
+
+// QuantKernelStored implements graph.QuantStoredOp: the compiled kernel
+// plus the stored int8 weight buffer it reads — the int8 backend's
+// persistent weight-memory fault surface.
+func (DenseOp) QuantKernelStored(spec graph.QuantSpec) (graph.QuantKernel, []int8, error) {
 	if len(spec.Consts) != 2 || spec.Consts[1] == nil {
-		return nil, fmt.Errorf("matmul: quantization needs a constant weight matrix")
+		return nil, nil, fmt.Errorf("matmul: quantization needs a constant weight matrix")
 	}
 	w := spec.Consts[1]
 	if w.Rank() != 2 {
-		return nil, fmt.Errorf("matmul: weight rank %d", w.Rank())
+		return nil, nil, fmt.Errorf("matmul: weight rank %d", w.Rank())
 	}
 	k, n := w.Dim(0), w.Dim(1)
 	wq, wQ := quantizeWeights(w)
 	requant, err := gemmRequant(n, spec.In[0], wQ, spec.Out, spec.Epilogue)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	za := spec.In[0].Zero
 	return func(ins []*tensor.QTensor, out *tensor.QTensor, tmp *tensor.QScratch) error {
@@ -249,25 +257,32 @@ func (DenseOp) QuantKernel(spec graph.QuantSpec) (graph.QuantKernel, error) {
 			return tensor.QMatMulPack(x.Data(), za, m, k, wq, n, out.Data(), requant, tmp)
 		}
 		return tensor.QMatMul(x.Data(), za, x.Dim(0), k, wq, n, out.Data(), requant)
-	}, nil
+	}, wq, nil
 }
 
 // QuantKernel implements graph.QuantizedOp: int8 im2col (padding with
 // the input zero point) plus the shared int8 GEMM.
 func (c *Conv2DOp) QuantKernel(spec graph.QuantSpec) (graph.QuantKernel, error) {
+	kernel, _, err := c.QuantKernelStored(spec)
+	return kernel, err
+}
+
+// QuantKernelStored implements graph.QuantStoredOp: the compiled kernel
+// plus the stored int8 filter buffer it reads.
+func (c *Conv2DOp) QuantKernelStored(spec graph.QuantSpec) (graph.QuantKernel, []int8, error) {
 	if len(spec.Consts) != 2 || spec.Consts[1] == nil {
-		return nil, fmt.Errorf("conv2d: quantization needs a constant kernel")
+		return nil, nil, fmt.Errorf("conv2d: quantization needs a constant kernel")
 	}
 	w := spec.Consts[1]
 	if w.Rank() != 4 {
-		return nil, fmt.Errorf("conv2d: kernel rank %d", w.Rank())
+		return nil, nil, fmt.Errorf("conv2d: kernel rank %d", w.Rank())
 	}
 	rowLen := c.Geom.KH * c.Geom.KW * w.Dim(2)
 	n := w.Dim(3)
 	wq, wQ := quantizeWeights(w)
 	requant, err := gemmRequant(n, spec.In[0], wQ, spec.Out, spec.Epilogue)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	geom := c.Geom
 	za := spec.In[0].Zero
@@ -286,7 +301,7 @@ func (c *Conv2DOp) QuantKernel(spec graph.QuantSpec) (graph.QuantKernel, error) 
 			return tensor.QMatMulPack(patch, za, rows, rowLen, wq, n, out.Data(), requant, tmp)
 		}
 		return tensor.QMatMul(patch, za, rows, rowLen, wq, n, out.Data(), requant)
-	}, nil
+	}, wq, nil
 }
 
 // QuantKernel implements graph.QuantizedOp for a standalone BiasAdd

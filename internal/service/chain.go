@@ -69,15 +69,16 @@ func (b Block) verifySeal() error {
 // validates that they cover [start, end) exactly, and seals them into
 // the chain's next block. recs may arrive in any order (OnTrial
 // delivers scheduling order); trials is the campaign's per-input trial
-// count, and adaptive switches positions to the allocation sequence.
-func sealBlock(seq int, start, end int64, prev string, trials int, adaptive bool, recs []TrialRecord) (Block, error) {
+// count, and seqOrdered (adaptive and persistent jobs) switches
+// positions to the record's sequence number.
+func sealBlock(seq int, start, end int64, prev string, trials int, seqOrdered bool, recs []TrialRecord) (Block, error) {
 	if int64(len(recs)) != end-start {
 		return Block{}, fmt.Errorf("block %d: %d records for %d trials [%d,%d)", seq, len(recs), end-start, start, end)
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].pos(trials, adaptive) < recs[j].pos(trials, adaptive) })
+	sort.Slice(recs, func(i, j int) bool { return recs[i].pos(trials, seqOrdered) < recs[j].pos(trials, seqOrdered) })
 	for i, r := range recs {
-		if want := start + int64(i); r.pos(trials, adaptive) != want {
-			return Block{}, fmt.Errorf("block %d: record %d at grid position %d, want %d", seq, i, r.pos(trials, adaptive), want)
+		if want := start + int64(i); r.pos(trials, seqOrdered) != want {
+			return Block{}, fmt.Errorf("block %d: record %d at grid position %d, want %d", seq, i, r.pos(trials, seqOrdered), want)
 		}
 	}
 	b := Block{Seq: seq, Start: start, End: end, Results: recs, Prev: prev}
@@ -99,6 +100,9 @@ type ChainSummary struct {
 	// grid order — byte-identical to the live campaign's fold over the
 	// same prefix.
 	Outcome inject.Outcome
+	// Persistent is the corresponding fold for persistent-surface jobs
+	// (Outcome stays zero for those).
+	Persistent inject.PersistentOutcome
 	// Complete reports whether the chain covers the whole grid. Adaptive
 	// jobs stop early by design, so their completed chains are usually
 	// NOT Complete; their frontier is the trial count early stopping
@@ -120,7 +124,8 @@ func VerifyChain(man Manifest, blocks []Block) (ChainSummary, error) {
 	if trials <= 0 {
 		return ChainSummary{}, fmt.Errorf("service: manifest %s: trials = %d", man.ID, trials)
 	}
-	adaptive := man.Spec.Adaptive != ""
+	persistent := man.Spec.Persistent()
+	seqOrdered := man.Spec.Adaptive != "" || persistent
 	sum := ChainSummary{LastHash: man.SpecHash}
 	for i, b := range blocks {
 		if b.Seq != i {
@@ -140,11 +145,15 @@ func VerifyChain(man Manifest, blocks []Block) (ChainSummary, error) {
 			return ChainSummary{}, fmt.Errorf("service: %s: block %d has %d records for [%d,%d)", man.ID, i, len(b.Results), b.Start, b.End)
 		}
 		for j, r := range b.Results {
-			if r.pos(trials, adaptive) != b.Start+int64(j) {
+			if r.pos(trials, seqOrdered) != b.Start+int64(j) {
 				return ChainSummary{}, fmt.Errorf("service: %s: block %d record %d at grid position %d, want %d",
-					man.ID, i, j, r.pos(trials, adaptive), b.Start+int64(j))
+					man.ID, i, j, r.pos(trials, seqOrdered), b.Start+int64(j))
 			}
-			r.apply(&sum.Outcome)
+			if persistent {
+				r.applyPersistent(&sum.Persistent)
+			} else {
+				r.apply(&sum.Outcome)
+			}
 		}
 		sum.Frontier = b.End
 		sum.LastHash = b.Hash

@@ -114,6 +114,30 @@ type JobSpec struct {
 	// Strata is the number of bit-position bands per fault-space node
 	// (0 defaults to inject.DefaultStrataBands).
 	Strata int `json:"strata,omitempty"`
+	// Surface selects the fault surface: "activation" (transient, the
+	// default), "weight" (a persistent stuck fault in stored weight
+	// memory), or "quantparam" (a persistent fault in a quantized step's
+	// scale/zero-point; int8 backend only). Persistent surfaces run
+	// sequence campaigns: the grid is Trials sequences, each injecting
+	// one fault and running SequenceLen inferences over the cycling
+	// input set under the service's symptom detector.
+	Surface string `json:"surface,omitempty"`
+	// SequenceLen is the per-sequence inference budget of persistent
+	// jobs (0 defaults to inject.DefaultSequenceLen).
+	SequenceLen int `json:"sequence_len,omitempty"`
+	// Repair enables detection-triggered scrub-from-golden repair in
+	// persistent jobs; each scrub's post-repair replay is byte-checked
+	// against the clean reference.
+	Repair bool `json:"repair,omitempty"`
+}
+
+// Persistent reports whether the spec's surface is a persistent one
+// (weight, quantparam): its job runs the sequence engine and its grid is
+// Trials sequences. An empty or unknown surface is transient; validate
+// rejects the unknown ones.
+func (s JobSpec) Persistent() bool {
+	surf, err := inject.NewSurface(s.Surface)
+	return err == nil && surf.Persistent()
 }
 
 // withDefaults returns the spec with every optional field resolved, the
@@ -157,6 +181,14 @@ func (s JobSpec) withDefaults(daemonBlock int) JobSpec {
 		if s.Strata == 0 {
 			s.Strata = inject.DefaultStrataBands
 		}
+	}
+	if s.Surface == "" {
+		s.Surface = inject.DefaultSurface().Name()
+	}
+	// Only an unset sequence length defaults; a negative one is a caller
+	// error validate reports.
+	if s.Persistent() && s.SequenceLen == 0 {
+		s.SequenceLen = inject.DefaultSequenceLen
 	}
 	return s
 }
@@ -214,6 +246,32 @@ func (s JobSpec) validate() error {
 			return fmt.Errorf("service: spec: strata = %d", s.Strata)
 		}
 	}
+	surf, err := inject.NewSurface(s.Surface)
+	if err != nil {
+		return fmt.Errorf("service: spec: %w", err)
+	}
+	if surf.Persistent() {
+		if s.Adaptive != "" {
+			// The stratified persistent engine allocates in-process; its
+			// per-stratum frontier is not resumable from a chain yet, so
+			// the durable service refuses the combination rather than run
+			// a job it could not recover.
+			return fmt.Errorf("service: spec: adaptive sampling is not supported on persistent surface %q", s.Surface)
+		}
+		if s.Surface == "quantparam" && s.Backend != "int8" {
+			return fmt.Errorf("service: spec: surface quantparam needs the int8 backend")
+		}
+		if s.SequenceLen <= 0 {
+			return fmt.Errorf("service: spec: sequence_len = %d", s.SequenceLen)
+		}
+	} else {
+		if s.SequenceLen != 0 {
+			return fmt.Errorf("service: spec: sequence_len is only meaningful on persistent surfaces")
+		}
+		if s.Repair {
+			return fmt.Errorf("service: spec: repair is only meaningful on persistent surfaces")
+		}
+	}
 	return nil
 }
 
@@ -225,7 +283,9 @@ type Manifest struct {
 	ID      string  `json:"id"`
 	Created string  `json:"created"` // RFC3339
 	Spec    JobSpec `json:"spec"`
-	// GridTotal is the linearized trial-grid size: Inputs * Trials.
+	// GridTotal is the linearized trial-grid size: Inputs * Trials for
+	// transient surfaces, Trials sequences for persistent ones (inputs
+	// cycle inside each sequence instead of multiplying the grid).
 	GridTotal int64  `json:"grid_total"`
 	SpecHash  string `json:"spec_hash,omitempty"`
 }
@@ -260,11 +320,15 @@ func NewManifest(spec JobSpec, now time.Time) (Manifest, error) {
 	if err != nil {
 		return Manifest{}, err
 	}
+	total := int64(spec.Inputs) * int64(spec.Trials)
+	if spec.Persistent() {
+		total = int64(spec.Trials)
+	}
 	m := Manifest{
 		ID:        id,
 		Created:   now.UTC().Format(time.RFC3339),
 		Spec:      spec,
-		GridTotal: int64(spec.Inputs) * int64(spec.Trials),
+		GridTotal: total,
 	}
 	if err := m.seal(); err != nil {
 		return Manifest{}, err
@@ -318,6 +382,55 @@ func (r OutcomeRecord) Outcome() inject.Outcome {
 	return o
 }
 
+// PersistentOutcomeRecord is the JSON-safe persisted form of an
+// aggregate PersistentOutcome. Every field is integral, so JSON
+// round-trips are exact by construction.
+type PersistentOutcomeRecord struct {
+	Sequences           int64 `json:"sequences"`
+	Inferences          int64 `json:"inferences"`
+	Detected            int   `json:"detected"`
+	DetectionLatencies  []int `json:"detection_latencies,omitempty"`
+	FirstSDCLatencies   []int `json:"first_sdc_latencies,omitempty"`
+	SDCsBeforeDetection int   `json:"sdcs_before_detection,omitempty"`
+	UndetectedSDC       int   `json:"undetected_sdc,omitempty"`
+	Repairs             int   `json:"repairs,omitempty"`
+	PostRepairOK        int   `json:"post_repair_ok,omitempty"`
+	DUEs                int   `json:"dues,omitempty"`
+}
+
+// RecordPersistentOutcome converts an aggregate persistent campaign
+// outcome.
+func RecordPersistentOutcome(o inject.PersistentOutcome) PersistentOutcomeRecord {
+	return PersistentOutcomeRecord{
+		Sequences:           o.Sequences,
+		Inferences:          o.Inferences,
+		Detected:            o.Detected,
+		DetectionLatencies:  o.DetectionLatencies,
+		FirstSDCLatencies:   o.FirstSDCLatencies,
+		SDCsBeforeDetection: o.SDCsBeforeDetection,
+		UndetectedSDC:       o.UndetectedSDC,
+		Repairs:             o.Repairs,
+		PostRepairOK:        o.PostRepairOK,
+		DUEs:                o.DUEs,
+	}
+}
+
+// Outcome converts back to the campaign PersistentOutcome.
+func (r PersistentOutcomeRecord) Outcome() inject.PersistentOutcome {
+	return inject.PersistentOutcome{
+		Sequences:           r.Sequences,
+		Inferences:          r.Inferences,
+		Detected:            r.Detected,
+		DetectionLatencies:  r.DetectionLatencies,
+		FirstSDCLatencies:   r.FirstSDCLatencies,
+		SDCsBeforeDetection: r.SDCsBeforeDetection,
+		UndetectedSDC:       r.UndetectedSDC,
+		Repairs:             r.Repairs,
+		PostRepairOK:        r.PostRepairOK,
+		DUEs:                r.DUEs,
+	}
+}
+
 // Status is a job's mutable progress record, atomically replaced after
 // every persisted block and state change.
 type Status struct {
@@ -333,8 +446,12 @@ type Status struct {
 	LastHash string `json:"last_hash"`
 	// Error carries the failure cause for StateFailed.
 	Error string `json:"error,omitempty"`
-	// Outcome is the aggregate result, set when the job completes.
+	// Outcome is the aggregate result, set when a transient-surface job
+	// completes; persistent-surface jobs set Persistent instead.
 	Outcome *OutcomeRecord `json:"outcome,omitempty"`
+	// Persistent is the aggregate sequence result of a completed
+	// persistent-surface job.
+	Persistent *PersistentOutcomeRecord `json:"persistent,omitempty"`
 	// UpdatedUnix is the wall-clock time of the last status write.
 	UpdatedUnix int64 `json:"updated_unix"`
 }
@@ -342,7 +459,9 @@ type Status struct {
 // TrialRecord is one persisted trial result. Deviation is stored as
 // float64 bits (see OutcomeRecord). Adaptive jobs additionally carry
 // the trial's stratum and its global allocation sequence position
-// (Trial is then the stratum-local index).
+// (Trial is then the stratum-local index). Persistent jobs persist one
+// record per sequence: Seq is the sequence's grid position and the
+// persistent fields carry its detection/SDC/repair result.
 type TrialRecord struct {
 	Input   int    `json:"input"`
 	Trial   int    `json:"trial"`
@@ -352,6 +471,17 @@ type TrialRecord struct {
 	Top5    bool   `json:"top5,omitempty"`
 	Reg     bool   `json:"reg,omitempty"`
 	DevBits uint64 `json:"dev_bits,omitempty"`
+
+	// Persistent-sequence fields (surface weight/quantparam jobs only).
+	Node     string `json:"node,omitempty"`
+	Detected bool   `json:"det,omitempty"`
+	Latency  int    `json:"lat,omitempty"`
+	SDCs     int    `json:"sdcs,omitempty"`
+	FirstSDC int    `json:"fsdc,omitempty"`
+	Repaired bool   `json:"repaired,omitempty"`
+	RepairOK bool   `json:"repair_ok,omitempty"`
+	Inf      int    `json:"inf,omitempty"`
+	DUE      bool   `json:"due,omitempty"`
 }
 
 // NewTrialRecord converts a streamed campaign TrialResult.
@@ -363,12 +493,49 @@ func NewTrialRecord(tr inject.TrialResult) TrialRecord {
 	return r
 }
 
+// NewSequenceRecord converts a streamed persistent SequenceResult. Trial
+// mirrors the sequence index for readability; Seq is the chain position.
+func NewSequenceRecord(sr inject.SequenceResult) TrialRecord {
+	return TrialRecord{
+		Trial:    int(sr.Sequence),
+		Seq:      sr.Sequence,
+		Node:     sr.Node,
+		Detected: sr.Detected,
+		Latency:  sr.DetectLatency,
+		SDCs:     sr.SDCs,
+		FirstSDC: sr.FirstSDC,
+		Repaired: sr.Repaired,
+		RepairOK: sr.PostRepairOK,
+		Inf:      sr.Inferences,
+		DUE:      sr.DUE,
+	}
+}
+
+// sequenceResult converts a persistent record back to its campaign form.
+func (r TrialRecord) sequenceResult() inject.SequenceResult {
+	return inject.SequenceResult{
+		Sequence:      r.Seq,
+		Seq:           r.Seq,
+		Node:          r.Node,
+		Detected:      r.Detected,
+		DetectLatency: r.Latency,
+		SDCs:          r.SDCs,
+		FirstSDC:      r.FirstSDC,
+		Repaired:      r.Repaired,
+		PostRepairOK:  r.RepairOK,
+		Inferences:    r.Inf,
+		DUE:           r.DUE,
+		Stratum:       -1,
+	}
+}
+
 // pos returns the record's linearized chain position: the (input, trial)
 // grid position for uniform campaigns with the given per-input trial
-// count, or the allocation sequence position for adaptive campaigns
-// (whose trial order is the allocator's, not a rectangular grid's).
-func (r TrialRecord) pos(trials int, adaptive bool) int64 {
-	if adaptive {
+// count, or the sequence position for adaptive and persistent campaigns
+// (whose order is the allocator's or the sequence grid's, not a
+// rectangular input×trial grid's).
+func (r TrialRecord) pos(trials int, seqOrdered bool) int64 {
+	if seqOrdered {
 		return r.Seq
 	}
 	return int64(r.Input)*int64(trials) + int64(r.Trial)
@@ -387,4 +554,11 @@ func (r TrialRecord) apply(o *inject.Outcome) {
 		o.Deviations = append(o.Deviations, math.Float64frombits(r.DevBits))
 	}
 	o.Trials++
+}
+
+// applyPersistent folds a persistent sequence record through the
+// campaign's own fold, so the chain refold is byte-identical to the live
+// PersistentOutcome.
+func (r TrialRecord) applyPersistent(o *inject.PersistentOutcome) {
+	r.sequenceResult().Apply(o)
 }

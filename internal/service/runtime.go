@@ -8,6 +8,7 @@ package service
 import (
 	"fmt"
 
+	"ranger/internal/baselines"
 	"ranger/internal/core"
 	"ranger/internal/data"
 	"ranger/internal/fixpoint"
@@ -74,11 +75,18 @@ func buildRuntime(spec JobSpec, campaignWorkers int) (*jobRuntime, error) {
 		samples = n
 	}
 
-	if spec.Protect == "ranger" {
-		bounds, err := core.ProfileModel(m, core.ProfileOptions{}, samples, feedAt)
-		if err != nil {
+	// Persistent-surface jobs always run under the symptom detector
+	// (profiled activation maxima), so detection latency and repair have
+	// a detection signal to trigger on; profile the pre-protection model
+	// once and share the bounds with the Ranger transform.
+	persistent := spec.Persistent()
+	var bounds core.Bounds
+	if spec.Protect == "ranger" || persistent {
+		if bounds, err = core.ProfileModel(m, core.ProfileOptions{}, samples, feedAt); err != nil {
 			return nil, fmt.Errorf("service: profile %s: %w", spec.Model, err)
 		}
+	}
+	if spec.Protect == "ranger" {
 		protected, _, err := core.ProtectModel(m, bounds, core.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("service: protect %s: %w", spec.Model, err)
@@ -97,6 +105,22 @@ func buildRuntime(spec JobSpec, campaignWorkers int) (*jobRuntime, error) {
 		Seed:      spec.Seed,
 		Workers:   campaignWorkers,
 		LaneWidth: spec.LaneWidth,
+	}
+	if spec.Surface != "" {
+		surf, err := inject.NewSurface(spec.Surface)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		c.Surface = surf
+	}
+	if persistent {
+		c.SequenceLen = spec.SequenceLen
+		c.Repair = spec.Repair
+		maxima := make(map[string]float64, len(bounds))
+		for name, bd := range bounds {
+			maxima[name] = bd.High
+		}
+		c.Detector = baselines.NewSymptomDetector(maxima, 1)
 	}
 	switch spec.Adaptive {
 	case "stratified":

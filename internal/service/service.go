@@ -370,6 +370,14 @@ func (s *Service) runJob(id string) {
 		return
 	}
 	b := newBatcher(s.store, man, sum)
+	if man.Spec.Persistent() {
+		rt.campaign.OnSequence = func(sr inject.SequenceResult) {
+			b.AddSequence(sr)
+			s.hub.Publish(id, "sequence", NewSequenceRecord(sr))
+		}
+		s.runPersistent(jobCtx, id, man, st, rt, b)
+		return
+	}
 	rt.campaign.OnTrial = func(tr inject.TrialResult) {
 		b.Add(tr)
 		s.hub.Publish(id, "trial", NewTrialRecord(tr))
@@ -407,6 +415,47 @@ func (s *Service) runJob(id string) {
 			return
 		}
 		if err := s.noteBlock(id, &st, b, blk, part.Trials, t0); err != nil {
+			s.fail(id, st, err)
+			return
+		}
+	}
+	s.complete(id, st, b)
+}
+
+// runPersistent executes a persistent-surface job from its durable
+// frontier: the sequence grid runs as consecutive RunPersistentSlice
+// chunks, each persisted as one hash-chained block of sequence records.
+// Sequences keep their absolute sampling streams across restarts, so a
+// resumed job's blocks — and its folded PersistentOutcome — are
+// byte-identical to an uninterrupted run's from every block boundary.
+func (s *Service) runPersistent(ctx context.Context, id string, man Manifest, st Status, rt *jobRuntime, b *batcher) {
+	block := int64(man.Spec.BlockTrials)
+	for b.Frontier() < man.GridTotal {
+		select {
+		case <-s.drainCh:
+			// Graceful drain: the current block is already persisted;
+			// park the job back on the durable queue.
+			s.park(id, st)
+			return
+		default:
+		}
+		start := b.Frontier()
+		end := start + block
+		if end > man.GridTotal {
+			end = man.GridTotal
+		}
+		t0 := time.Now()
+		part, err := rt.campaign.RunPersistentSlice(ctx, rt.inputs, start, end)
+		if err != nil {
+			s.settleRunError(id, st, err)
+			return
+		}
+		blk, err := b.FlushPersistent(end, part)
+		if err != nil {
+			s.fail(id, st, err)
+			return
+		}
+		if err := s.noteBlock(id, &st, b, blk, int(part.Sequences), t0); err != nil {
 			s.fail(id, st, err)
 			return
 		}
@@ -534,16 +583,24 @@ func (s *Service) noteBlock(id string, st *Status, b *batcher, blk Block, trials
 
 // complete marks a job completed with the chain's folded outcome.
 func (s *Service) complete(id string, st Status, b *batcher) {
-	out := RecordOutcome(b.Outcome())
+	var trials int64
+	if b.persistent {
+		out := RecordPersistentOutcome(b.PersistentOutcome())
+		st.Persistent = &out
+		trials = out.Sequences
+	} else {
+		out := RecordOutcome(b.Outcome())
+		st.Outcome = &out
+		trials = int64(out.Trials)
+	}
 	st.State = StateCompleted
-	st.Outcome = &out
 	st.UpdatedUnix = time.Now().Unix()
 	if err := s.store.SetStatus(id, st); err != nil {
 		s.cfg.Logf("rangerd: %s: %v", id, err)
 		return
 	}
 	s.Metrics.Inc(MetricJobsCompleted, 1)
-	s.cfg.Logf("rangerd: %s completed: %d trials, final hash %s", id, out.Trials, st.LastHash)
+	s.cfg.Logf("rangerd: %s completed: %d trials, final hash %s", id, trials, st.LastHash)
 	s.hub.Close(id, st)
 }
 

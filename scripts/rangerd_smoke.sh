@@ -7,7 +7,10 @@
 #   2. crash: submit a longer campaign, kill -9 the daemon once progress
 #      has persisted, restart over the same store, and require the job to
 #      complete with a verifiable chain.
-#   3. verify: `rangerd verify` re-validates every chain with no daemon.
+#   3. persistent: submit a persistent weight-surface job (sequences of
+#      inferences over a stuck weight fault), kill -9 mid-run, restart,
+#      and require it to resume to a completed PersistentOutcome.
+#   4. verify: `rangerd verify` re-validates every chain with no daemon.
 #
 # Requires curl and jq. Respects $RANGERD (binary path, default builds
 # nothing — pass it) and $PORT.
@@ -94,6 +97,25 @@ start_daemon
 wait_state "$ID2" completed 600
 TRIALS=$(job_field "$ID2" .status.outcome.trials)
 [ "$TRIALS" = 1200 ] || fail "resumed job $ID2 completed with $TRIALS trials, want 1200"
+
+echo "== persistent: weight-surface job, kill -9 resume"
+ID3=$(submit '{"model":"lenet","trials":96,"inputs":2,"seed":13,"untrained":true,"surface":"weight","sequence_len":4,"repair":true,"block_trials":8}')
+for _ in $(seq 1 300); do
+  FRONTIER=$(job_field "$ID3" .status.frontier)
+  [ "$FRONTIER" -ge 8 ] && break
+  sleep 0.1
+done
+[ "$FRONTIER" -ge 8 ] || fail "persistent job $ID3 persisted no progress before the kill"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+start_daemon
+wait_state "$ID3" completed 600
+SEQS=$(job_field "$ID3" .status.persistent.sequences)
+[ "$SEQS" = 96 ] || fail "persistent job $ID3 completed with $SEQS sequences, want 96"
+job_field "$ID3" '.status.outcome == null' >/dev/null ||
+  fail "persistent job $ID3 recorded a transient outcome"
 kill "$PID" 2>/dev/null
 wait "$PID" 2>/dev/null || true
 PID=""
@@ -114,4 +136,4 @@ fi
 mv "$CHAIN.orig" "$CHAIN"
 "$BIN" verify -data "$DATA" "$ID1" >/dev/null || fail "restored chain failed verification"
 
-echo "SMOKE OK: submit, stream, kill -9 resume ($HASH1 ...), offline verify, tamper detection"
+echo "SMOKE OK: submit, stream, kill -9 resume ($HASH1 ...), persistent-surface resume, offline verify, tamper detection"

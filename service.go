@@ -53,6 +53,16 @@ type JobOutcomeRecord = service.OutcomeRecord
 // persisted, JSON-safe form.
 func RecordJobOutcome(o Outcome) JobOutcomeRecord { return service.RecordOutcome(o) }
 
+// JobPersistentOutcomeRecord is the JSON-safe persisted form of an
+// aggregate PersistentOutcome (persistent-surface jobs).
+type JobPersistentOutcomeRecord = service.PersistentOutcomeRecord
+
+// RecordJobPersistentOutcome converts an aggregate persistent campaign
+// outcome to its persisted, JSON-safe form.
+func RecordJobPersistentOutcome(o PersistentOutcome) JobPersistentOutcomeRecord {
+	return service.RecordPersistentOutcome(o)
+}
+
 // DefaultBlockTrials is the default durability granularity: trials per
 // hash-chained block.
 const DefaultBlockTrials = service.DefaultBlockTrials
